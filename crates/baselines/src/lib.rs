@@ -1,0 +1,39 @@
+//! Prior resource-discovery algorithms, for comparison against the
+//! Abraham–Dolev algorithms (experiment E9 of the reproduction).
+//!
+//! The paper's §1.1 surveys three families of prior work; this crate
+//! implements one representative of each on the same simulator substrate
+//! (and therefore with directly comparable [`ard_netsim::Metrics`]):
+//!
+//! * [`name_dropper`] — the randomized synchronous *Name-Dropper* algorithm
+//!   of Harchol-Balter, Leighton & Lewin \[2\]: every round, every node
+//!   forwards its whole neighbour list to one random known node. With high
+//!   probability all nodes know everyone after `O(log² n)` rounds, giving
+//!   `O(n log² n)` messages and `O(n² log³ n)` bits. Requires knowing `n`
+//!   (to pick the round budget) and synchrony — the two assumptions the
+//!   paper's algorithms remove.
+//! * [`law_siu`] — a Law–Siu-style randomized push–pull algorithm \[5\]:
+//!   random-mate root merging achieving `O(n log n)` messages in
+//!   `O(log n)` rounds w.h.p. (the announced bounds; the full algorithm was
+//!   never published, see the module docs for the substitution).
+//! * [`flood`] — naive asynchronous flooding ("swamping"): every node
+//!   forwards everything it knows to everyone it knows whenever it learns
+//!   something new. Converges on any weakly connected graph with no
+//!   assumptions at all, at `Θ(n²)`-ish message and `Θ(n³ log n)`-ish bit
+//!   cost — the baseline that motivates doing anything smarter.
+//! * [`election`] — max-id flooding leader election for *strongly
+//!   connected* graphs, standing in for Cidon, Gopal & Kutten \[1\]
+//!   (`O(n)` messages with their machinery; ours is the simple `O(|E|·D)`
+//!   textbook version, which is enough to demonstrate the paper's point
+//!   that strong connectivity makes the problem easy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod election;
+pub mod flood;
+pub mod law_siu;
+mod msg;
+pub mod name_dropper;
+
+pub use msg::KnownSet;

@@ -1,0 +1,29 @@
+use ard_netsim::{Envelope, NodeId};
+
+/// The single message type the gossip baselines need: a set of node ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KnownSet(pub Vec<NodeId>);
+
+impl Envelope for KnownSet {
+    fn kind(&self) -> &'static str {
+        "known set"
+    }
+    fn carried_ids(&self) -> Vec<NodeId> {
+        self.0.clone()
+    }
+    fn aux_bits(&self) -> u64 {
+        32 // length prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_scale_with_payload() {
+        let m = KnownSet((0..10).map(NodeId::new).collect());
+        assert_eq!(m.carried_ids().len(), 10);
+        assert_eq!(m.bits(8), 10 * 8 + 32 + 4);
+    }
+}

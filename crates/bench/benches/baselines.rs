@@ -1,0 +1,43 @@
+//! Criterion benches comparing the paper's algorithms against the §1.1
+//! baselines on identical topologies (wall-clock companion to table E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ard_baselines::{flood, name_dropper};
+use ard_core::{Discovery, Variant};
+use ard_graph::gen;
+use ard_netsim::RandomScheduler;
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    let n = 256;
+    let graph = gen::random_weakly_connected(n, 2 * n, 7);
+
+    group.bench_function(BenchmarkId::new("abraham_dolev_adhoc", n), |b| {
+        b.iter(|| {
+            let mut d = Discovery::new(&graph, Variant::AdHoc);
+            let mut sched = RandomScheduler::seeded(1);
+            std::hint::black_box(
+                d.run_all(&mut sched)
+                    .expect("livelock")
+                    .metrics
+                    .total_messages(),
+            )
+        });
+    });
+    group.bench_function(BenchmarkId::new("name_dropper", n), |b| {
+        b.iter(|| std::hint::black_box(name_dropper::run(&graph, 1).metrics().total_messages()));
+    });
+    group.bench_function(BenchmarkId::new("flooding", n), |b| {
+        b.iter(|| {
+            let mut sched = RandomScheduler::seeded(1);
+            let (runner, _) = flood::run(&graph, &mut sched, 100_000_000).expect("livelock");
+            std::hint::black_box(runner.metrics().total_messages())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_comparison);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for full discovery runs — wall-clock companions to the
+//! message-count tables E1–E3 (one bench group per variant) plus the E5
+//! adversarial tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ard_core::{Discovery, Variant};
+use ard_graph::gen;
+use ard_lower_bounds::tree_adversary;
+use ard_netsim::RandomScheduler;
+
+fn bench_variants(c: &mut Criterion) {
+    for (group_name, variant) in [
+        ("generic_messages", Variant::Oblivious),
+        ("bounded_messages", Variant::Bounded),
+        ("adhoc_messages", Variant::AdHoc),
+    ] {
+        let mut group = c.benchmark_group(group_name);
+        group.sample_size(10);
+        for n in [64usize, 256, 1024] {
+            let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+                b.iter(|| {
+                    let mut d = Discovery::new(graph, variant);
+                    let mut sched = RandomScheduler::seeded(n as u64);
+                    let outcome = d.run_all(&mut sched).expect("livelock");
+                    std::hint::black_box(outcome.metrics.total_messages())
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_tree_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_adversary");
+    group.sample_size(10);
+    for levels in [6u32, 8, 10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| {
+                b.iter(|| std::hint::black_box(tree_adversary::run(levels).messages));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_tree_adversary);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benches for the union-find substrate (ablation A3's wall-clock
+//! companion): policy variants over random and adversarial op sequences.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ard_union_find::{Compression, OpSequence, UnionFind, UnionPolicy};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let random = OpSequence::random(n, n, 3);
+    let adversarial = OpSequence::adversarial_deep(n, n / 4);
+    let policies = [
+        ("rank_compress", UnionPolicy::ByRank, Compression::Full),
+        ("rank_halving", UnionPolicy::ByRank, Compression::Halving),
+        ("rank_only", UnionPolicy::ByRank, Compression::Off),
+        ("naive", UnionPolicy::Naive, Compression::Off),
+    ];
+    for (seq_name, seq) in [("random", &random), ("adversarial", &adversarial)] {
+        for (policy_name, up, cp) in policies {
+            let id = BenchmarkId::new(policy_name, seq_name);
+            group.bench_with_input(id, seq, |b, seq| {
+                b.iter(|| {
+                    let mut uf = UnionFind::with_policies(seq.n(), up, cp);
+                    seq.run(&mut uf);
+                    std::hint::black_box(uf.traversals())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reduction_compile(c: &mut Criterion) {
+    let seq = OpSequence::random(1 << 10, 1 << 9, 5);
+    c.bench_function("uf_reduction_compile", |b| {
+        b.iter(|| std::hint::black_box(ard_lower_bounds::uf_reduction::compile(&seq).graph.len()));
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_reduction_compile);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates the paper's evaluation artifacts as empirical tables.
+//!
+//! ```text
+//! cargo run --release -p ard-bench --bin tables            # everything
+//! cargo run --release -p ard-bench --bin tables -- --exp e5
+//! cargo run --release -p ard-bench --bin tables -- --quick # small sweeps
+//! cargo run --release -p ard-bench --bin tables -- --list
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut exp: Option<String> = None;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--exp" => {
+                i += 1;
+                match args.get(i) {
+                    Some(id) => exp = Some(id.clone()),
+                    None => {
+                        eprintln!("--exp needs an id (e1..e10, f1, a1..a3)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tables [--quick] [--list] [--exp <id>]");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if list {
+        for t in ard_bench::all_tables(true) {
+            println!("{:4}  {}", t.id, t.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match exp {
+        Some(id) => match ard_bench::table_by_id(&id, quick) {
+            Some(t) => println!("{t}"),
+            None => {
+                eprintln!("unknown experiment id: {id} (try --list)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            for t in ard_bench::all_tables(quick) {
+                println!("{t}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,53 @@
+//! Experiment implementations behind the `tables` binary.
+//!
+//! The paper is a theory paper: its evaluation artifacts are Theorems 1–8,
+//! Lemmas 5.5–5.10 and the Figure 1 state diagram. Each experiment here
+//! regenerates one of them as an empirical table (see `DESIGN.md` §5 for
+//! the full index, and `EXPERIMENTS.md` for recorded paper-vs-measured
+//! results). Run them all with:
+//!
+//! ```text
+//! cargo run --release -p ard-bench --bin tables
+//! ```
+//!
+//! or a single experiment with `-- --exp e5`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+/// Returns every experiment's table, in index order. `quick` shrinks the
+/// sweeps (for tests and debug builds).
+pub fn all_tables(quick: bool) -> Vec<Table> {
+    vec![
+        experiments::e1_generic_messages(quick),
+        experiments::e2_bounded_messages(quick),
+        experiments::e3_adhoc_messages(quick),
+        experiments::e4_bit_complexity(quick),
+        experiments::e5_tree_lower_bound(quick),
+        experiments::e6_uf_reduction(quick),
+        experiments::e7_message_breakdown(quick),
+        experiments::e8_dynamic_additions(quick),
+        experiments::e9_baseline_comparison(quick),
+        experiments::e10_probe_amortization(quick),
+        experiments::e11_time_complexity(quick),
+        experiments::e12_overlay_pipeline(quick),
+        experiments::e13_phase_distribution(quick),
+        experiments::e14_schedule_sensitivity(quick),
+        experiments::f1_transition_coverage(quick),
+        experiments::a1_path_compression(quick),
+        experiments::a2_balanced_queries(quick),
+        experiments::a3_union_find_variants(quick),
+    ]
+}
+
+/// Looks up one experiment by id (e.g. `"e5"`, `"f1"`, `"a2"`).
+pub fn table_by_id(id: &str, quick: bool) -> Option<Table> {
+    all_tables(quick)
+        .into_iter()
+        .find(|t| t.id.eq_ignore_ascii_case(id))
+}

@@ -1,0 +1,427 @@
+//! Subcommand implementations.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ard_core::{Discovery, Variant};
+use ard_lower_bounds::{tree_adversary, uf_reduction};
+use ard_netsim::{NodeId, RandomScheduler};
+use ard_overlay::{bootstrap, Key};
+use ard_union_find::{alpha, OpSequence};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec;
+
+/// A CLI failure: bad usage or a bad specification.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<spec::ParseSpecError> for CliError {
+    fn from(e: spec::ParseSpecError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn usage() -> String {
+    "\
+usage: ard <command> [--flag value]...
+
+commands:
+  discover   run resource discovery
+             --topology SPEC (default random:n=64,extra=128)
+             --variant oblivious|bounded|adhoc (default adhoc)
+             --scheduler fifo|lifo|random[:SEED]|bounded:D[,SEED] (default random)
+             --trace N     print the first N trace events
+             --dot PATH    write the final state as Graphviz DOT
+             --stats       print per-node / per-link traffic hot spots
+  adversary  run the Theorem 1 subtree-freezing adversary
+             --levels I    tree depth (default 8)
+  reduction  run the Theorem 2 union-find reduction
+             --sets N --finds M [--adversarial] [--seed S]
+  overlay    discover, bootstrap a DHT ring and serve lookups
+             --n N --lookups K [--seed S]
+  baselines  compare against name-dropper / law-siu / flooding
+             --n N [--seed S]
+  help       print this text
+"
+    .to_string()
+}
+
+/// Parses `--key value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| CliError(format!("expected --flag, got `{}`", args[i])))?;
+        if key == "adversarial" || key == "check" || key == "stats" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn flag_usize(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("--{key}: `{v}` is not a number"))),
+    }
+}
+
+fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("--{key}: `{v}` is not a number"))),
+    }
+}
+
+/// Executes a full command line (without the program name) and returns the
+/// report text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown commands, bad flags or bad specs.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(usage()),
+        "discover" => discover(parse_flags(rest)?),
+        "adversary" => adversary(parse_flags(rest)?),
+        "reduction" => reduction(parse_flags(rest)?),
+        "overlay" => overlay(parse_flags(rest)?),
+        "baselines" => baselines(parse_flags(rest)?),
+        other => Err(CliError(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
+    let topology = flags
+        .get("topology")
+        .map(String::as_str)
+        .unwrap_or("random:n=64,extra=128");
+    let variant = spec::parse_variant(flags.get("variant").map(String::as_str).unwrap_or("adhoc"))?;
+    let graph = spec::parse_topology(topology)?;
+    let mut sched = spec::parse_scheduler(
+        flags
+            .get("scheduler")
+            .map(String::as_str)
+            .unwrap_or("random"),
+    )?;
+    let trace_limit = flag_usize(&flags, "trace", 0)?;
+    let want_stats = flags.contains_key("stats");
+
+    let mut d = Discovery::new(&graph, variant);
+    if trace_limit > 0 || want_stats {
+        d.runner_mut().enable_trace();
+    }
+    let outcome = d
+        .run_all(sched.as_mut())
+        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+    d.check_requirements(&graph)
+        .map_err(|e| CliError(format!("requirements violated: {e}")))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "topology  : {topology} ({} nodes, {} edges)",
+        graph.len(),
+        graph.edge_count()
+    )
+    .unwrap();
+    writeln!(out, "variant   : {variant}").unwrap();
+    writeln!(out, "leaders   : {:?}", outcome.leaders).unwrap();
+    writeln!(out, "steps     : {}", outcome.steps).unwrap();
+    writeln!(out, "requirements: satisfied").unwrap();
+    write!(out, "{}", outcome.metrics).unwrap();
+    if trace_limit > 0 {
+        writeln!(out, "trace:").unwrap();
+        write!(
+            out,
+            "{}",
+            d.runner().trace().expect("enabled").render(trace_limit)
+        )
+        .unwrap();
+    }
+    if want_stats {
+        let stats = d.runner().trace().expect("enabled").stats();
+        writeln!(out, "traffic hot spots:").unwrap();
+        for (node, count) in stats.top_senders(5) {
+            writeln!(out, "  {node:<6} sent {count} messages").unwrap();
+        }
+        if let Some(((src, dst), count)) = stats.busiest_link() {
+            writeln!(out, "  busiest link: {src} → {dst} ({count} messages)").unwrap();
+        }
+    }
+    if let Some(path) = flags.get("dot") {
+        std::fs::write(path, d.to_dot())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        writeln!(out, "dot       : written to {path}").unwrap();
+    }
+    Ok(out)
+}
+
+fn adversary(flags: HashMap<String, String>) -> Result<String, CliError> {
+    let levels = flag_usize(&flags, "levels", 8)? as u32;
+    if !(2..=16).contains(&levels) {
+        return Err(CliError("--levels must be in 2..=16".into()));
+    }
+    let r = tree_adversary::run(levels);
+    Ok(format!(
+        "T({levels}): n = {}\nforced messages : {}\nTheorem 1 bound : {}\nratio           : {:.2}\n",
+        r.n,
+        r.messages,
+        r.bound,
+        r.messages as f64 / r.bound as f64
+    ))
+}
+
+fn reduction(flags: HashMap<String, String>) -> Result<String, CliError> {
+    let sets = flag_usize(&flags, "sets", 64)?;
+    let finds = flag_usize(&flags, "finds", 32)?;
+    let seed = flag_u64(&flags, "seed", 0)?;
+    if sets == 0 {
+        return Err(CliError("--sets must be ≥ 1".into()));
+    }
+    let seq = if flags.contains_key("adversarial") {
+        OpSequence::adversarial_deep(sets, finds)
+    } else {
+        OpSequence::random(sets, finds, seed)
+    };
+    let out = uf_reduction::run(&seq);
+    Ok(format!(
+        "union-find reduction: {} sets, {} unions, {} finds\nnetwork size N : {}\nmessages       : {}\nN·α(N,N)       : {}\nmsgs/N         : {:.2}\n",
+        seq.n(),
+        seq.union_count(),
+        seq.find_count(),
+        out.network_size,
+        out.messages,
+        out.n_alpha,
+        out.messages as f64 / out.network_size as f64
+    ))
+}
+
+fn overlay(flags: HashMap<String, String>) -> Result<String, CliError> {
+    let n = flag_usize(&flags, "n", 64)?;
+    let lookups = flag_usize(&flags, "lookups", 100)?;
+    let seed = flag_u64(&flags, "seed", 0)?;
+    if n == 0 {
+        return Err(CliError("--n must be ≥ 1".into()));
+    }
+    let graph = ard_graph::gen::random_weakly_connected(n, 2 * n, seed);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(seed + 1);
+    let outcome = d.run_all(&mut sched).map_err(|e| CliError(e.to_string()))?;
+    let leader = outcome.leaders[0];
+    let members: Vec<NodeId> = d.runner().node(leader).done().iter().copied().collect();
+    let mut ring = bootstrap(&members);
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let mut hops = 0u64;
+    let mut worst = 0u32;
+    for _ in 0..lookups {
+        let key = Key::new(rng.gen());
+        let from = members[rng.gen_range(0..members.len())];
+        let r = ring
+            .lookup_blocking(from, key, &mut sched)
+            .map_err(|e| CliError(e.to_string()))?;
+        hops += u64::from(r.hops);
+        worst = worst.max(r.hops);
+    }
+    Ok(format!(
+        "discovery : {} members in {} messages\noverlay   : {} lookups, avg {:.2} hops, worst {worst} (log2 n = {:.1})\ntraffic   : {} messages / {} bits\n",
+        members.len(),
+        outcome.metrics.total_messages(),
+        lookups,
+        hops as f64 / lookups.max(1) as f64,
+        (n as f64).log2(),
+        ring.runner().metrics().total_messages(),
+        ring.runner().metrics().total_bits()
+    ))
+}
+
+fn baselines(flags: HashMap<String, String>) -> Result<String, CliError> {
+    let n = flag_usize(&flags, "n", 64)?;
+    let seed = flag_u64(&flags, "seed", 0)?;
+    let graph = ard_graph::gen::random_weakly_connected(n, 2 * n, seed);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "random graph: {} nodes, {} edges",
+        graph.len(),
+        graph.edge_count()
+    )
+    .unwrap();
+    for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+        let mut d = Discovery::new(&graph, variant);
+        let o = d
+            .run_all(&mut RandomScheduler::seeded(seed + 1))
+            .map_err(|e| CliError(e.to_string()))?;
+        writeln!(
+            out,
+            "{:<28} {:>9} msgs {:>12} bits",
+            format!("abraham-dolev {variant}"),
+            o.metrics.total_messages(),
+            o.metrics.total_bits()
+        )
+        .unwrap();
+    }
+    let nd = ard_baselines::name_dropper::run(&graph, seed);
+    writeln!(
+        out,
+        "{:<28} {:>9} msgs {:>12} bits",
+        "name-dropper",
+        nd.metrics().total_messages(),
+        nd.metrics().total_bits()
+    )
+    .unwrap();
+    let ls = ard_baselines::law_siu::run(&graph, seed);
+    writeln!(
+        out,
+        "{:<28} {:>9} msgs {:>12} bits",
+        "law-siu push-pull",
+        ls.metrics().total_messages(),
+        ls.metrics().total_bits()
+    )
+    .unwrap();
+    if n <= 192 {
+        let mut sched = RandomScheduler::seeded(seed + 2);
+        let (fl, _) = ard_baselines::flood::run(&graph, &mut sched, 100_000_000)
+            .map_err(|e| CliError(e.to_string()))?;
+        writeln!(
+            out,
+            "{:<28} {:>9} msgs {:>12} bits",
+            "flooding",
+            fl.metrics().total_messages(),
+            fl.metrics().total_bits()
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "{:<28} (skipped: infeasible above ~192 nodes)",
+            "flooding"
+        )
+        .unwrap();
+    }
+    let alpha_nn = alpha(n as u64, n as u64);
+    writeln!(out, "(α(n,n) = {alpha_nn})").unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, CliError> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&args)
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert!(run(&[]).unwrap().contains("usage:"));
+        assert!(run_line("help").unwrap().contains("commands:"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run_line("launch").unwrap_err();
+        assert!(err.0.contains("unknown command"));
+        assert!(err.0.contains("usage:"));
+    }
+
+    #[test]
+    fn discover_runs_and_reports() {
+        let out =
+            run_line("discover --topology ring:12 --variant bounded --scheduler fifo").unwrap();
+        assert!(out.contains("requirements: satisfied"));
+        assert!(out.contains("leaders"));
+    }
+
+    #[test]
+    fn discover_with_trace() {
+        let out = run_line("discover --topology path:4 --scheduler fifo --trace 5").unwrap();
+        assert!(out.contains("trace:"));
+        assert!(out.contains("wake"));
+    }
+
+    #[test]
+    fn discover_with_stats() {
+        let out = run_line("discover --topology ring:8 --scheduler fifo --stats").unwrap();
+        assert!(out.contains("traffic hot spots:"));
+        assert!(out.contains("busiest link:"));
+    }
+
+    #[test]
+    fn discover_rejects_bad_spec() {
+        assert!(run_line("discover --topology blob:9").is_err());
+        assert!(run_line("discover --variant mystery").is_err());
+        assert!(run_line("discover --scheduler psychic").is_err());
+    }
+
+    #[test]
+    fn adversary_reports_bound() {
+        let out = run_line("adversary --levels 4").unwrap();
+        assert!(out.contains("Theorem 1 bound : 30"));
+        assert!(run_line("adversary --levels 1").is_err());
+    }
+
+    #[test]
+    fn reduction_runs() {
+        let out = run_line("reduction --sets 16 --finds 8").unwrap();
+        assert!(out.contains("network size N : 39"));
+        let out = run_line("reduction --sets 16 --finds 4 --adversarial").unwrap();
+        assert!(out.contains("union-find reduction"));
+    }
+
+    #[test]
+    fn overlay_runs() {
+        let out = run_line("overlay --n 24 --lookups 10").unwrap();
+        assert!(out.contains("24 members"));
+        assert!(out.contains("10 lookups"));
+    }
+
+    #[test]
+    fn baselines_run() {
+        let out = run_line("baselines --n 24").unwrap();
+        assert!(out.contains("name-dropper"));
+        assert!(out.contains("law-siu"));
+        assert!(out.contains("flooding"));
+    }
+
+    #[test]
+    fn flag_parsing_rejects_orphans() {
+        assert!(run_line("discover --topology").is_err());
+        assert!(run_line("discover topology ring:5").is_err());
+    }
+}

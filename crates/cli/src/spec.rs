@@ -1,0 +1,239 @@
+//! Textual specifications for topologies, schedulers and variants.
+//!
+//! Grammar (all case-insensitive):
+//!
+//! ```text
+//! topology  := path:N | ring:N | star-in:N | star-out:N | complete:N
+//!            | tree:LEVELS | random:n=N,extra=M[,seed=S]
+//!            | components:count=C,per=P[,extra=M][,seed=S]
+//! scheduler := fifo | lifo | random[:SEED] | bounded:DELAY[,SEED]
+//! variant   := oblivious | bounded | adhoc
+//! ```
+
+use ard_core::Variant;
+use ard_graph::{gen, KnowledgeGraph};
+use ard_netsim::{BoundedDelayScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
+
+/// A parse failure, with a human-oriented message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError(pub String);
+
+impl std::fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid specification: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+fn err(msg: impl Into<String>) -> ParseSpecError {
+    ParseSpecError(msg.into())
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, ParseSpecError> {
+    s.parse()
+        .map_err(|_| err(format!("{what}: `{s}` is not a number")))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, ParseSpecError> {
+    s.parse()
+        .map_err(|_| err(format!("{what}: `{s}` is not a number")))
+}
+
+/// Parses `key=value,key=value` into pairs.
+fn parse_kv(s: &str) -> Result<Vec<(&str, &str)>, ParseSpecError> {
+    s.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            part.split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got `{part}`")))
+        })
+        .collect()
+}
+
+/// Parses a topology specification into a knowledge graph.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] with the offending fragment.
+///
+/// # Example
+///
+/// ```
+/// let g = ard_cli::spec::parse_topology("random:n=32,extra=64,seed=5").unwrap();
+/// assert_eq!(g.len(), 32);
+/// assert!(ard_cli::spec::parse_topology("blob:77").is_err());
+/// ```
+pub fn parse_topology(spec: &str) -> Result<KnowledgeGraph, ParseSpecError> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind.to_ascii_lowercase().as_str() {
+        "path" => Ok(gen::path(parse_usize(rest, "path size")?)),
+        "ring" => Ok(gen::ring(parse_usize(rest, "ring size")?)),
+        "star-in" => Ok(gen::star_in(parse_usize(rest, "star size")?)),
+        "star-out" => Ok(gen::star_out(parse_usize(rest, "star size")?)),
+        "complete" => Ok(gen::complete(parse_usize(rest, "clique size")?)),
+        "tree" => {
+            let levels = parse_usize(rest, "tree levels")?;
+            if levels == 0 || levels > 24 {
+                return Err(err("tree levels must be in 1..=24"));
+            }
+            Ok(gen::binary_tree_down(levels as u32))
+        }
+        "random" => {
+            let mut n = None;
+            let mut extra = 0;
+            let mut seed = 0;
+            for (k, v) in parse_kv(rest)? {
+                match k {
+                    "n" => n = Some(parse_usize(v, "n")?),
+                    "extra" => extra = parse_usize(v, "extra")?,
+                    "seed" => seed = parse_u64(v, "seed")?,
+                    other => return Err(err(format!("unknown random-graph key `{other}`"))),
+                }
+            }
+            let n = n.ok_or_else(|| err("random needs n=<size>"))?;
+            Ok(gen::random_weakly_connected(n, extra, seed))
+        }
+        "components" => {
+            let (mut count, mut per, mut extra, mut seed) = (None, None, 0, 0);
+            for (k, v) in parse_kv(rest)? {
+                match k {
+                    "count" => count = Some(parse_usize(v, "count")?),
+                    "per" => per = Some(parse_usize(v, "per")?),
+                    "extra" => extra = parse_usize(v, "extra")?,
+                    "seed" => seed = parse_u64(v, "seed")?,
+                    other => return Err(err(format!("unknown components key `{other}`"))),
+                }
+            }
+            let count = count.ok_or_else(|| err("components needs count=<k>"))?;
+            let per = per.ok_or_else(|| err("components needs per=<size>"))?;
+            Ok(gen::random_multi_component(count, per, extra, seed))
+        }
+        other => Err(err(format!(
+            "unknown topology `{other}` (try path:N, ring:N, star-in:N, star-out:N, complete:N, tree:LEVELS, random:n=..,extra=.., components:count=..,per=..)"
+        ))),
+    }
+}
+
+/// Parses a scheduler specification.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] with the offending fragment.
+///
+/// # Example
+///
+/// ```
+/// assert!(ard_cli::spec::parse_scheduler("random:42").is_ok());
+/// assert!(ard_cli::spec::parse_scheduler("bounded:8,1").is_ok());
+/// assert!(ard_cli::spec::parse_scheduler("psychic").is_err());
+/// ```
+pub fn parse_scheduler(spec: &str) -> Result<Box<dyn Scheduler>, ParseSpecError> {
+    let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind.to_ascii_lowercase().as_str() {
+        "fifo" => Ok(Box::new(FifoScheduler::new())),
+        "lifo" => Ok(Box::new(LifoScheduler::new())),
+        "random" => {
+            let seed = if rest.is_empty() {
+                0
+            } else {
+                parse_u64(rest, "seed")?
+            };
+            Ok(Box::new(RandomScheduler::seeded(seed)))
+        }
+        "bounded" => {
+            let (delay, seed) = match rest.split_once(',') {
+                Some((d, s)) => (parse_u64(d, "delay")?, parse_u64(s, "seed")?),
+                None => (parse_u64(rest, "delay")?, 0),
+            };
+            if delay == 0 {
+                return Err(err("bounded delay must be ≥ 1"));
+            }
+            Ok(Box::new(BoundedDelayScheduler::new(delay, seed)))
+        }
+        other => Err(err(format!(
+            "unknown scheduler `{other}` (try fifo, lifo, random[:SEED], bounded:DELAY[,SEED])"
+        ))),
+    }
+}
+
+/// Parses a problem-variant name.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] for unknown names.
+pub fn parse_variant(spec: &str) -> Result<Variant, ParseSpecError> {
+    match spec.to_ascii_lowercase().as_str() {
+        "oblivious" | "generic" => Ok(Variant::Oblivious),
+        "bounded" => Ok(Variant::Bounded),
+        "adhoc" | "ad-hoc" => Ok(Variant::AdHoc),
+        other => Err(err(format!(
+            "unknown variant `{other}` (oblivious, bounded, adhoc)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_parse() {
+        assert_eq!(parse_topology("path:5").unwrap().len(), 5);
+        assert_eq!(parse_topology("ring:6").unwrap().edge_count(), 6);
+        assert_eq!(parse_topology("tree:3").unwrap().len(), 7);
+        assert_eq!(parse_topology("COMPLETE:4").unwrap().edge_count(), 12);
+        assert_eq!(parse_topology("star-in:9").unwrap().len(), 9);
+        let g = parse_topology("random:n=20,extra=10,seed=3").unwrap();
+        assert_eq!(g.len(), 20);
+        assert_eq!(g.edge_count(), 29);
+        let g = parse_topology("components:count=2,per=5").unwrap();
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn topology_errors_are_descriptive() {
+        assert!(parse_topology("random:extra=5")
+            .unwrap_err()
+            .0
+            .contains("needs n="));
+        assert!(parse_topology("path:x")
+            .unwrap_err()
+            .0
+            .contains("not a number"));
+        assert!(parse_topology("nope:1")
+            .unwrap_err()
+            .0
+            .contains("unknown topology"));
+        assert!(parse_topology("random:n=5,bogus=1")
+            .unwrap_err()
+            .0
+            .contains("unknown random-graph key"));
+        assert!(parse_topology("tree:0").is_err());
+    }
+
+    #[test]
+    fn schedulers_parse() {
+        for spec in [
+            "fifo",
+            "lifo",
+            "random",
+            "random:9",
+            "bounded:4",
+            "bounded:4,2",
+        ] {
+            assert!(parse_scheduler(spec).is_ok(), "{spec}");
+        }
+        assert!(parse_scheduler("bounded:0").is_err());
+        assert!(parse_scheduler("warp").is_err());
+    }
+
+    #[test]
+    fn variants_parse() {
+        assert_eq!(parse_variant("adhoc").unwrap(), Variant::AdHoc);
+        assert_eq!(parse_variant("AD-HOC").unwrap(), Variant::AdHoc);
+        assert_eq!(parse_variant("generic").unwrap(), Variant::Oblivious);
+        assert_eq!(parse_variant("bounded").unwrap(), Variant::Bounded);
+        assert!(parse_variant("x").is_err());
+    }
+}

@@ -1,0 +1,299 @@
+use ard_netsim::{Envelope, NodeId};
+
+/// Answer carried by a [`Message::Release`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The searched leader surrenders: it asks to merge into the search's
+    /// originator (it had the lexicographically smaller `(phase, id)`).
+    Merge,
+    /// The searched leader refuses: the originator must stop initiating
+    /// searches and becomes passive.
+    Abort,
+}
+
+/// The protocol messages of the generic algorithm and its variants
+/// (paper §4). Field names follow the pseudocode.
+///
+/// Non-id payload sizes are constants chosen to cover the simulator's whole
+/// feasible range (`n ≤ 2³²`, `phase ≤ 64`): counters are charged 32 bits,
+/// phases 8 bits, flags 1 bit. All are `O(log n)`, as the paper's bit
+/// analysis assumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Leader → cluster member: "send me `want` of the ids you have not yet
+    /// reported". The balanced choice `want = |more| + |done| + 1` is the
+    /// source of the algorithm's low bit complexity (§4.1).
+    Query {
+        /// Number of ids requested (`u32::MAX` requests everything — used
+        /// only by the reproduction's *unbalanced query* ablation).
+        want: u32,
+    },
+    /// Member → leader: up to `want` previously unreported ids.
+    QueryReply {
+        /// The ids removed from the member's `local` set.
+        ids: Vec<NodeId>,
+        /// Whether the member's `local` set is now empty (the leader then
+        /// moves it from `more` to `done`).
+        exhausted: bool,
+    },
+    /// A leader's conquest attempt, routed along `next` pointers from
+    /// `target` to `target`'s current leader.
+    Search {
+        /// The initiating leader.
+        origin: NodeId,
+        /// The initiating leader's phase at send time.
+        origin_phase: u32,
+        /// The unexplored node the search was addressed to.
+        target: NodeId,
+        /// Set to `true` en route if `target` did not previously know
+        /// `origin` (the reverse-edge bookkeeping of §4.2): the receiving
+        /// leader must then move `target` from `done` back to `more`.
+        new_edge: bool,
+    },
+    /// The searched leader's reply, routed back along the search's path with
+    /// path compression (every relay re-points `next` at `leader`).
+    ///
+    /// The answering node's phase travels with it: a relay compresses only
+    /// when `leader_phase` is at least its own conquer epoch, otherwise an
+    /// in-flight release could overwrite a *newer* conquer wave's pointer
+    /// and break requirement 3 (interpretation decision \[D6]).
+    Release {
+        /// The leader that answered (the compression target).
+        leader: NodeId,
+        /// The answering node's phase when it answered.
+        leader_phase: u32,
+        /// Merge or abort.
+        verdict: Verdict,
+        /// The search's originator, to whom this release is addressed.
+        dest: NodeId,
+    },
+    /// Originator → surrendered leader: merge accepted, send your state.
+    MergeAccept,
+    /// Sent to a surrendered leader whose conqueror has itself been
+    /// conquered (or gone passive) in the meantime; the receiver goes
+    /// passive instead of merging.
+    MergeFail,
+    /// Surrendered leader → conqueror: its entire bookkeeping state. In the
+    /// Bounded/Ad-hoc variants `unaware` is always empty (§4.5).
+    Info {
+        /// The surrendered leader's final phase.
+        phase: u32,
+        /// Its `more` set (members with unreported ids).
+        more: Vec<NodeId>,
+        /// Its `done` set (fully reported members).
+        done: Vec<NodeId>,
+        /// Its `unaware` set (always empty in practice; a conqueror cannot
+        /// be conquered mid-conquest).
+        unaware: Vec<NodeId>,
+        /// Its `unexplored` set (ids known but not yet searched).
+        unexplored: Vec<NodeId>,
+    },
+    /// Leader → newly acquired member: "I am your leader now" (generic
+    /// variant after every merge; Bounded variant only at termination).
+    Conquer {
+        /// The conquering leader's current phase.
+        phase: u32,
+    },
+    /// Member's acknowledgement of a [`Message::Conquer`], indicating
+    /// whether its `local` set is empty (`done`) or not (`more`).
+    MoreDone {
+        /// `true` if the member has nothing left to report.
+        exhausted: bool,
+    },
+    /// Ad-hoc variant: a request for the current id snapshot, routed along
+    /// `next` pointers to the leader like a [`Message::Search`] (§4.5.2).
+    Probe {
+        /// The requesting node.
+        origin: NodeId,
+    },
+    /// Ad-hoc variant: the leader's snapshot, routed back with path
+    /// compression like a [`Message::Release`] (including its
+    /// `leader_phase` staleness guard, \[D6]).
+    ProbeReply {
+        /// The answering leader (the compression target).
+        leader: NodeId,
+        /// The answering node's phase when it answered.
+        leader_phase: u32,
+        /// The requesting node.
+        dest: NodeId,
+        /// All ids the leader currently knows in its component.
+        ids: Vec<NodeId>,
+    },
+}
+
+impl Message {
+    /// Whether this message is routed leaf-to-leader along `next` pointers
+    /// (and therefore serialized through relays' `previous` queues).
+    pub fn is_routable_request(&self) -> bool {
+        matches!(self, Message::Search { .. } | Message::Probe { .. })
+    }
+}
+
+impl Envelope for Message {
+    fn kind(&self) -> &'static str {
+        match self {
+            Message::Query { .. } => "query",
+            Message::QueryReply { .. } => "query reply",
+            Message::Search { .. } => "search",
+            Message::Release { .. } => "release",
+            Message::MergeAccept => "merge accept",
+            Message::MergeFail => "merge fail",
+            Message::Info { .. } => "info",
+            Message::Conquer { .. } => "conquer",
+            Message::MoreDone { .. } => "more/done",
+            Message::Probe { .. } => "probe",
+            Message::ProbeReply { .. } => "probe reply",
+        }
+    }
+
+    fn carried_ids(&self) -> Vec<NodeId> {
+        match self {
+            Message::Query { .. }
+            | Message::MergeAccept
+            | Message::MergeFail
+            | Message::Conquer { .. }
+            | Message::MoreDone { .. } => Vec::new(),
+            Message::QueryReply { ids, .. } => ids.clone(),
+            Message::Search { origin, target, .. } => vec![*origin, *target],
+            Message::Release { leader, dest, .. } => vec![*leader, *dest],
+            Message::Info {
+                more,
+                done,
+                unaware,
+                unexplored,
+                ..
+            } => more
+                .iter()
+                .chain(done)
+                .chain(unaware)
+                .chain(unexplored)
+                .copied()
+                .collect(),
+            Message::Probe { origin } => vec![*origin],
+            Message::ProbeReply {
+                leader, dest, ids, ..
+            } => {
+                let mut all = vec![*leader, *dest];
+                all.extend_from_slice(ids);
+                all
+            }
+        }
+    }
+
+    fn aux_bits(&self) -> u64 {
+        match self {
+            Message::Query { .. } => 32,
+            Message::QueryReply { .. } => 32 + 1,
+            Message::Search { .. } => 8 + 1,
+            Message::Release { .. } => 8 + 1,
+            Message::MergeAccept | Message::MergeFail => 0,
+            Message::Info { .. } => 8 + 4 * 32,
+            Message::Conquer { .. } => 8,
+            Message::MoreDone { .. } => 1,
+            Message::Probe { .. } => 0,
+            Message::ProbeReply { .. } => 8 + 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = [
+            Message::Query { want: 1 },
+            Message::QueryReply {
+                ids: vec![],
+                exhausted: false,
+            },
+            Message::Search {
+                origin: NodeId::new(0),
+                origin_phase: 1,
+                target: NodeId::new(1),
+                new_edge: false,
+            },
+            Message::Release {
+                leader: NodeId::new(0),
+                leader_phase: 1,
+                verdict: Verdict::Merge,
+                dest: NodeId::new(1),
+            },
+            Message::MergeAccept,
+            Message::MergeFail,
+            Message::Info {
+                phase: 1,
+                more: vec![],
+                done: vec![],
+                unaware: vec![],
+                unexplored: vec![],
+            },
+            Message::Conquer { phase: 2 },
+            Message::MoreDone { exhausted: true },
+            Message::Probe {
+                origin: NodeId::new(0),
+            },
+            Message::ProbeReply {
+                leader: NodeId::new(0),
+                leader_phase: 1,
+                dest: NodeId::new(1),
+                ids: vec![],
+            },
+        ];
+        let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn carried_ids_cover_payload() {
+        let info = Message::Info {
+            phase: 3,
+            more: vec![NodeId::new(1)],
+            done: vec![NodeId::new(2), NodeId::new(3)],
+            unaware: vec![],
+            unexplored: vec![NodeId::new(4)],
+        };
+        assert_eq!(info.carried_ids().len(), 4);
+
+        let search = Message::Search {
+            origin: NodeId::new(9),
+            origin_phase: 1,
+            target: NodeId::new(5),
+            new_edge: true,
+        };
+        assert_eq!(search.carried_ids(), vec![NodeId::new(9), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn routable_requests_are_search_and_probe() {
+        assert!(Message::Probe {
+            origin: NodeId::new(0)
+        }
+        .is_routable_request());
+        assert!(Message::Search {
+            origin: NodeId::new(0),
+            origin_phase: 1,
+            target: NodeId::new(1),
+            new_edge: false
+        }
+        .is_routable_request());
+        assert!(!Message::MergeAccept.is_routable_request());
+    }
+
+    #[test]
+    fn query_reply_bits_scale_with_ids() {
+        let small = Message::QueryReply {
+            ids: vec![NodeId::new(0)],
+            exhausted: false,
+        };
+        let large = Message::QueryReply {
+            ids: (0..100).map(NodeId::new).collect(),
+            exhausted: false,
+        };
+        assert!(large.bits(16) > small.bits(16));
+        assert_eq!(large.bits(16) - small.bits(16), 99 * 16);
+    }
+}

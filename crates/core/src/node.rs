@@ -1,0 +1,1107 @@
+//! The per-node state machine of the generic resource-discovery algorithm
+//! (paper §4) and its Bounded / Ad-hoc variants (§4.5).
+//!
+//! The implementation follows the paper's pseudocode (Figures 2–6) closely;
+//! where the pseudocode is terse, the interpretation decisions are the five
+//! documented in `DESIGN.md` §4 and are marked `// [D1]`..`// [D5]` below:
+//!
+//! * **\[D1] selective receive** — the pseudocode blocks on specific message
+//!   types ("wait for a query reply"); we defer messages the current state
+//!   cannot consume and re-examine them after every state change. As a
+//!   consequence a leader is only conquered while in `Wait`/`Passive`,
+//!   which Lemma 5.2's deadlock analysis assumes.
+//! * **\[D2] wait-on-empty resumes exploring** — §4.1 text: an idle waiting
+//!   leader returns to `Explore` when its `more`/`unexplored` sets are
+//!   replenished.
+//! * **\[D3] leader targets record unknown origins** — the inactive-node
+//!   rule "if `id == u.id` and `v.id ∉ local` then `local ∪= {v}`" has a
+//!   leader-side analogue needed for liveness (Lemma 5.4's bidirectional-
+//!   edge argument): a leader that aborts a search from an unknown origin
+//!   adds the origin to `unexplored`.
+//! * **\[D4] cluster-disjoint `unexplored`** — when merging an `info` we
+//!   subtract the *combined* cluster from `unexplored`, so a leader never
+//!   searches its own member (which would abort the component's only
+//!   leader).
+//! * **\[D5] conquer monotonicity** — §4.4 text: inactive nodes track their
+//!   leader's `(phase, id)`; conquer messages always arrive with a strictly
+//!   higher phase (asserted) and are always acknowledged.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use ard_netsim::{Context, NodeId, Protocol};
+
+use crate::msg::{Message, Verdict};
+use crate::status::{Status, Transition};
+use crate::{Config, Variant};
+
+/// Sentinel `want` value requesting a member's entire `local` set (used by
+/// the unbalanced-queries ablation).
+const WANT_ALL: u32 = u32::MAX;
+
+/// What [`ArdNode::dispatch`] did with a message.
+enum Disposition {
+    /// The message was consumed by the current state.
+    Consumed,
+    /// The current state cannot consume it yet; it is handed back for the
+    /// deferral queue (\[D1]).
+    Deferred(Message),
+}
+
+/// One node running the resource-discovery algorithm.
+///
+/// The fields mirror the paper's Figure 2: `local`, `more`, `done`,
+/// `unaware`, `unexplored`, the `previous` FIFO, the `next` pointer and the
+/// `phase` counter. Extra fields are simulation bookkeeping (deferral queue,
+/// transition log, probe results).
+///
+/// Nodes are driven through [`ard_netsim::Runner`] — see
+/// [`Discovery`](crate::Discovery) for the high-level API.
+#[derive(Debug)]
+pub struct ArdNode {
+    id: NodeId,
+    variant: Variant,
+    config: Config,
+    /// Size of this node's weakly connected component; `Some` only in the
+    /// Bounded variant.
+    component_size: Option<usize>,
+
+    status: Status,
+    phase: u32,
+    next: NodeId,
+    local: BTreeSet<NodeId>,
+    more: BTreeSet<NodeId>,
+    done: BTreeSet<NodeId>,
+    unaware: BTreeSet<NodeId>,
+    unexplored: BTreeSet<NodeId>,
+    /// Relay queue of in-transit searches/probes: `(message, sender)`.
+    previous: VecDeque<(Message, NodeId)>,
+
+    /// \[D1] messages the current state cannot consume yet.
+    deferred: VecDeque<(NodeId, Message)>,
+    /// `Some(w)` while exploring and awaiting `w`'s query reply.
+    awaiting_query_from: Option<NodeId>,
+    /// Whether a `Wait` state is for our own search's release (vs idle).
+    awaiting_release: bool,
+    /// \[D5] the `(phase, id)` of the leader that last conquered us.
+    inactive_phase: u32,
+    /// Bounded variant: set once the final conquer wave reaches this node
+    /// (or, on the leader, once it sends that wave).
+    terminated: bool,
+
+    transitions: Vec<Transition>,
+    probe_results: Vec<Vec<NodeId>>,
+    probes_outstanding: usize,
+}
+
+impl ArdNode {
+    /// Creates a sleeping node that initially knows the ids in `local`
+    /// (its out-edges in `E₀`; must not include `id` itself).
+    pub fn new(id: NodeId, local: Vec<NodeId>, variant: Variant, config: Config) -> Self {
+        let local: BTreeSet<NodeId> = local.into_iter().collect();
+        assert!(
+            !local.contains(&id),
+            "a node's local set must not contain itself"
+        );
+        ArdNode {
+            id,
+            variant,
+            config,
+            component_size: None,
+            status: Status::Asleep,
+            phase: 1,
+            next: id,
+            local,
+            more: BTreeSet::from([id]),
+            done: BTreeSet::new(),
+            unaware: BTreeSet::new(),
+            unexplored: BTreeSet::new(),
+            previous: VecDeque::new(),
+            deferred: VecDeque::new(),
+            awaiting_query_from: None,
+            awaiting_release: false,
+            inactive_phase: 0,
+            terminated: false,
+            transitions: Vec::new(),
+            probe_results: Vec::new(),
+            probes_outstanding: 0,
+        }
+    }
+
+    /// Bounded variant: informs the node of its component's size (must be
+    /// called before it wakes).
+    pub fn set_component_size(&mut self, n: usize) {
+        assert_eq!(
+            self.variant,
+            Variant::Bounded,
+            "only the Bounded variant knows sizes"
+        );
+        self.component_size = Some(n);
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only accessors (used by the driver, invariants and tests).
+    // ------------------------------------------------------------------
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current state.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Whether the node is currently a leader (explore/wait/conqueror).
+    pub fn is_leader(&self) -> bool {
+        self.status.is_leader()
+    }
+
+    /// Current phase (starts at 1 and only grows).
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// Current `next` pointer (self while still a leader).
+    pub fn next_pointer(&self) -> NodeId {
+        self.next
+    }
+
+    /// The `more` set: cluster members that may still have unreported ids.
+    pub fn more(&self) -> &BTreeSet<NodeId> {
+        &self.more
+    }
+
+    /// The `done` set: cluster members that reported everything.
+    pub fn done(&self) -> &BTreeSet<NodeId> {
+        &self.done
+    }
+
+    /// The `unaware` set (generic variant only): new members not yet told
+    /// of their leader.
+    pub fn unaware(&self) -> &BTreeSet<NodeId> {
+        &self.unaware
+    }
+
+    /// The `unexplored` set: known ids outside the cluster.
+    pub fn unexplored(&self) -> &BTreeSet<NodeId> {
+        &self.unexplored
+    }
+
+    /// The undrained part of the initial knowledge.
+    pub fn local(&self) -> &BTreeSet<NodeId> {
+        &self.local
+    }
+
+    /// Bounded variant: whether this node has terminated.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// The log of state transitions taken so far.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Snapshots received in answer to this node's probes (Ad-hoc variant),
+    /// oldest first.
+    pub fn probe_results(&self) -> &[Vec<NodeId>] {
+        &self.probe_results
+    }
+
+    /// Number of probes issued but not yet answered.
+    pub fn probes_outstanding(&self) -> usize {
+        self.probes_outstanding
+    }
+
+    /// Messages deferred by the current state (\[D1]); must be empty at
+    /// quiescence.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Relayed searches/probes awaiting their release; must be empty at
+    /// quiescence.
+    pub fn previous_len(&self) -> usize {
+        self.previous.len()
+    }
+
+    fn in_cluster(&self, v: NodeId) -> bool {
+        self.more.contains(&v) || self.done.contains(&v) || self.unaware.contains(&v)
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.more.len() + self.done.len() + self.unaware.len()
+    }
+
+    fn set_status(&mut self, to: Status) {
+        if self.status != to {
+            self.transitions.push(Transition::new(self.status, to));
+            self.status = to;
+        }
+    }
+
+    fn lex_pair(&self) -> (u32, NodeId) {
+        (self.phase, self.id)
+    }
+
+    // ------------------------------------------------------------------
+    // External commands (issued by the driver, not triggered by messages).
+    // ------------------------------------------------------------------
+
+    /// Ad-hoc variant: request the current snapshot of the component's ids
+    /// from the leader (§4.5.2). On a leader this answers immediately; on an
+    /// inactive or passive node it routes a probe along `next` pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a node in a transient state (`Conquered`,
+    /// `Conqueror`, `Asleep`) — probe issuers must be settled nodes.
+    pub fn start_probe(&mut self, ctx: &mut Context<'_, Message>) {
+        match self.status {
+            Status::Explore | Status::Wait | Status::Passive => {
+                // We are our own (possibly provisional) leader.
+                self.probe_results.push(self.snapshot());
+            }
+            Status::Inactive => {
+                self.probes_outstanding += 1;
+                ctx.send(self.next, Message::Probe { origin: self.id });
+            }
+            other => panic!("cannot probe from transient state {other}"),
+        }
+    }
+
+    /// Dynamic link addition (§6): this node has just learned `v`'s id.
+    ///
+    /// If the node has not yet reported all its edges, the new edge simply
+    /// joins `local` (case 1). If it already reported everything (case 2),
+    /// it notifies its leader with a `new`-flagged search so the leader
+    /// moves it from `done` back to `more` and re-queries it later.
+    pub fn add_dynamic_edge(&mut self, v: NodeId, ctx: &mut Context<'_, Message>) {
+        self.record_new_id(v, ctx);
+    }
+
+    /// Records an id this node just learned, whatever its state — the §6
+    /// dynamic-edge logic, which is also what liveness requires when a node
+    /// answers `merge fail` (it learned the id of a leader that is about to
+    /// go passive and would otherwise become undiscoverable; this is the
+    /// "bidirectional edge" of Lemma 5.4's argument).
+    ///
+    /// Notification searches carry `origin_phase = 0`, which loses every
+    /// `(phase, id)` comparison (real phases start at 1): they nudge the
+    /// leader to re-query, and can never conquer it.
+    fn record_new_id(&mut self, v: NodeId, ctx: &mut Context<'_, Message>) {
+        if v == self.id {
+            return;
+        }
+        match self.status {
+            Status::Inactive => {
+                if self.local.contains(&v) {
+                    return;
+                }
+                let already_reported_all = self.local.is_empty();
+                self.local.insert(v);
+                if already_reported_all {
+                    // Case 2: the leader believes we are `done`; send a
+                    // new-flagged search targeting ourself so it moves us
+                    // back to `more` and re-queries us.
+                    ctx.send(
+                        self.next,
+                        Message::Search {
+                            origin: self.id,
+                            origin_phase: 0,
+                            target: self.id,
+                            new_edge: true,
+                        },
+                    );
+                }
+                // Case 1 (local non-empty): counts as a not-yet-reported
+                // edge; nothing else to do.
+            }
+            Status::Asleep => {
+                self.local.insert(v);
+            }
+            Status::Explore | Status::Wait | Status::Conqueror => {
+                // A leader learns a new id: straight into `unexplored`.
+                if !self.in_cluster(v) {
+                    self.unexplored.insert(v);
+                    if self.status == Status::Wait && !self.awaiting_release {
+                        self.explore_step(ctx); // [D2]
+                    }
+                }
+            }
+            Status::Passive | Status::Conquered => {
+                // Will be handed over in our eventual `info`.
+                if !self.in_cluster(v) && !self.local.contains(&v) {
+                    self.unexplored.insert(v);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The explore loop (paper Figure 3).
+    // ------------------------------------------------------------------
+
+    /// Runs the EXPLORE procedure until it blocks: either a search is sent
+    /// (→ `Wait`, awaiting release), a query is sent (stay in `Explore`,
+    /// awaiting reply), or both sets are empty (→ idle `Wait`).
+    fn explore_step(&mut self, ctx: &mut Context<'_, Message>) {
+        loop {
+            self.set_status(Status::Explore);
+            // 1. Search an unexplored node, if any.
+            if let Some(u) = self.pop_unexplored() {
+                ctx.send(
+                    u,
+                    Message::Search {
+                        origin: self.id,
+                        origin_phase: self.phase,
+                        target: u,
+                        new_edge: false,
+                    },
+                );
+                self.awaiting_release = true;
+                self.set_status(Status::Wait);
+                return;
+            }
+            // 2. Otherwise query a member that may know more ids.
+            if let Some(&w) = self.more.iter().next() {
+                let want = if self.config.balanced_queries {
+                    (self.more.len() + self.done.len() + 1) as u32
+                } else {
+                    WANT_ALL
+                };
+                if w == self.id {
+                    // The leader itself may appear in `more`; the paper has
+                    // it "simulate the message sending internally".
+                    let (ids, exhausted) = self.take_local(want);
+                    self.absorb_query_reply(w, ids, exhausted);
+                    self.maybe_terminate_bounded(ctx);
+                    continue;
+                }
+                ctx.send(w, Message::Query { want });
+                self.awaiting_query_from = Some(w);
+                return;
+            }
+            // 3. Both empty: wait for `more` to be replenished. [D2]
+            self.awaiting_release = false;
+            self.set_status(Status::Wait);
+            return;
+        }
+    }
+
+    /// Picks (and removes) the first genuinely unexplored node.
+    fn pop_unexplored(&mut self) -> Option<NodeId> {
+        while let Some(&u) = self.unexplored.iter().next() {
+            self.unexplored.remove(&u);
+            // [D4] maintained at merge time; this is a defensive recheck.
+            if u != self.id && !self.in_cluster(u) {
+                return Some(u);
+            }
+            debug_assert!(false, "cluster member {u} leaked into unexplored");
+        }
+        None
+    }
+
+    /// Removes up to `want` ids from `local` (the queried member's side).
+    fn take_local(&mut self, want: u32) -> (Vec<NodeId>, bool) {
+        let take = if want == WANT_ALL {
+            self.local.len()
+        } else {
+            (want as usize).min(self.local.len())
+        };
+        let ids: Vec<NodeId> = self.local.iter().take(take).copied().collect();
+        for v in &ids {
+            self.local.remove(v);
+        }
+        (ids, self.local.is_empty())
+    }
+
+    /// Leader-side bookkeeping for a query reply from `w`.
+    fn absorb_query_reply(&mut self, w: NodeId, ids: Vec<NodeId>, exhausted: bool) {
+        if exhausted {
+            self.more.remove(&w);
+            self.done.insert(w);
+        }
+        for v in ids {
+            if v != self.id && !self.in_cluster(v) {
+                self.unexplored.insert(v);
+            }
+        }
+    }
+
+    /// Bounded variant: check `|done| = n` and, if reached, broadcast the
+    /// final conquer wave and terminate (paper §4.5.1). The caller then
+    /// falls through the explore loop into an idle `Wait`, where the
+    /// `more/done` acknowledgements of the final wave are absorbed.
+    fn maybe_terminate_bounded(&mut self, ctx: &mut Context<'_, Message>) {
+        if self.variant != Variant::Bounded || self.terminated {
+            return;
+        }
+        let Some(n) = self.component_size else { return };
+        if self.done.len() == n {
+            debug_assert!(self.more.is_empty());
+            for &u in &self.done {
+                if u != self.id {
+                    ctx.send(u, Message::Conquer { phase: self.phase });
+                }
+            }
+            self.terminated = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message dispatch.
+    // ------------------------------------------------------------------
+
+    /// Routes a message to the current state's handler; returns it for
+    /// deferral when the state cannot consume it ([D1]).
+    fn dispatch(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: &mut Context<'_, Message>,
+    ) -> Disposition {
+        match self.status {
+            Status::Asleep => unreachable!("runner wakes nodes before delivering to them"),
+            Status::Explore => self.on_explore(from, msg, ctx),
+            Status::Wait | Status::Passive => self.on_wait_or_passive(from, msg, ctx),
+            Status::Conquered => self.on_conquered(from, msg, ctx),
+            Status::Conqueror => self.on_conqueror(from, msg, ctx),
+            Status::Inactive => self.on_inactive(from, msg, ctx),
+        }
+    }
+
+    /// Re-attempts deferred messages after a state change, preserving their
+    /// FIFO order, until a full pass makes no progress.
+    fn pump_deferred(&mut self, ctx: &mut Context<'_, Message>) {
+        loop {
+            let mut progressed = false;
+            for _ in 0..self.deferred.len() {
+                let (from, msg) = self.deferred.pop_front().expect("len checked");
+                match self.dispatch(from, msg, ctx) {
+                    Disposition::Consumed => progressed = true,
+                    Disposition::Deferred(m) => self.deferred.push_back((from, m)),
+                }
+            }
+            if !progressed || self.deferred.is_empty() {
+                return;
+            }
+        }
+    }
+
+    // --- Explore: only the awaited query reply is consumable. -----------
+
+    fn on_explore(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: &mut Context<'_, Message>,
+    ) -> Disposition {
+        match msg {
+            Message::QueryReply { ids, exhausted } => {
+                assert_eq!(
+                    self.awaiting_query_from,
+                    Some(from),
+                    "query reply from unexpected sender"
+                );
+                self.awaiting_query_from = None;
+                self.absorb_query_reply(from, ids, exhausted);
+                self.maybe_terminate_bounded(ctx);
+                // After termination the sets are exhausted, so this falls
+                // straight through to an idle Wait.
+                self.explore_step(ctx);
+                Disposition::Consumed
+            }
+            Message::MoreDone { exhausted } if self.terminated => {
+                // Bounded: a late `new`-flagged refill can send a terminated
+                // leader back through Explore while its final conquer wave's
+                // acknowledgements are still landing.
+                self.absorb_final_ack(from, exhausted);
+                Disposition::Consumed
+            }
+            m @ (Message::Search { .. } | Message::Probe { .. }) => Disposition::Deferred(m), // [D1]
+            other => panic!("{}: unexpected {:?} in explore", self.id, other),
+        }
+    }
+
+    /// Bounded variant: absorbs a `more/done` acknowledgement of the final
+    /// conquer wave on the already-terminated leader.
+    fn absorb_final_ack(&mut self, from: NodeId, exhausted: bool) {
+        debug_assert_eq!(self.variant, Variant::Bounded);
+        if exhausted {
+            if !self.more.contains(&from) {
+                self.done.insert(from);
+            }
+        } else {
+            self.done.remove(&from);
+            self.more.insert(from);
+        }
+    }
+
+    // --- Wait / Passive (paper Figure 4). --------------------------------
+
+    fn on_wait_or_passive(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: &mut Context<'_, Message>,
+    ) -> Disposition {
+        let passive = self.status == Status::Passive;
+        match msg {
+            Message::Search {
+                origin,
+                origin_phase,
+                target,
+                new_edge,
+            } => {
+                if new_edge && self.done.contains(&target) {
+                    self.done.remove(&target);
+                    self.more.insert(target);
+                }
+                if (origin_phase, origin) > self.lex_pair() {
+                    // Surrender: ask to merge into the stronger leader.
+                    ctx.send(
+                        from,
+                        Message::Release {
+                            leader: self.id,
+                            leader_phase: self.phase,
+                            verdict: Verdict::Merge,
+                            dest: origin,
+                        },
+                    );
+                    self.set_status(Status::Conquered);
+                } else {
+                    // [D3] remember unknown origins so the component's
+                    // knowledge graph stays discoverable.
+                    if origin != self.id
+                        && !self.in_cluster(origin)
+                        && !self.local.contains(&origin)
+                    {
+                        self.unexplored.insert(origin);
+                    }
+                    ctx.send(
+                        from,
+                        Message::Release {
+                            leader: self.id,
+                            leader_phase: self.phase,
+                            verdict: Verdict::Abort,
+                            dest: origin,
+                        },
+                    );
+                    // [D2] an idle waiter may now have work again.
+                    if !passive
+                        && !self.awaiting_release
+                        && (!self.more.is_empty() || !self.unexplored.is_empty())
+                    {
+                        self.explore_step(ctx);
+                    }
+                }
+                Disposition::Consumed
+            }
+            Message::Release {
+                leader,
+                verdict,
+                dest,
+                ..
+            } if dest == self.id => {
+                if passive {
+                    // A stale answer to the search we sent before going
+                    // passive/conquered; refuse any merge, but remember the
+                    // refused leader (Lemma 5.4 liveness — it goes passive
+                    // and must stay discoverable).
+                    if verdict == Verdict::Merge {
+                        ctx.send(leader, Message::MergeFail);
+                        self.record_new_id(leader, ctx);
+                    }
+                } else {
+                    assert!(self.awaiting_release, "release for a search we never sent");
+                    self.awaiting_release = false;
+                    match verdict {
+                        Verdict::Abort => self.set_status(Status::Passive),
+                        Verdict::Merge => {
+                            self.set_status(Status::Conqueror);
+                            ctx.send(leader, Message::MergeAccept);
+                        }
+                    }
+                }
+                Disposition::Consumed
+            }
+            Message::Probe { origin } => {
+                // Leaders (and provisional passive ex-leaders) answer with
+                // their current snapshot; path compression happens en route.
+                ctx.send(
+                    from,
+                    Message::ProbeReply {
+                        leader: self.id,
+                        leader_phase: self.phase,
+                        dest: origin,
+                        ids: self.snapshot(),
+                    },
+                );
+                Disposition::Consumed
+            }
+            Message::MoreDone { exhausted } if self.terminated => {
+                // Bounded variant: acknowledgements of the final conquer
+                // wave reaching the already-terminated leader. A `more`
+                // answer (late refill) sends the leader back to Explore to
+                // drain it ([D2]).
+                self.absorb_final_ack(from, exhausted);
+                if !passive && !self.awaiting_release && !self.more.is_empty() {
+                    self.explore_step(ctx);
+                }
+                Disposition::Consumed
+            }
+            other => panic!("{}: unexpected {:?} in {}", self.id, other, self.status),
+        }
+    }
+
+    /// The ids this (possibly provisional) leader knows of its component.
+    fn snapshot(&self) -> Vec<NodeId> {
+        self.more
+            .iter()
+            .chain(self.done.iter())
+            .chain(self.unaware.iter())
+            .copied()
+            .collect()
+    }
+
+    // --- Conquered (paper Figure 6, top). --------------------------------
+
+    fn on_conquered(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: &mut Context<'_, Message>,
+    ) -> Disposition {
+        match msg {
+            Message::Release {
+                leader,
+                verdict,
+                dest,
+                ..
+            } if dest == self.id => {
+                // Answer to the search we had in flight when we surrendered;
+                // remember a refused leader (Lemma 5.4 liveness).
+                if verdict == Verdict::Merge {
+                    ctx.send(leader, Message::MergeFail);
+                    self.record_new_id(leader, ctx);
+                }
+                Disposition::Consumed
+            }
+            Message::MergeFail => {
+                self.set_status(Status::Passive);
+                Disposition::Consumed
+            }
+            Message::MergeAccept => {
+                self.next = from;
+                ctx.send(
+                    from,
+                    Message::Info {
+                        phase: self.phase,
+                        more: self.more.iter().copied().collect(),
+                        done: self.done.iter().copied().collect(),
+                        unaware: self.unaware.iter().copied().collect(),
+                        unexplored: self.unexplored.iter().copied().collect(),
+                    },
+                );
+                // Ownership of the sets transfers with the info.
+                self.more.clear();
+                self.done.clear();
+                self.unaware.clear();
+                self.unexplored.clear();
+                self.inactive_phase = self.phase;
+                self.set_status(Status::Inactive);
+                Disposition::Consumed
+            }
+            m @ (Message::Search { .. } | Message::Probe { .. }) => Disposition::Deferred(m), // [D1]
+            other => panic!("{}: unexpected {:?} in conquered", self.id, other),
+        }
+    }
+
+    // --- Conqueror (paper Figure 6, bottom). ------------------------------
+
+    fn on_conqueror(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: &mut Context<'_, Message>,
+    ) -> Disposition {
+        match msg {
+            Message::Info {
+                phase,
+                more,
+                done,
+                unaware,
+                unexplored,
+            } => {
+                self.merge_info(phase, more, done, unaware, unexplored, ctx);
+                Disposition::Consumed
+            }
+            Message::MoreDone { exhausted } => {
+                assert!(
+                    self.unaware.remove(&from),
+                    "more/done from a node not in unaware"
+                );
+                if exhausted {
+                    self.done.insert(from);
+                } else {
+                    self.more.insert(from);
+                }
+                if self.unaware.is_empty() {
+                    self.explore_step(ctx);
+                }
+                Disposition::Consumed
+            }
+            m @ (Message::Search { .. } | Message::Probe { .. }) => Disposition::Deferred(m), // [D1]
+            other => panic!("{}: unexpected {:?} in conqueror", self.id, other),
+        }
+    }
+
+    /// Absorbs a surrendered leader's state (paper §4.4, or the simplified
+    /// §4.5 merge for the variants) and advances the phase.
+    fn merge_info(
+        &mut self,
+        l_phase: u32,
+        l_more: Vec<NodeId>,
+        l_done: Vec<NodeId>,
+        l_unaware: Vec<NodeId>,
+        l_unexplored: Vec<NodeId>,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        debug_assert!(
+            l_unaware.is_empty(),
+            "a conqueror cannot be conquered mid-conquest, so shipped unaware is empty"
+        );
+        if self.variant.broadcasts_each_merge() {
+            // Generic: every acquired member goes through `unaware` and gets
+            // a conquer message.
+            self.unaware.extend(l_more.iter().copied());
+            self.unaware.extend(l_done.iter().copied());
+            self.unaware.extend(l_unaware.iter().copied());
+        } else {
+            // Variants (§4.5): set unions, no broadcast.
+            self.more.extend(l_more.iter().copied());
+            self.done.extend(l_done.iter().copied());
+            // A member may arrive in `done` while we hold it in `more` (or
+            // vice versa) across epochs; `more` ("may have more ids") wins.
+            for v in &self.more {
+                self.done.remove(v);
+            }
+        }
+        for v in l_unexplored {
+            if v != self.id && !self.in_cluster(v) {
+                self.unexplored.insert(v);
+            }
+        }
+        // [D4] newly acquired members must leave `unexplored`.
+        let acquired: Vec<NodeId> = l_more
+            .iter()
+            .chain(&l_done)
+            .chain(&l_unaware)
+            .copied()
+            .collect();
+        for v in &acquired {
+            self.unexplored.remove(v);
+        }
+        // Phase advance (doubling rule, Lemma 5.10's invariant).
+        if self.phase == l_phase || self.cluster_size() as u64 >= 1u64 << (self.phase + 1) {
+            self.phase += 1;
+        }
+        debug_assert!((self.cluster_size() as u64) < 1u64 << (self.phase + 1));
+
+        if self.variant.broadcasts_each_merge() {
+            for &u in &self.unaware {
+                debug_assert_ne!(u, self.id);
+                ctx.send(u, Message::Conquer { phase: self.phase });
+            }
+            if self.unaware.is_empty() {
+                self.explore_step(ctx);
+            }
+            // else: remain Conqueror until all more/done acks arrive.
+        } else {
+            self.maybe_terminate_bounded(ctx);
+            self.explore_step(ctx);
+        }
+    }
+
+    // --- Inactive (paper Figure 5). ---------------------------------------
+
+    fn on_inactive(
+        &mut self,
+        from: NodeId,
+        msg: Message,
+        ctx: &mut Context<'_, Message>,
+    ) -> Disposition {
+        match msg {
+            Message::Query { want } => {
+                let (ids, exhausted) = self.take_local(want);
+                ctx.send(from, Message::QueryReply { ids, exhausted });
+                Disposition::Consumed
+            }
+            Message::Search {
+                origin,
+                origin_phase,
+                target,
+                mut new_edge,
+            } => {
+                if target == self.id && origin != self.id && !self.local.contains(&origin) {
+                    // Reverse-edge bookkeeping (§4.2): the target learns the
+                    // origin and flags it so the leader re-queries us.
+                    self.local.insert(origin);
+                    new_edge = true;
+                }
+                self.enqueue_routable(
+                    Message::Search {
+                        origin,
+                        origin_phase,
+                        target,
+                        new_edge,
+                    },
+                    from,
+                    ctx,
+                );
+                Disposition::Consumed
+            }
+            Message::Probe { origin } => {
+                self.enqueue_routable(Message::Probe { origin }, from, ctx);
+                Disposition::Consumed
+            }
+            Message::Release {
+                leader,
+                leader_phase,
+                verdict,
+                dest,
+            } => {
+                if dest == self.id {
+                    // Stale answer to a search we sent while still a leader;
+                    // remember a refused leader (Lemma 5.4 liveness).
+                    if verdict == Verdict::Merge {
+                        ctx.send(leader, Message::MergeFail);
+                        self.record_new_id(leader, ctx);
+                    }
+                } else {
+                    self.route_reply_back(
+                        leader,
+                        leader_phase,
+                        Message::Release {
+                            leader,
+                            leader_phase,
+                            verdict,
+                            dest,
+                        },
+                        ctx,
+                    );
+                }
+                Disposition::Consumed
+            }
+            Message::ProbeReply {
+                leader,
+                leader_phase,
+                dest,
+                ids,
+            } => {
+                if dest == self.id {
+                    debug_assert!(self.probes_outstanding > 0);
+                    self.probes_outstanding -= 1;
+                    // The requester compresses its own pointer too ([D6]
+                    // staleness guard applies as everywhere).
+                    if self.config.path_compression && leader_phase >= self.inactive_phase {
+                        self.next = leader;
+                    }
+                    self.probe_results.push(ids);
+                } else {
+                    self.route_reply_back(
+                        leader,
+                        leader_phase,
+                        Message::ProbeReply {
+                            leader,
+                            leader_phase,
+                            dest,
+                            ids,
+                        },
+                        ctx,
+                    );
+                }
+                Disposition::Consumed
+            }
+            Message::Conquer { phase } => {
+                // [D5] conquers arrive with strictly increasing phases.
+                debug_assert!(
+                    phase > self.inactive_phase,
+                    "{}: conquer phase {phase} not above {}",
+                    self.id,
+                    self.inactive_phase
+                );
+                self.next = from;
+                self.inactive_phase = phase;
+                if self.variant == Variant::Bounded {
+                    self.terminated = true;
+                }
+                ctx.send(
+                    from,
+                    Message::MoreDone {
+                        exhausted: self.local.is_empty(),
+                    },
+                );
+                Disposition::Consumed
+            }
+            other => panic!("{}: unexpected {:?} in inactive", self.id, other),
+        }
+    }
+
+    /// Relay discipline for leaf-to-leader requests (§4.2): enqueue the
+    /// request and forward it only if it is alone in the queue — at most one
+    /// request per relay is in flight toward the leader.
+    fn enqueue_routable(&mut self, msg: Message, from: NodeId, ctx: &mut Context<'_, Message>) {
+        debug_assert!(msg.is_routable_request());
+        self.previous.push_back((msg.clone(), from));
+        if self.previous.len() == 1 {
+            ctx.send(self.next, msg);
+        }
+    }
+
+    /// Relay discipline for leader-to-leaf replies: pop the matching
+    /// request, compress the path (point `next` at the answering leader),
+    /// forward the reply toward the requester, and launch the next queued
+    /// request along the *compressed* pointer.
+    ///
+    /// [D6] staleness guard: compression applies only when the reply's
+    /// epoch is at least our conquer epoch — an in-flight release from an
+    /// older epoch must not overwrite a newer conquer wave's pointer.
+    fn route_reply_back(
+        &mut self,
+        leader: NodeId,
+        leader_phase: u32,
+        reply: Message,
+        ctx: &mut Context<'_, Message>,
+    ) {
+        let (_request, return_to) = self
+            .previous
+            .pop_front()
+            .expect("reply arrived with no matching relayed request");
+        if self.config.path_compression && leader_phase >= self.inactive_phase {
+            self.next = leader;
+        }
+        ctx.send(return_to, reply);
+        if let Some((next_request, _)) = self.previous.front() {
+            ctx.send(self.next, next_request.clone());
+        }
+    }
+}
+
+impl Protocol for ArdNode {
+    type Message = Message;
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Message>) {
+        assert_eq!(self.status, Status::Asleep, "woken twice");
+        if self.variant == Variant::Bounded {
+            assert!(
+                self.component_size.is_some(),
+                "Bounded node woken without its component size"
+            );
+        }
+        self.set_status(Status::Explore);
+        self.explore_step(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Message, ctx: &mut Context<'_, Message>) {
+        match self.dispatch(from, msg, ctx) {
+            Disposition::Consumed => self.pump_deferred(ctx),
+            Disposition::Deferred(m) => self.deferred.push_back((from, m)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: usize, local: &[usize]) -> ArdNode {
+        ArdNode::new(
+            NodeId::new(id),
+            local.iter().map(|&i| NodeId::new(i)).collect(),
+            Variant::Oblivious,
+            Config::paper(),
+        )
+    }
+
+    #[test]
+    fn new_node_matches_figure_2_initial_values() {
+        let n = node(3, &[1, 2]);
+        assert_eq!(n.status(), Status::Asleep);
+        assert_eq!(n.phase(), 1);
+        assert_eq!(n.next_pointer(), NodeId::new(3));
+        assert_eq!(n.more().len(), 1);
+        assert!(n.more().contains(&NodeId::new(3)));
+        assert!(n.done().is_empty());
+        assert!(n.unaware().is_empty());
+        assert!(n.unexplored().is_empty());
+        assert_eq!(n.local().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain itself")]
+    fn self_in_local_rejected() {
+        node(0, &[0, 1]);
+    }
+
+    #[test]
+    fn take_local_balances() {
+        let mut n = node(0, &[1, 2, 3, 4, 5]);
+        let (ids, exhausted) = n.take_local(2);
+        assert_eq!(ids.len(), 2);
+        assert!(!exhausted);
+        let (ids, exhausted) = n.take_local(10);
+        assert_eq!(ids.len(), 3);
+        assert!(exhausted);
+        let (ids, exhausted) = n.take_local(4);
+        assert!(ids.is_empty());
+        assert!(exhausted);
+    }
+
+    #[test]
+    fn take_local_want_all() {
+        let mut n = node(0, &[1, 2, 3]);
+        let (ids, exhausted) = n.take_local(WANT_ALL);
+        assert_eq!(ids.len(), 3);
+        assert!(exhausted);
+    }
+
+    #[test]
+    fn absorb_reply_moves_member_and_collects_unexplored() {
+        let mut n = node(0, &[]);
+        n.more.insert(NodeId::new(5));
+        n.absorb_query_reply(NodeId::new(5), vec![NodeId::new(7), NodeId::new(0)], true);
+        assert!(n.done().contains(&NodeId::new(5)));
+        assert!(!n.more().contains(&NodeId::new(5)));
+        // Own id filtered; 7 collected.
+        assert_eq!(
+            n.unexplored().iter().copied().collect::<Vec<_>>(),
+            vec![NodeId::new(7)]
+        );
+    }
+
+    #[test]
+    fn snapshot_covers_cluster() {
+        let mut n = node(0, &[]);
+        n.done.insert(NodeId::new(2));
+        n.unaware.insert(NodeId::new(4));
+        let snap = n.snapshot();
+        assert!(snap.contains(&NodeId::new(0)));
+        assert!(snap.contains(&NodeId::new(2)));
+        assert!(snap.contains(&NodeId::new(4)));
+        assert_eq!(snap.len(), 3);
+    }
+
+    #[test]
+    fn lex_pair_orders_phase_first() {
+        let mut a = node(9, &[]);
+        let b = node(1, &[]);
+        assert!(a.lex_pair() > b.lex_pair()); // same phase, higher id
+        a.phase = 1;
+        let mut c = node(0, &[]);
+        c.phase = 2;
+        assert!(c.lex_pair() > a.lex_pair()); // higher phase beats higher id
+    }
+}

@@ -1,0 +1,161 @@
+//! Edge-case coverage for the public `ard-core` API: degenerate inputs,
+//! state-specific commands, and ablation/variant interactions.
+
+use ard_core::{Config, Discovery, ProbeStatus, Status, Variant};
+use ard_graph::{gen, KnowledgeGraph};
+use ard_netsim::{FifoScheduler, NodeId, RandomScheduler};
+
+#[test]
+fn empty_network_is_trivially_done() {
+    let graph = KnowledgeGraph::new(0);
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    let outcome = d.run_all(&mut FifoScheduler::new()).unwrap();
+    assert!(outcome.leaders.is_empty());
+    d.check_requirements(&graph).unwrap();
+}
+
+#[test]
+fn probe_on_singleton_is_self_snapshot() {
+    let graph = KnowledgeGraph::new(1);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = FifoScheduler::new();
+    d.run_all(&mut sched).unwrap();
+    match d.probe(NodeId::new(0), &mut sched) {
+        ProbeStatus::Immediate(ids) => assert_eq!(ids, vec![NodeId::new(0)]),
+        ProbeStatus::InFlight => panic!("leader probes are immediate"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "probes exist only in the Ad-hoc variant")]
+fn probing_oblivious_is_rejected() {
+    let graph = gen::path(3);
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    let mut sched = FifoScheduler::new();
+    d.run_all(&mut sched).unwrap();
+    d.probe(NodeId::new(0), &mut sched);
+}
+
+#[test]
+#[should_panic(expected = "dynamic additions invalidate known sizes")]
+fn dynamic_additions_rejected_for_bounded() {
+    let graph = gen::path(3);
+    let mut d = Discovery::new(&graph, Variant::Bounded);
+    let mut sched = FifoScheduler::new();
+    d.run_all(&mut sched).unwrap();
+    d.add_node(vec![NodeId::new(0)], &mut sched);
+}
+
+#[test]
+fn dynamic_edge_to_every_status_is_safe() {
+    // Add a dynamic edge targeting nodes in various states mid-run and
+    // verify the final requirements still hold.
+    let graph = gen::random_weakly_connected(16, 32, 2);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(3);
+    d.enqueue_wake_all(&mut sched);
+    for step in 0..200 {
+        if !d.runner_mut().step(&mut sched) {
+            break;
+        }
+        if step % 40 == 10 {
+            let u = NodeId::new((step / 40) % 16);
+            let v = NodeId::new((step / 40 + 7) % 16);
+            if u != v {
+                d.add_link(u, v, &mut sched);
+            }
+        }
+    }
+    d.run(&mut sched).unwrap();
+    let final_graph = d.graph().clone();
+    d.check_requirements(&final_graph).unwrap();
+}
+
+#[test]
+fn both_ablations_together_still_correct() {
+    let config = Config {
+        path_compression: false,
+        balanced_queries: false,
+    };
+    for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+        let graph = gen::random_weakly_connected(24, 48, 4);
+        let mut d = Discovery::with_config(&graph, variant, config);
+        d.run_all(&mut RandomScheduler::seeded(5)).unwrap();
+        d.check_requirements(&graph).unwrap();
+    }
+}
+
+#[test]
+fn survivor_graph_of_everyone_is_the_learned_graph() {
+    let graph = gen::path(6);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut FifoScheduler::new()).unwrap();
+    let all: Vec<NodeId> = (0..6).map(NodeId::new).collect();
+    let (survivor, mapping) = d.survivor_graph(&all);
+    assert_eq!(mapping, all);
+    assert_eq!(survivor.len(), 6);
+    // Everyone knows at least their leader (next pointer), so the survivor
+    // graph is at least as connected as the original.
+    assert!(ard_graph::components::is_weakly_connected(&survivor));
+}
+
+#[test]
+#[should_panic(expected = "duplicate survivor")]
+fn survivor_graph_rejects_duplicates() {
+    let graph = gen::path(3);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut FifoScheduler::new()).unwrap();
+    d.survivor_graph(&[NodeId::new(0), NodeId::new(0)]);
+}
+
+#[test]
+fn to_dot_reflects_statuses() {
+    let graph = gen::path(4);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut FifoScheduler::new()).unwrap();
+    let dot = d.to_dot();
+    assert!(dot.contains("digraph discovery"));
+    assert!(dot.contains("fillcolor=gold"), "leader highlighted");
+    assert!(dot.contains("inactive"), "statuses in labels");
+    // All three pointer edges to the leader are drawn dashed.
+    assert_eq!(dot.matches("style=dashed").count(), 3);
+}
+
+#[test]
+fn outcome_leader_of_is_total() {
+    let graph = gen::random_multi_component(2, 6, 4, 6);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let outcome = d.run_all(&mut RandomScheduler::seeded(7)).unwrap();
+    assert_eq!(outcome.leader_of.len(), 12);
+    for (v, leader) in outcome.leader_of.iter().enumerate() {
+        assert_eq!(d.leader_of(NodeId::new(v)), *leader);
+        assert!(outcome.leaders.contains(leader));
+    }
+}
+
+#[test]
+fn default_step_budget_is_generous() {
+    // The budget must comfortably exceed what real executions need, so
+    // hitting it is a genuine livelock signal.
+    let graph = gen::complete(32);
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    let budget = d.default_step_budget();
+    let outcome = d.run_all(&mut RandomScheduler::seeded(8)).unwrap();
+    assert!(outcome.steps * 4 < budget, "{} vs {budget}", outcome.steps);
+}
+
+#[test]
+fn transitions_accessor_matches_statuses() {
+    let graph = gen::path(5);
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    d.run_all(&mut FifoScheduler::new()).unwrap();
+    for node in d.runner().nodes() {
+        // Replaying a node's transition log from Asleep ends at its status.
+        let mut state = Status::Asleep;
+        for t in node.transitions() {
+            assert_eq!(t.from, state, "log is contiguous");
+            state = t.to;
+        }
+        assert_eq!(state, node.status());
+    }
+}

@@ -1,0 +1,227 @@
+//! Weak and strong connectivity of knowledge graphs.
+//!
+//! Resource discovery's requirements are stated per *weakly connected
+//! component*: two nodes are weakly connected if a path joins them in the
+//! undirected view of the graph. Strong connectivity matters because on
+//! strongly connected graphs the problem reduces to classic `O(n)` leader
+//! election (Cidon, Gopal & Kutten), which is why the paper's lower bounds
+//! are all about directed, weakly connected topologies.
+
+use ard_netsim::NodeId;
+
+use crate::KnowledgeGraph;
+
+/// Partitions the nodes into weakly connected components.
+///
+/// Each component is a sorted list of node ids; components are ordered by
+/// their smallest member.
+///
+/// # Example
+///
+/// ```
+/// use ard_graph::{components, KnowledgeGraph};
+///
+/// // 0 → 1   2 → 3 (two components, despite all edges being directed)
+/// let g = KnowledgeGraph::from_edges(4, [(0, 1), (2, 3)]);
+/// let comps = components::weakly_connected_components(&g);
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps[0].iter().map(|id| id.index()).collect::<Vec<_>>(), vec![0, 1]);
+/// ```
+pub fn weakly_connected_components(g: &KnowledgeGraph) -> Vec<Vec<NodeId>> {
+    let und = g.undirected_adjacency();
+    let mut seen = vec![false; g.len()];
+    let mut components = Vec::new();
+    for start in 0..g.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            component.push(NodeId::new(u));
+            for &v in &und[u] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v.index());
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Maps each node to the index of its weakly connected component (as ordered
+/// by [`weakly_connected_components`]).
+pub fn weak_component_ids(g: &KnowledgeGraph) -> Vec<usize> {
+    let comps = weakly_connected_components(g);
+    let mut ids = vec![0usize; g.len()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            ids[v.index()] = ci;
+        }
+    }
+    ids
+}
+
+/// Whether the whole graph is one weakly connected component.
+pub fn is_weakly_connected(g: &KnowledgeGraph) -> bool {
+    g.len() <= 1 || weakly_connected_components(g).len() == 1
+}
+
+/// Partitions the nodes into strongly connected components (iterative
+/// Tarjan). Components are returned in reverse topological order of the
+/// condensation, each sorted by node id.
+///
+/// # Example
+///
+/// ```
+/// use ard_graph::{components, KnowledgeGraph};
+///
+/// // A 3-cycle plus a tail: the cycle is one SCC, the tail its own.
+/// let g = KnowledgeGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let sccs = components::strongly_connected_components(&g);
+/// assert_eq!(sccs.len(), 2);
+/// assert!(sccs.iter().any(|c| c.len() == 3));
+/// ```
+pub fn strongly_connected_components(g: &KnowledgeGraph) -> Vec<Vec<NodeId>> {
+    // Iterative Tarjan with an explicit stack of (node, next-edge-index).
+    const UNVISITED: usize = usize::MAX;
+    let n = g.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<NodeId>> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (u, ref mut ei)) = work.last_mut() {
+            if *ei == 0 {
+                index[u] = next_index;
+                lowlink[u] = next_index;
+                next_index += 1;
+                stack.push(u);
+                on_stack[u] = true;
+            }
+            let outs = g.out_edges(NodeId::new(u));
+            if *ei < outs.len() {
+                let v = outs[*ei].index();
+                *ei += 1;
+                if index[v] == UNVISITED {
+                    work.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(NodeId::new(w));
+                        if w == u {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    sccs.push(component);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Whether the whole graph is one strongly connected component.
+pub fn is_strongly_connected(g: &KnowledgeGraph) -> bool {
+    g.len() <= 1 || strongly_connected_components(g).len() == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_connected() {
+        let g = KnowledgeGraph::new(1);
+        assert!(is_weakly_connected(&g));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = KnowledgeGraph::new(0);
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = KnowledgeGraph::new(3);
+        assert_eq!(weakly_connected_components(&g).len(), 3);
+        assert_eq!(strongly_connected_components(&g).len(), 3);
+    }
+
+    #[test]
+    fn direction_is_ignored_for_weak_connectivity() {
+        // star pointing inward: leaves know the centre only
+        let g = KnowledgeGraph::from_edges(4, [(1, 0), (2, 0), (3, 0)]);
+        assert!(is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn weak_component_ids_are_consistent() {
+        let g = KnowledgeGraph::from_edges(5, [(0, 1), (3, 4)]);
+        let ids = weak_component_ids(&g);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[2]);
+        assert_ne!(ids[2], ids[3]);
+    }
+
+    #[test]
+    fn cycle_is_strongly_connected() {
+        let g = KnowledgeGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn tarjan_matches_known_decomposition() {
+        // Two 2-cycles joined by a one-way bridge.
+        let g = KnowledgeGraph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let mut sccs = strongly_connected_components(&g);
+        sccs.sort();
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(sccs[1], vec![NodeId::new(2), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn tarjan_handles_deep_paths_iteratively() {
+        // A 100k-node path would overflow the call stack if Tarjan recursed.
+        let n = 100_000;
+        let g = KnowledgeGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        assert_eq!(strongly_connected_components(&g).len(), n);
+        assert!(is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn sccs_partition_the_nodes() {
+        let g = KnowledgeGraph::from_edges(6, [(0, 1), (1, 0), (2, 3), (4, 5), (5, 4), (3, 4)]);
+        let sccs = strongly_connected_components(&g);
+        let mut all: Vec<usize> = sccs.iter().flatten().map(|id| id.index()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+}

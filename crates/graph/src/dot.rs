@@ -1,0 +1,103 @@
+//! Graphviz DOT export of knowledge graphs, for visualizing topologies and
+//! executions (`ard discover --dot out.dot`).
+
+use std::fmt::Write as _;
+
+use ard_netsim::NodeId;
+
+use crate::KnowledgeGraph;
+
+/// Renders the graph as Graphviz DOT (`digraph`), one edge per initial
+/// knowledge relation.
+///
+/// # Example
+///
+/// ```
+/// use ard_graph::{dot, KnowledgeGraph};
+///
+/// let g = KnowledgeGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// let text = dot::to_dot(&g, "example");
+/// assert!(text.starts_with("digraph example {"));
+/// assert!(text.contains("n0 -> n1;"));
+/// ```
+pub fn to_dot(graph: &KnowledgeGraph, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=circle, fontsize=10];").unwrap();
+    for v in graph.ids() {
+        writeln!(out, "  {v};").unwrap();
+    }
+    for (u, v) in graph.edges() {
+        writeln!(out, "  {u} -> {v};").unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an annotated graph: node labels and styles come from the
+/// callback (e.g. a discovery's statuses and `next` pointers drawn as a
+/// second edge set).
+///
+/// `annotate` returns `(label, color)` per node; `extra_edges` are drawn
+/// dashed (e.g. the `next`-pointer forest on top of `E₀`).
+pub fn to_dot_annotated(
+    graph: &KnowledgeGraph,
+    name: &str,
+    mut annotate: impl FnMut(NodeId) -> (String, &'static str),
+    extra_edges: &[(NodeId, NodeId)],
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {name} {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    writeln!(out, "  node [shape=circle, fontsize=10, style=filled];").unwrap();
+    for v in graph.ids() {
+        let (label, color) = annotate(v);
+        writeln!(out, "  {v} [label=\"{label}\", fillcolor={color}];").unwrap();
+    }
+    for (u, v) in graph.edges() {
+        writeln!(out, "  {u} -> {v} [color=gray];").unwrap();
+    }
+    for &(u, v) in extra_edges {
+        writeln!(out, "  {u} -> {v} [style=dashed, color=blue, penwidth=2];").unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_lists_every_node_and_edge() {
+        let g = KnowledgeGraph::from_edges(4, [(0, 1), (2, 3), (3, 0)]);
+        let text = to_dot(&g, "t");
+        for v in 0..4 {
+            assert!(text.contains(&format!("n{v};")));
+        }
+        assert_eq!(text.matches(" -> ").count(), 3);
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn annotated_dot_includes_labels_and_extras() {
+        let g = KnowledgeGraph::from_edges(2, [(0, 1)]);
+        let text = to_dot_annotated(
+            &g,
+            "t",
+            |v| (format!("{v}:leader"), "lightblue"),
+            &[(NodeId::new(1), NodeId::new(0))],
+        );
+        assert!(text.contains("label=\"n0:leader\""));
+        assert!(text.contains("fillcolor=lightblue"));
+        assert!(text.contains("n1 -> n0 [style=dashed"));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = KnowledgeGraph::new(0);
+        let text = to_dot(&g, "empty");
+        assert!(text.contains("digraph empty"));
+    }
+}

@@ -1,0 +1,251 @@
+use std::fmt;
+
+use ard_netsim::NodeId;
+
+/// A directed *knowledge graph* `G = (V, E₀)`.
+///
+/// An edge `(u → v)` means `u` initially knows `id(v)` and may therefore
+/// send `v` messages. Knowledge graphs are the paper's network model; they
+/// are *not* assumed strongly connected — the interesting case for resource
+/// discovery is weakly connected, non-sparse graphs.
+///
+/// Self-loops are meaningless (every node knows itself) and are rejected;
+/// parallel edges are collapsed.
+///
+/// # Example
+///
+/// ```
+/// use ard_graph::KnowledgeGraph;
+/// use ard_netsim::NodeId;
+///
+/// let mut g = KnowledgeGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1));
+/// g.add_edge(NodeId::new(0), NodeId::new(2));
+/// g.add_edge(NodeId::new(0), NodeId::new(1)); // duplicate, collapsed
+/// assert_eq!(g.edge_count(), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// assert_eq!(g.out_degree(NodeId::new(0)), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct KnowledgeGraph {
+    adj: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl KnowledgeGraph {
+    /// Creates a graph of `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        KnowledgeGraph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Creates a graph of `n` nodes from an edge list (duplicates collapsed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = KnowledgeGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+        g
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of distinct directed edges `|E₀|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// All node ids, in index order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len()).map(NodeId::new)
+    }
+
+    /// Adds the directed edge `u → v`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(
+            u.index() < self.len() && v.index() < self.len(),
+            "edge endpoint out of range"
+        );
+        assert_ne!(u, v, "self-loops are not meaningful in a knowledge graph");
+        let out = &mut self.adj[u.index()];
+        if out.contains(&v) {
+            return false;
+        }
+        out.push(v);
+        self.edges += 1;
+        true
+    }
+
+    /// Adds a fresh node with no edges, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::new(self.len() - 1)
+    }
+
+    /// Whether the directed edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.index()].contains(&v)
+    }
+
+    /// Out-neighbours of `u` (ids `u` initially knows), in insertion order.
+    pub fn out_edges(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.index()]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// All directed edges as `(u, v)` pairs, grouped by source.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, outs)| outs.iter().map(move |&v| (NodeId::new(u), v)))
+    }
+
+    /// The initial knowledge sets in the shape
+    /// [`ard_netsim::Runner::new`] expects.
+    pub fn initial_knowledge(&self) -> Vec<Vec<NodeId>> {
+        self.adj.clone()
+    }
+
+    /// The *undirected view*: for each node, the union of out-neighbours and
+    /// in-neighbours. Weak connectivity is connectivity of this view.
+    pub fn undirected_adjacency(&self) -> Vec<Vec<NodeId>> {
+        let mut und: Vec<Vec<NodeId>> = vec![Vec::new(); self.len()];
+        for (u, v) in self.edges() {
+            und[u.index()].push(v);
+            und[v.index()].push(u);
+        }
+        for list in &mut und {
+            list.sort_unstable();
+            list.dedup();
+        }
+        und
+    }
+
+    /// A new graph with every edge reversed.
+    pub fn reversed(&self) -> KnowledgeGraph {
+        let mut g = KnowledgeGraph::new(self.len());
+        for (u, v) in self.edges() {
+            g.add_edge(v, u);
+        }
+        g
+    }
+
+    /// The disjoint union of two graphs; `other`'s node `i` becomes node
+    /// `self.len() + i`.
+    pub fn disjoint_union(&self, other: &KnowledgeGraph) -> KnowledgeGraph {
+        let offset = self.len();
+        let mut g = self.clone();
+        g.adj.extend(other.adj.iter().map(|outs| {
+            outs.iter()
+                .map(|v| NodeId::new(v.index() + offset))
+                .collect::<Vec<_>>()
+        }));
+        g.edges += other.edges;
+        g
+    }
+}
+
+impl fmt::Debug for KnowledgeGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KnowledgeGraph(n={}, m={})",
+            self.len(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_and_dedups() {
+        let g = KnowledgeGraph::from_edges(4, [(0, 1), (1, 2), (0, 1), (3, 0)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId::new(3), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        KnowledgeGraph::from_edges(2, [(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        KnowledgeGraph::from_edges(2, [(0, 2)]);
+    }
+
+    #[test]
+    fn undirected_view_symmetrizes() {
+        let g = KnowledgeGraph::from_edges(3, [(0, 1), (2, 1)]);
+        let und = g.undirected_adjacency();
+        assert_eq!(und[1], vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(und[0], vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = KnowledgeGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = g.reversed();
+        assert!(r.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(r.has_edge(NodeId::new(2), NodeId::new(1)));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let a = KnowledgeGraph::from_edges(2, [(0, 1)]);
+        let b = KnowledgeGraph::from_edges(2, [(1, 0)]);
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(u.has_edge(NodeId::new(3), NodeId::new(2)));
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = KnowledgeGraph::new(1);
+        let v = g.add_node();
+        assert_eq!(v, NodeId::new(1));
+        g.add_edge(NodeId::new(0), v);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn initial_knowledge_matches_out_edges() {
+        let g = KnowledgeGraph::from_edges(3, [(0, 1), (0, 2)]);
+        let k = g.initial_knowledge();
+        assert_eq!(k[0], vec![NodeId::new(1), NodeId::new(2)]);
+        assert!(k[1].is_empty());
+    }
+}

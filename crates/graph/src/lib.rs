@@ -1,0 +1,34 @@
+//! Knowledge graphs for resource discovery.
+//!
+//! The input to a resource-discovery algorithm is the *initial knowledge
+//! graph* `G = (V, E₀)`: a directed graph where an edge `(u → v)` means node
+//! `u` initially knows `v`'s id. This crate provides:
+//!
+//! * [`KnowledgeGraph`] — the representation, convertible into the initial
+//!   knowledge sets of an [`ard_netsim::Runner`];
+//! * [`components`] — weak and strong connectivity (the paper's requirements
+//!   are stated per *weakly connected component*);
+//! * [`gen`] — topology generators for every experiment in the reproduction:
+//!   paths, rings, stars, complete graphs, the rooted binary trees of the
+//!   Theorem 1 lower bound, and seeded random weakly-connected graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use ard_graph::{gen, components};
+//!
+//! let g = gen::random_weakly_connected(64, 128, 7);
+//! assert_eq!(g.len(), 64);
+//! assert!(g.edge_count() >= 63);
+//! assert_eq!(components::weakly_connected_components(&g).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod dot;
+pub mod gen;
+mod graph;
+
+pub use graph::KnowledgeGraph;

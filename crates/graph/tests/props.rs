@@ -1,0 +1,151 @@
+//! Property-based tests: connectivity algorithms against brute-force
+//! oracles, and generator invariants.
+
+use proptest::prelude::*;
+
+use ard_graph::{components, gen, KnowledgeGraph};
+use ard_netsim::NodeId;
+
+/// Brute-force weak-components oracle: repeated relabelling.
+fn oracle_weak_components(g: &KnowledgeGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (u, v) in g.edges() {
+            let (lu, lv) = (label[u.index()], label[v.index()]);
+            if lu != lv {
+                let lo = lu.min(lv);
+                for l in label.iter_mut() {
+                    if *l == lu.max(lv) {
+                        *l = lo;
+                    }
+                }
+                changed = true;
+            }
+        }
+    }
+    label
+}
+
+/// Brute-force strong-connectivity oracle: BFS reachability both ways.
+fn oracle_mutually_reachable(g: &KnowledgeGraph, a: NodeId, b: NodeId) -> bool {
+    let reach = |from: NodeId, to: NodeId| -> bool {
+        let mut seen = vec![false; g.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(u) = stack.pop() {
+            if u == to {
+                return true;
+            }
+            for &v in g.out_edges(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    };
+    reach(a, b) && reach(b, a)
+}
+
+fn arbitrary_graph() -> impl Strategy<Value = KnowledgeGraph> {
+    (
+        1usize..16,
+        prop::collection::vec((0usize..16, 0usize..16), 0..50),
+    )
+        .prop_map(|(n, edges)| {
+            let mut g = KnowledgeGraph::new(n);
+            for (u, v) in edges {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v));
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weak components agree with the brute-force relabelling oracle.
+    #[test]
+    fn weak_components_match_oracle(g in arbitrary_graph()) {
+        let ours = components::weak_component_ids(&g);
+        let oracle = oracle_weak_components(&g);
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                prop_assert_eq!(
+                    ours[u] == ours[v],
+                    oracle[u] == oracle[v],
+                    "{} vs {}", u, v
+                );
+            }
+        }
+    }
+
+    /// Tarjan SCCs: two nodes share a component iff mutually reachable.
+    #[test]
+    fn sccs_match_reachability_oracle(g in arbitrary_graph()) {
+        let sccs = components::strongly_connected_components(&g);
+        let mut id = vec![usize::MAX; g.len()];
+        for (ci, c) in sccs.iter().enumerate() {
+            for &v in c {
+                id[v.index()] = ci;
+            }
+        }
+        // Every node appears exactly once.
+        prop_assert!(id.iter().all(|&i| i != usize::MAX));
+        for u in 0..g.len().min(8) {
+            for v in 0..g.len().min(8) {
+                if u == v { continue; }
+                prop_assert_eq!(
+                    id[u] == id[v],
+                    oracle_mutually_reachable(&g, NodeId::new(u), NodeId::new(v)),
+                    "{} vs {}", u, v
+                );
+            }
+        }
+    }
+
+    /// Random generators keep their promises for arbitrary parameters.
+    #[test]
+    fn random_generator_invariants(n in 1usize..40, extra in 0usize..120, seed in 0u64..10_000) {
+        let g = gen::random_weakly_connected(n, extra, seed);
+        prop_assert_eq!(g.len(), n);
+        prop_assert!(components::is_weakly_connected(&g));
+        let expected = (n.saturating_sub(1) + extra).min(n * n.saturating_sub(1));
+        prop_assert_eq!(g.edge_count(), expected);
+    }
+
+    /// The undirected view is symmetric and edge-complete.
+    #[test]
+    fn undirected_view_is_symmetric(g in arbitrary_graph()) {
+        let und = g.undirected_adjacency();
+        for (u, list) in und.iter().enumerate() {
+            for &v in list {
+                prop_assert!(und[v.index()].contains(&NodeId::new(u)));
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert!(und[u.index()].contains(&v));
+        }
+    }
+
+    /// Reversal is an involution that preserves weak components.
+    #[test]
+    fn reversal_involution(g in arbitrary_graph()) {
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(rr.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(rr.has_edge(u, v));
+        }
+        prop_assert_eq!(
+            components::weak_component_ids(&g),
+            components::weak_component_ids(&g.reversed())
+        );
+    }
+}

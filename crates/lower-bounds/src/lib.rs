@@ -1,0 +1,31 @@
+//! Executable versions of the paper's two lower-bound constructions.
+//!
+//! Lower bounds are statements about adversaries, and in an asynchronous
+//! network the adversary *is* the message schedule. Both constructions are
+//! therefore ordinary drivers over the simulator:
+//!
+//! * [`tree_adversary`] — Theorem 1: on the complete rooted binary tree
+//!   `T(i)` (`n = 2^i − 1`, edges toward the leaves), delaying every
+//!   internal node's messages until its subtrees have quiesced forces any
+//!   oblivious resource-discovery algorithm to send at least
+//!   `i·2^(i−1) − 2 ≈ 0.5·n·log n` messages.
+//! * [`uf_reduction`] — Lemma 3.1 / Theorem 2: a sequence of `n − 1` unions
+//!   and `m` finds compiles into a knowledge graph of `2n − 1 + m` nodes
+//!   plus a staged wake-up schedule, such that an Ad-hoc resource-discovery
+//!   execution simulates the union/find sequence; Tarjan's pointer-machine
+//!   lower bound then transfers, giving `Ω(n·α(n,n))` messages.
+//!
+//! # Example
+//!
+//! ```
+//! use ard_lower_bounds::tree_adversary;
+//!
+//! let result = tree_adversary::run(4); // T(4): 15 nodes
+//! assert!(result.messages >= tree_adversary::theorem1_bound(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tree_adversary;
+pub mod uf_reduction;

@@ -1,0 +1,70 @@
+use crate::NodeId;
+
+/// Handle through which a protocol node emits messages during a handler call.
+///
+/// Sends are buffered and flushed by the [`Runner`](crate::Runner) after the
+/// handler returns, at which point the knowledge-graph constraint is
+/// enforced: the destination must be an id the sending node has learned.
+///
+/// A node cannot send to itself; the paper's algorithm "simulates the message
+/// sending internally" in the one place (a leader querying itself) where a
+/// self-message would otherwise arise.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    me: NodeId,
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(me: NodeId, outbox: &'a mut Vec<(NodeId, M)>) -> Self {
+        Context { me, outbox }
+    }
+
+    /// The id of the node this handler is running on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Queues `msg` for delivery to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to == self.me()`; protocols must handle self-interaction
+    /// internally. (The knowledge check happens at flush time in the runner.)
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert_ne!(
+            to, self.me,
+            "protocol bug: node {} attempted to send a message to itself",
+            self.me
+        );
+        self.outbox.push((to, msg));
+    }
+
+    /// Number of messages queued so far in this handler call.
+    pub fn queued(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_buffers_in_order() {
+        let mut out: Vec<(NodeId, u8)> = Vec::new();
+        let mut ctx = Context::new(NodeId::new(0), &mut out);
+        ctx.send(NodeId::new(1), 10);
+        ctx.send(NodeId::new(2), 20);
+        assert_eq!(ctx.queued(), 2);
+        assert_eq!(out, vec![(NodeId::new(1), 10), (NodeId::new(2), 20)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send a message to itself")]
+    fn self_send_panics() {
+        let mut out: Vec<(NodeId, u8)> = Vec::new();
+        let mut ctx = Context::new(NodeId::new(3), &mut out);
+        ctx.send(NodeId::new(3), 1);
+    }
+}

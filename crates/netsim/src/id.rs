@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Identifier of a node in the simulated network.
+///
+/// In the paper a node id is a unique `O(log n)`-bit string (an IP address);
+/// here it is a dense index into the simulation's node table. The *bit* cost
+/// of shipping an id inside a message is accounted separately (see
+/// [`Metrics::id_bits`](crate::Metrics::id_bits)), so the representation
+/// width of this type does not affect measured bit complexity.
+///
+/// # Example
+///
+/// ```
+/// use ard_netsim::NodeId;
+///
+/// let id = NodeId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(3) < NodeId::new(4));
+        assert_eq!(NodeId::new(9), NodeId::new(9));
+    }
+
+    #[test]
+    fn debug_and_display_match() {
+        let id = NodeId::new(42);
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(format!("{id}"), "n42");
+    }
+}

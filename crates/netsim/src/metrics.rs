@@ -1,0 +1,204 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Message and bit counters for one message kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Number of messages of this kind sent.
+    pub messages: u64,
+    /// Total bits of all messages of this kind.
+    pub bits: u64,
+    /// Size of the largest single message of this kind, in bits.
+    pub max_bits: u64,
+}
+
+/// Accumulated communication cost of a simulation run.
+///
+/// Costs are charged at *send* time (the paper counts messages sent; in a
+/// reliable network every sent message is eventually delivered, and the
+/// simulator's quiescence condition guarantees that before reporting).
+///
+/// Bit accounting follows the paper: each id costs `id_bits = ⌈log₂ n⌉`
+/// bits, and each message additionally pays its non-id payload plus a
+/// constant kind tag (see [`Envelope`](crate::Envelope)).
+///
+/// # Example
+///
+/// ```
+/// use ard_netsim::Metrics;
+///
+/// let mut m = Metrics::new(10); // ids are 10 bits wide
+/// m.record("search", 2, 5);     // 2 ids + 5 aux bits
+/// m.record("search", 1, 5);
+/// assert_eq!(m.total_messages(), 2);
+/// assert_eq!(m.kind("search").messages, 2);
+/// // 2*10+5+4 plus 1*10+5+4
+/// assert_eq!(m.total_bits(), 29 + 19);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    id_bits: u64,
+    per_kind: BTreeMap<&'static str, KindCounts>,
+    deliveries: u64,
+    wakeups: u64,
+    max_causal_depth: u64,
+    max_link_queue: usize,
+}
+
+impl Metrics {
+    /// Creates an empty meter where each id costs `id_bits` bits.
+    pub fn new(id_bits: u64) -> Self {
+        Metrics {
+            id_bits,
+            ..Metrics::default()
+        }
+    }
+
+    /// The configured width of one id, in bits.
+    pub fn id_bits(&self) -> u64 {
+        self.id_bits
+    }
+
+    /// Records the send of one message of `kind` carrying `ids` node ids and
+    /// `aux_bits` bits of non-id payload.
+    pub fn record(&mut self, kind: &'static str, ids: usize, aux_bits: u64) {
+        let entry = self.per_kind.entry(kind).or_default();
+        entry.messages += 1;
+        let bits = ids as u64 * self.id_bits + aux_bits + crate::envelope::KIND_TAG_BITS;
+        entry.bits += bits;
+        entry.max_bits = entry.max_bits.max(bits);
+    }
+
+    pub(crate) fn record_delivery(&mut self, causal_depth: u64) {
+        self.deliveries += 1;
+        self.max_causal_depth = self.max_causal_depth.max(causal_depth);
+    }
+
+    pub(crate) fn record_wakeup(&mut self) {
+        self.wakeups += 1;
+    }
+
+    pub(crate) fn observe_link_queue(&mut self, len: usize) {
+        self.max_link_queue = self.max_link_queue.max(len);
+    }
+
+    /// Total messages sent, over all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.per_kind.values().map(|c| c.messages).sum()
+    }
+
+    /// Total bits sent, over all kinds.
+    pub fn total_bits(&self) -> u64 {
+        self.per_kind.values().map(|c| c.bits).sum()
+    }
+
+    /// Counters for one message kind (zero if never seen).
+    pub fn kind(&self, kind: &str) -> KindCounts {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(kind, counters)` pairs in kind order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindCounts)> + '_ {
+        self.per_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Sums the message counts of every kind whose name is in `kinds`.
+    pub fn messages_of(&self, kinds: &[&str]) -> u64 {
+        kinds.iter().map(|k| self.kind(k).messages).sum()
+    }
+
+    /// Sums the bit counts of every kind whose name is in `kinds`.
+    pub fn bits_of(&self, kinds: &[&str]) -> u64 {
+        kinds.iter().map(|k| self.kind(k).bits).sum()
+    }
+
+    /// Number of messages actually delivered so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Number of node wake-ups processed.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+
+    /// Length of the longest message-causality chain observed.
+    ///
+    /// This is the standard asynchronous-time measure: a message sent while
+    /// handling an event at depth `d` has depth `d + 1`, and wake-ups have
+    /// depth `0`. It corresponds to the round count the same execution would
+    /// need in a synchronous network.
+    pub fn max_causal_depth(&self) -> u64 {
+        self.max_causal_depth
+    }
+
+    /// Deepest per-link FIFO queue observed during the run.
+    pub fn max_link_queue(&self) -> usize {
+        self.max_link_queue
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} messages / {} bits (id width {} bits, causal depth {})",
+            self.total_messages(),
+            self.total_bits(),
+            self.id_bits,
+            self.max_causal_depth
+        )?;
+        for (kind, counts) in &self.per_kind {
+            writeln!(
+                f,
+                "  {:<14} {:>10} msgs {:>14} bits",
+                kind, counts.messages, counts.bits
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_kind() {
+        let mut m = Metrics::new(8);
+        m.record("a", 1, 0);
+        m.record("a", 2, 3);
+        m.record("b", 0, 1);
+        assert_eq!(m.kind("a").messages, 2);
+        assert_eq!(m.kind("a").bits, (8 + 4) + (16 + 3 + 4));
+        assert_eq!(m.kind("a").max_bits, 16 + 3 + 4);
+        assert_eq!(m.kind("b").messages, 1);
+        assert_eq!(m.kind("missing"), KindCounts::default());
+        assert_eq!(m.total_messages(), 3);
+    }
+
+    #[test]
+    fn grouped_sums() {
+        let mut m = Metrics::new(4);
+        m.record("x", 1, 0);
+        m.record("y", 1, 0);
+        m.record("z", 1, 0);
+        assert_eq!(m.messages_of(&["x", "z"]), 2);
+        assert_eq!(m.bits_of(&["x", "y", "z"]), m.total_bits());
+    }
+
+    #[test]
+    fn causal_depth_is_max() {
+        let mut m = Metrics::new(4);
+        m.record_delivery(3);
+        m.record_delivery(1);
+        assert_eq!(m.max_causal_depth(), 3);
+        assert_eq!(m.deliveries(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Metrics::new(4);
+        assert!(!m.to_string().is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::NodeId;
+
+/// A pending-message token handed to schedulers when a message is sent.
+///
+/// Tokens are anonymous per link: the runner always delivers the *oldest*
+/// message of the chosen link, so per-link FIFO order holds no matter which
+/// token the scheduler consumes. Schedulers therefore only need to decide
+/// *which link* progresses next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendToken {
+    /// Sender of the message.
+    pub src: NodeId,
+    /// Destination of the message.
+    pub dst: NodeId,
+    /// Global send sequence number (strictly increasing).
+    pub seq: u64,
+    /// Message kind, as reported by [`Envelope::kind`](crate::Envelope::kind).
+    pub kind: &'static str,
+}
+
+/// One step the scheduler wants the runner to perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Wake the given node (it must have a pending wake-up token).
+    Wake(NodeId),
+    /// Deliver the oldest in-flight message on the link `src → dst`.
+    Deliver {
+        /// Sender side of the link.
+        src: NodeId,
+        /// Receiver side of the link.
+        dst: NodeId,
+    },
+}
+
+/// Message-delay and wake-up-order policy: the "adversary" of the
+/// asynchronous model.
+///
+/// The runner notifies the scheduler of every send and every enqueued
+/// wake-up; [`choose`](Scheduler::choose) then picks the next event. The
+/// contract is:
+///
+/// * every token passed to [`note_send`](Scheduler::note_send) /
+///   [`note_wake`](Scheduler::note_wake) must eventually be returned by
+///   `choose` (finite but *unbounded* delay — an adversary may starve an
+///   event only for as long as other events remain);
+/// * `choose` returns `None` exactly when no tokens remain, which is the
+///   quiescence condition of the paper's liveness requirement.
+///
+/// Lower-bound adversaries (e.g. the subtree-freezing adversary of
+/// Theorem 1) implement this trait; see the `ard-lower-bounds` crate.
+pub trait Scheduler {
+    /// Observes a node wake-up being enqueued.
+    fn note_wake(&mut self, node: NodeId);
+    /// Observes a message being sent.
+    fn note_send(&mut self, token: SendToken);
+    /// Picks the next event, or `None` if the network is quiescent.
+    fn choose(&mut self) -> Option<Choice>;
+    /// Number of pending tokens (wake-ups plus messages).
+    fn pending(&self) -> usize;
+}
+
+fn token_choice(token: SendToken) -> Choice {
+    Choice::Deliver {
+        src: token.src,
+        dst: token.dst,
+    }
+}
+
+/// Delivers every event in global arrival order (wake-ups and sends
+/// interleaved exactly as they were enqueued).
+///
+/// This is the "benign" schedule: a network where every message takes the
+/// same unit delay.
+///
+/// # Example
+///
+/// ```
+/// use ard_netsim::{Choice, FifoScheduler, NodeId, Scheduler, SendToken};
+///
+/// let mut s = FifoScheduler::new();
+/// s.note_wake(NodeId::new(0));
+/// s.note_send(SendToken { src: NodeId::new(0), dst: NodeId::new(1), seq: 0, kind: "m" });
+/// assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
+/// assert!(matches!(s.choose(), Some(Choice::Deliver { .. })));
+/// assert_eq!(s.choose(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<Choice>,
+}
+
+impl FifoScheduler {
+    /// Creates an empty FIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn note_wake(&mut self, node: NodeId) {
+        self.queue.push_back(Choice::Wake(node));
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.queue.push_back(token_choice(token));
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        self.queue.pop_front()
+    }
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Delivers the *most recent* event first (a stack).
+///
+/// A simple deterministic "hostile" order that maximally reorders causally
+/// independent events; useful for shaking out ordering assumptions in tests.
+#[derive(Debug, Default)]
+pub struct LifoScheduler {
+    stack: Vec<Choice>,
+}
+
+impl LifoScheduler {
+    /// Creates an empty LIFO scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for LifoScheduler {
+    fn note_wake(&mut self, node: NodeId) {
+        self.stack.push(Choice::Wake(node));
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.stack.push(token_choice(token));
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        self.stack.pop()
+    }
+    fn pending(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Picks a uniformly random pending event each step, from a seeded RNG.
+///
+/// This explores the space of asynchronous interleavings reproducibly: the
+/// same seed yields the same execution. It is the workhorse scheduler of the
+/// reproduction's property tests and complexity sweeps.
+///
+/// # Example
+///
+/// ```
+/// use ard_netsim::{NodeId, RandomScheduler, Scheduler};
+///
+/// let mut s = RandomScheduler::seeded(42);
+/// s.note_wake(NodeId::new(0));
+/// s.note_wake(NodeId::new(1));
+/// assert!(s.choose().is_some());
+/// assert!(s.choose().is_some());
+/// assert!(s.choose().is_none());
+/// ```
+#[derive(Debug)]
+pub struct RandomScheduler {
+    pool: Vec<Choice>,
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomScheduler {
+            pool: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn note_wake(&mut self, node: NodeId) {
+        self.pool.push(Choice::Wake(node));
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.pool.push(token_choice(token));
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.pool.len());
+        Some(self.pool.swap_remove(i))
+    }
+    fn pending(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+/// A *partially synchronous* scheduler: picks randomly like
+/// [`RandomScheduler`], but once the oldest pending event has waited
+/// `max_delay` scheduling steps it is delivered first — so events drain
+/// oldest-first under backlog and nothing is ever starved (an event's wait
+/// is bounded by `max_delay` plus the backlog ahead of it).
+///
+/// Useful for modelling realistic networks (delays vary but are bounded)
+/// and for showing that the paper's algorithms, proven for unbounded
+/// delays, of course also run under bounded ones. With `max_delay = 1` the
+/// schedule degenerates to global FIFO.
+///
+/// # Example
+///
+/// ```
+/// use ard_netsim::{BoundedDelayScheduler, NodeId, Scheduler};
+///
+/// let mut s = BoundedDelayScheduler::new(4, 42);
+/// s.note_wake(NodeId::new(0));
+/// assert!(s.choose().is_some());
+/// assert!(s.choose().is_none());
+/// ```
+#[derive(Debug)]
+pub struct BoundedDelayScheduler {
+    /// Pending events with the step at which each was enqueued, oldest first.
+    pending: VecDeque<(Choice, u64)>,
+    max_delay: u64,
+    step: u64,
+    rng: StdRng,
+}
+
+impl BoundedDelayScheduler {
+    /// Creates a scheduler where no event waits more than `max_delay`
+    /// scheduling steps (`max_delay ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay == 0`.
+    pub fn new(max_delay: u64, seed: u64) -> Self {
+        assert!(max_delay >= 1, "a zero delay bound admits no schedule");
+        BoundedDelayScheduler {
+            pending: VecDeque::new(),
+            max_delay,
+            step: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured delay bound.
+    pub fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+}
+
+impl Scheduler for BoundedDelayScheduler {
+    fn note_wake(&mut self, node: NodeId) {
+        self.pending.push_back((Choice::Wake(node), self.step));
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.pending.push_back((token_choice(token), self.step));
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.step += 1;
+        let overdue = self
+            .pending
+            .front()
+            .is_some_and(|&(_, enqueued)| self.step.saturating_sub(enqueued) >= self.max_delay);
+        let index = if overdue {
+            0
+        } else {
+            self.rng.gen_range(0..self.pending.len())
+        };
+        // O(len) removal keeps the deque age-ordered; schedulers run at test
+        // scale where this is irrelevant.
+        self.pending.remove(index).map(|(c, _)| c)
+    }
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn token(src: usize, dst: usize, seq: u64) -> SendToken {
+        SendToken {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            seq,
+            kind: "t",
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_global_order() {
+        let mut s = FifoScheduler::new();
+        s.note_send(token(0, 1, 0));
+        s.note_wake(NodeId::new(2));
+        s.note_send(token(1, 0, 1));
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1)
+            })
+        );
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(2))));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn lifo_reverses_order() {
+        let mut s = LifoScheduler::new();
+        s.note_wake(NodeId::new(0));
+        s.note_wake(NodeId::new(1));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(1))));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
+    }
+
+    #[test]
+    fn bounded_delay_never_starves() {
+        // Feed one uniquely-identifiable event per step while draining one
+        // per step: an event's wait is bounded by max_delay plus the backlog
+        // ahead of it, so its delivery position stays close to its arrival
+        // position (no starvation, unlike a pure random scheduler).
+        let d = 3usize;
+        let mut s = BoundedDelayScheduler::new(d as u64, 0);
+        let total = 200usize;
+        let mut delivered: Vec<usize> = Vec::new();
+        for i in 0..total {
+            s.note_send(token(i, i + 1, i as u64)); // src encodes the index
+            if let Some(Choice::Deliver { src, .. }) = s.choose() {
+                delivered.push(src.index());
+            }
+        }
+        while let Some(Choice::Deliver { src, .. }) = s.choose() {
+            delivered.push(src.index());
+        }
+        assert_eq!(s.pending(), 0);
+        assert_eq!(delivered.len(), total);
+        for (position, &index) in delivered.iter().enumerate() {
+            let displacement = position.abs_diff(index);
+            assert!(
+                displacement <= 2 * d + 2,
+                "event {index} delivered at position {position} (displacement {displacement})"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_delay_forces_overdue_head() {
+        let mut s = BoundedDelayScheduler::new(1, 7);
+        for i in 0..20 {
+            s.note_send(token(i, i + 1, i as u64));
+        }
+        // With max_delay = 1 every choose must take the oldest event: the
+        // schedule degenerates to FIFO.
+        for i in 0..20 {
+            assert_eq!(
+                s.choose(),
+                Some(Choice::Deliver {
+                    src: NodeId::new(i),
+                    dst: NodeId::new(i + 1)
+                })
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero delay bound")]
+    fn zero_delay_bound_rejected() {
+        let _ = BoundedDelayScheduler::new(0, 0);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_exhaustive() {
+        let run = |seed| {
+            let mut s = RandomScheduler::seeded(seed);
+            for i in 0..10 {
+                s.note_wake(NodeId::new(i));
+            }
+            let mut order = Vec::new();
+            while let Some(c) = s.choose() {
+                order.push(c);
+            }
+            order
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let mut nodes: Vec<_> = a
+            .iter()
+            .map(|c| match c {
+                Choice::Wake(n) => n.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, (0..10).collect::<Vec<_>>());
+    }
+}

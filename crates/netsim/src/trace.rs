@@ -1,0 +1,325 @@
+//! Execution tracing: an optional, ordered log of every wake-up, send and
+//! delivery, for debugging protocols and for rendering executions in
+//! documentation.
+//!
+//! Tracing is off by default (zero cost); enable it with
+//! [`Runner::enable_trace`](crate::Runner::enable_trace).
+//!
+//! # Example
+//!
+//! ```
+//! use ard_netsim::trace::TraceEvent;
+//! # use ard_netsim::{Context, Envelope, FifoScheduler, NodeId, Protocol, Runner};
+//! # #[derive(Clone, Debug)]
+//! # struct Ping;
+//! # impl Envelope for Ping {
+//! #     fn kind(&self) -> &'static str { "ping" }
+//! #     fn carried_ids(&self) -> Vec<NodeId> { Vec::new() }
+//! #     fn aux_bits(&self) -> u64 { 0 }
+//! # }
+//! # struct Node { peer: Option<NodeId> }
+//! # impl Protocol for Node {
+//! #     type Message = Ping;
+//! #     fn on_wake(&mut self, ctx: &mut Context<'_, Ping>) {
+//! #         if let Some(p) = self.peer { ctx.send(p, Ping); }
+//! #     }
+//! #     fn on_message(&mut self, _: NodeId, _: Ping, _: &mut Context<'_, Ping>) {}
+//! # }
+//! let mut runner = Runner::new(
+//!     vec![Node { peer: Some(NodeId::new(1)) }, Node { peer: None }],
+//!     vec![vec![NodeId::new(1)], vec![]],
+//! );
+//! runner.enable_trace();
+//! let mut sched = FifoScheduler::new();
+//! runner.enqueue_wake(NodeId::new(0), &mut sched);
+//! runner.run(&mut sched, 10).unwrap();
+//!
+//! let trace = runner.trace().unwrap();
+//! // wake(n0), send, deliver, message-triggered wake(n1)
+//! assert_eq!(trace.len(), 4);
+//! assert!(matches!(trace.events()[0], TraceEvent::Wake { .. }));
+//! println!("{}", trace.render(10));
+//! ```
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// One logged simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node woke up.
+    Wake {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A message was sent (buffered onto its link).
+    Send {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind.
+        kind: &'static str,
+        /// Global send sequence number.
+        seq: u64,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind.
+        kind: &'static str,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Wake { node, step } => write!(f, "[{step:>6}] wake    {node}"),
+            TraceEvent::Send {
+                src,
+                dst,
+                kind,
+                seq,
+                step,
+            } => {
+                write!(f, "[{step:>6}] send    {src} → {dst}  {kind} (#{seq})")
+            }
+            TraceEvent::Deliver {
+                src,
+                dst,
+                kind,
+                step,
+            } => {
+                write!(f, "[{step:>6}] deliver {src} → {dst}  {kind}")
+            }
+        }
+    }
+}
+
+/// The accumulated event log of a traced run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of logged events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events involving `node` (as waker, sender or receiver).
+    pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| match e {
+            TraceEvent::Wake { node: n, .. } => *n == node,
+            TraceEvent::Send { src, dst, .. } | TraceEvent::Deliver { src, dst, .. } => {
+                *src == node || *dst == node
+            }
+        })
+    }
+
+    /// Renders up to `limit` events as text, one per line (with a final
+    /// elision marker if truncated).
+    pub fn render(&self, limit: usize) -> String {
+        let mut out = String::new();
+        for event in self.events.iter().take(limit) {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+        if self.events.len() > limit {
+            out.push_str(&format!("… {} more events\n", self.events.len() - limit));
+        }
+        out
+    }
+}
+
+/// Aggregated per-node and per-link statistics of a trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    /// Messages sent per node.
+    pub sends_by_node: std::collections::BTreeMap<NodeId, u64>,
+    /// Messages received per node.
+    pub receives_by_node: std::collections::BTreeMap<NodeId, u64>,
+    /// Messages delivered per directed link.
+    pub messages_by_link: std::collections::BTreeMap<(NodeId, NodeId), u64>,
+}
+
+impl TraceStats {
+    /// The node that sent the most messages, with its count.
+    pub fn busiest_sender(&self) -> Option<(NodeId, u64)> {
+        self.sends_by_node
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(&n, &c)| (n, c))
+    }
+
+    /// The directed link that carried the most messages, with its count.
+    pub fn busiest_link(&self) -> Option<((NodeId, NodeId), u64)> {
+        self.messages_by_link
+            .iter()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(&l, &c)| (l, c))
+    }
+
+    /// The `k` heaviest senders, descending.
+    pub fn top_senders(&self, k: usize) -> Vec<(NodeId, u64)> {
+        let mut all: Vec<(NodeId, u64)> =
+            self.sends_by_node.iter().map(|(&n, &c)| (n, c)).collect();
+        all.sort_by_key(|&(n, c)| (std::cmp::Reverse(c), n));
+        all.truncate(k);
+        all
+    }
+}
+
+impl Trace {
+    /// Computes per-node and per-link aggregates over the whole log.
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        for event in &self.events {
+            match *event {
+                TraceEvent::Wake { .. } => {}
+                TraceEvent::Send { src, .. } => {
+                    *stats.sends_by_node.entry(src).or_default() += 1;
+                }
+                TraceEvent::Deliver { src, dst, .. } => {
+                    *stats.receives_by_node.entry(dst).or_default() += 1;
+                    *stats.messages_by_link.entry((src, dst)).or_default() += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_aggregate_sends_receives_and_links() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::Wake {
+            node: NodeId::new(0),
+            step: 0,
+        });
+        for i in 0..3 {
+            t.push(TraceEvent::Send {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                kind: "x",
+                seq: i,
+                step: i,
+            });
+            t.push(TraceEvent::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                kind: "x",
+                step: i + 1,
+            });
+        }
+        t.push(TraceEvent::Send {
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            kind: "y",
+            seq: 3,
+            step: 5,
+        });
+        t.push(TraceEvent::Deliver {
+            src: NodeId::new(1),
+            dst: NodeId::new(0),
+            kind: "y",
+            step: 6,
+        });
+        let s = t.stats();
+        assert_eq!(s.busiest_sender(), Some((NodeId::new(0), 3)));
+        assert_eq!(
+            s.busiest_link(),
+            Some(((NodeId::new(0), NodeId::new(1)), 3))
+        );
+        assert_eq!(s.receives_by_node[&NodeId::new(0)], 1);
+        assert_eq!(s.top_senders(5).len(), 2);
+        assert_eq!(s.top_senders(1), vec![(NodeId::new(0), 3)]);
+    }
+
+    #[test]
+    fn empty_trace_has_empty_stats() {
+        let t = Trace::default();
+        let s = t.stats();
+        assert!(s.busiest_sender().is_none());
+        assert!(s.busiest_link().is_none());
+        assert!(s.top_senders(3).is_empty());
+    }
+
+    #[test]
+    fn involving_filters_by_participant() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::Wake {
+            node: NodeId::new(0),
+            step: 0,
+        });
+        t.push(TraceEvent::Send {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            kind: "x",
+            seq: 0,
+            step: 1,
+        });
+        t.push(TraceEvent::Wake {
+            node: NodeId::new(2),
+            step: 2,
+        });
+        assert_eq!(t.involving(NodeId::new(1)).count(), 1);
+        assert_eq!(t.involving(NodeId::new(0)).count(), 2);
+        assert_eq!(t.involving(NodeId::new(3)).count(), 0);
+    }
+
+    #[test]
+    fn render_truncates() {
+        let mut t = Trace::default();
+        for i in 0..5 {
+            t.push(TraceEvent::Wake {
+                node: NodeId::new(i),
+                step: i as u64,
+            });
+        }
+        let s = t.render(2);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("3 more events"));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let e = TraceEvent::Deliver {
+            src: NodeId::new(1),
+            dst: NodeId::new(2),
+            kind: "search",
+            step: 42,
+        };
+        assert_eq!(e.to_string(), "[    42] deliver n1 → n2  search");
+    }
+}

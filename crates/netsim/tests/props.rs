@@ -1,0 +1,193 @@
+//! Property-based tests of the simulator's core guarantees: per-link FIFO
+//! under arbitrary schedules, knowledge monotonicity, metering consistency
+//! and quiescence.
+
+use proptest::prelude::*;
+
+use ard_netsim::{
+    BoundedDelayScheduler, Context, Envelope, FifoScheduler, LifoScheduler, NodeId, Protocol,
+    RandomScheduler, Runner, Scheduler,
+};
+
+/// A message carrying a per-sender sequence number.
+#[derive(Clone, Debug)]
+struct Numbered {
+    seq: u32,
+    payload_ids: Vec<NodeId>,
+}
+
+impl Envelope for Numbered {
+    fn kind(&self) -> &'static str {
+        "numbered"
+    }
+    fn carried_ids(&self) -> Vec<NodeId> {
+        self.payload_ids.clone()
+    }
+    fn aux_bits(&self) -> u64 {
+        32
+    }
+}
+
+/// Each node, on wake, sends a numbered burst to every initially-known peer
+/// and introduces one random known id per message; receivers assert
+/// per-sender ordering.
+struct BurstNode {
+    peers: Vec<NodeId>,
+    burst: u32,
+    last_seen: std::collections::HashMap<NodeId, u32>,
+    violations: usize,
+}
+
+impl Protocol for BurstNode {
+    type Message = Numbered;
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Numbered>) {
+        for s in 0..self.burst {
+            for (i, &p) in self.peers.iter().enumerate() {
+                // Introduce another peer's id in the payload (knowledge).
+                let intro = self.peers[(i + s as usize) % self.peers.len()];
+                ctx.send(
+                    p,
+                    Numbered {
+                        seq: s,
+                        payload_ids: vec![intro],
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Numbered, _ctx: &mut Context<'_, Numbered>) {
+        let prev = self.last_seen.insert(from, msg.seq);
+        if let Some(prev) = prev {
+            if msg.seq <= prev {
+                self.violations += 1;
+            }
+        }
+    }
+}
+
+fn build(n: usize, degree: usize, burst: u32) -> Runner<BurstNode> {
+    let peers_of = |i: usize| -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = (1..=degree)
+            .map(|d| NodeId::new((i + d) % n))
+            .filter(|&p| p != NodeId::new(i))
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    };
+    let nodes = (0..n)
+        .map(|i| BurstNode {
+            peers: peers_of(i),
+            burst,
+            last_seen: Default::default(),
+            violations: 0,
+        })
+        .collect();
+    let knowledge = (0..n).map(peers_of).collect();
+    Runner::new(nodes, knowledge)
+}
+
+fn run_with(sched: &mut dyn Scheduler, n: usize, degree: usize, burst: u32) -> Runner<BurstNode> {
+    let mut runner = build(n, degree, burst);
+    runner.enqueue_wake_all(sched);
+    runner.run(sched, 1_000_000).expect("quiesces");
+    runner
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Per-link FIFO holds for every scheduler, seed and load.
+    #[test]
+    fn per_link_fifo_always_holds(
+        n in 2usize..12,
+        degree in 1usize..4,
+        burst in 1u32..8,
+        seed in 0u64..10_000,
+        kind in 0u8..4,
+    ) {
+        let mut sched: Box<dyn Scheduler> = match kind {
+            0 => Box::new(FifoScheduler::new()),
+            1 => Box::new(LifoScheduler::new()),
+            2 => Box::new(RandomScheduler::seeded(seed)),
+            _ => Box::new(BoundedDelayScheduler::new(1 + seed % 9, seed)),
+        };
+        let runner = run_with(sched.as_mut(), n, degree, burst);
+        for node in runner.nodes() {
+            prop_assert_eq!(node.violations, 0);
+        }
+    }
+
+    /// Message and delivery counts agree at quiescence, whatever the
+    /// schedule (reliable network: everything sent is delivered).
+    #[test]
+    fn sent_equals_delivered_at_quiescence(
+        n in 2usize..10,
+        burst in 1u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut sched = RandomScheduler::seeded(seed);
+        let runner = run_with(&mut sched, n, 2, burst);
+        prop_assert_eq!(runner.metrics().total_messages(), runner.metrics().deliveries());
+        prop_assert!(runner.links_empty());
+    }
+
+    /// Knowledge only grows, and every delivered payload id is known to the
+    /// receiver afterwards.
+    #[test]
+    fn knowledge_is_monotone_and_covers_payloads(
+        n in 3usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let mut sched = RandomScheduler::seeded(seed);
+        let mut runner = build(n, 2, 2);
+        runner.enqueue_wake_all(&mut sched);
+        // Snapshot knowledge after each step; it must never shrink.
+        let mut before: Vec<Vec<bool>> = (0..n)
+            .map(|u| (0..n).map(|v| runner.knows(NodeId::new(u), NodeId::new(v))).collect())
+            .collect();
+        while runner.step(&mut sched) {
+            for (u, row) in before.iter_mut().enumerate() {
+                for (v, was_known) in row.iter_mut().enumerate() {
+                    let now = runner.knows(NodeId::new(u), NodeId::new(v));
+                    prop_assert!(now || !*was_known, "knowledge shrank at {u}→{v}");
+                    *was_known = now;
+                }
+            }
+        }
+        // Receivers know every sender they heard from.
+        for u in 0..n {
+            for &from in runner.node(NodeId::new(u)).last_seen.keys() {
+                prop_assert!(runner.knows(NodeId::new(u), from));
+            }
+        }
+    }
+
+    /// The same seed gives the same execution (full determinism).
+    #[test]
+    fn executions_are_deterministic(n in 2usize..10, seed in 0u64..10_000) {
+        let run = |seed| {
+            let mut sched = RandomScheduler::seeded(seed);
+            let runner = run_with(&mut sched, n, 2, 3);
+            (
+                runner.metrics().total_messages(),
+                runner.metrics().total_bits(),
+                runner.metrics().max_causal_depth(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Total messages are schedule-independent for this oblivious workload
+    /// (every node sends a fixed burst regardless of what it receives).
+    #[test]
+    fn fixed_workload_is_schedule_independent(n in 2usize..10, seed in 0u64..10_000) {
+        let mut fifo = FifoScheduler::new();
+        let mut rand_sched = RandomScheduler::seeded(seed);
+        let a = run_with(&mut fifo, n, 2, 3).metrics().total_messages();
+        let b = run_with(&mut rand_sched, n, 2, 3).metrics().total_messages();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the overlay: routing always agrees with the
+//! offline oracle and the store behaves like a map, for arbitrary
+//! memberships, keys and schedules.
+
+use proptest::prelude::*;
+
+use ard_netsim::{NodeId, RandomScheduler};
+use ard_overlay::{bootstrap, key_of, Key, RingTable};
+
+use std::collections::{BTreeSet, HashMap};
+
+fn arbitrary_members() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::btree_set(0usize..500, 1..40)
+        .prop_map(|set| set.into_iter().map(NodeId::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Distributed lookups always return the oracle owner.
+    #[test]
+    fn lookups_match_oracle(
+        members in arbitrary_members(),
+        raw_keys in prop::collection::vec(any::<u64>(), 1..12),
+        seed in 0u64..100_000,
+    ) {
+        let mut overlay = bootstrap(&members);
+        let mut sched = RandomScheduler::seeded(seed);
+        for (i, raw) in raw_keys.iter().enumerate() {
+            let key = Key::new(*raw);
+            let from = members[i % members.len()];
+            let r = overlay.lookup_blocking(from, key, &mut sched).unwrap();
+            prop_assert_eq!(r.owner, overlay.ring().owner(key));
+        }
+    }
+
+    /// The store behaves exactly like a `HashMap` oracle under arbitrary
+    /// interleavings of puts and gets from arbitrary members.
+    #[test]
+    fn store_matches_map_oracle(
+        members in arbitrary_members(),
+        ops in prop::collection::vec((any::<u64>(), any::<u64>(), any::<bool>(), 0usize..40), 1..25),
+        seed in 0u64..100_000,
+    ) {
+        let mut overlay = bootstrap(&members);
+        let mut sched = RandomScheduler::seeded(seed);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for (raw, value, is_put, who) in ops {
+            let from = members[who % members.len()];
+            // Bucket keys so puts and gets actually collide sometimes.
+            let raw = raw % 16;
+            let key = Key::new(raw);
+            if is_put {
+                overlay.put_blocking(from, key, value, &mut sched).unwrap();
+                oracle.insert(raw, value);
+            } else {
+                let got = overlay.get_blocking(from, key, &mut sched).unwrap();
+                prop_assert_eq!(got.value, oracle.get(&raw).copied());
+            }
+        }
+        prop_assert_eq!(overlay.stored_total(), oracle.len());
+    }
+
+    /// Ring placement invariants: distinct keys, closed successor cycle,
+    /// owner is idempotent under re-bootstrap.
+    #[test]
+    fn ring_invariants(members in arbitrary_members()) {
+        let ring = RingTable::new(&members);
+        let keys: BTreeSet<Key> = members.iter().map(|&m| key_of(m)).collect();
+        prop_assert_eq!(keys.len(), members.len());
+        // Successor cycle visits everyone exactly once.
+        let start = members[0];
+        let mut cur = start;
+        let mut visited = BTreeSet::new();
+        loop {
+            prop_assert!(visited.insert(cur));
+            cur = ring.successor_of(cur);
+            if cur == start {
+                break;
+            }
+        }
+        prop_assert_eq!(visited.len(), members.len());
+        // Stability: a rebuilt ring owns identically.
+        let ring2 = RingTable::new(&members);
+        for probe in [0u64, u64::MAX / 2, u64::MAX] {
+            prop_assert_eq!(ring.owner(Key::new(probe)), ring2.owner(Key::new(probe)));
+        }
+    }
+}

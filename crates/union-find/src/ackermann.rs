@@ -1,0 +1,153 @@
+//! Ackermann's function and its inverse, exactly as defined in the paper:
+//!
+//! > α(m, n) = min{ i ≥ 1 | A(i, ⌊m/n⌋) > log n }, where for m = 0:
+//! > A(0, n) = n + 1; for m > 0, n = 0: A(m, 0) = A(m − 1, 1); for
+//! > m > 0, n > 0: A(m, n) = A(m − 1, A(m, n − 1)).
+
+/// Values above this are treated as "infinite"; `A` explodes so fast that a
+/// saturating cap loses nothing for computing `α` on any feasible input.
+const CAP: u64 = 1 << 60;
+
+/// Ackermann's function `A(i, j)`, saturating at `2^60`.
+///
+/// Closed forms are used for the first rows (`A(0,j) = j+1`, `A(1,j) = j+2`,
+/// `A(2,j) = 2j+3`, `A(3,j) = 2^(j+3) − 3`); higher rows recurse and
+/// saturate almost immediately.
+///
+/// # Example
+///
+/// ```
+/// use ard_union_find::ackermann;
+///
+/// assert_eq!(ackermann(0, 5), 6);
+/// assert_eq!(ackermann(1, 5), 7);
+/// assert_eq!(ackermann(2, 5), 13);
+/// assert_eq!(ackermann(3, 2), 29);
+/// assert_eq!(ackermann(4, 0), 13);
+/// ```
+pub fn ackermann(i: u64, j: u64) -> u64 {
+    match i {
+        0 => (j + 1).min(CAP),
+        1 => (j + 2).min(CAP),
+        2 => (2 * j + 3).min(CAP),
+        3 => {
+            if j + 3 >= 60 {
+                CAP
+            } else {
+                (1u64 << (j + 3)) - 3
+            }
+        }
+        _ => {
+            // A(i, 0) = A(i−1, 1); A(i, j) = A(i−1, A(i, j−1)).
+            let mut value = ackermann(i - 1, 1);
+            for _ in 0..j {
+                if value >= CAP {
+                    return CAP;
+                }
+                value = ackermann(i - 1, value);
+            }
+            value
+        }
+    }
+}
+
+/// The paper's inverse Ackermann function `α(m, n)`.
+///
+/// `α(m, n) = min{ i ≥ 1 | A(i, ⌊m/n⌋) > log₂ n }`. For `n ≤ 1` (where
+/// `log n ≤ 0` and any row exceeds it) the result is `1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` with `m > 0` (the ratio `m/n` is undefined).
+///
+/// # Example
+///
+/// ```
+/// use ard_union_find::alpha;
+///
+/// assert_eq!(alpha(4, 4), 1);           // A(1, 1) = 3 > log₂ 4 = 2
+/// assert!(alpha(1 << 20, 1 << 20) <= 4);
+/// assert!(alpha(u64::MAX / 2, 4) == 1); // huge m/n ratio: first row suffices
+/// ```
+pub fn alpha(m: u64, n: u64) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    let ratio = m / n;
+    let log_n = 63 - n.leading_zeros() as u64; // ⌊log₂ n⌋
+    let mut i = 1;
+    loop {
+        if ackermann(i, ratio) > log_n {
+            return i;
+        }
+        i += 1;
+        debug_assert!(i < 16, "alpha should never be this large");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_zero_is_successor() {
+        for j in 0..10 {
+            assert_eq!(ackermann(0, j), j + 1);
+        }
+    }
+
+    #[test]
+    fn rows_match_textbook_values() {
+        // Verify the closed forms against the raw recurrence for small args.
+        fn naive(i: u64, j: u64) -> u64 {
+            match (i, j) {
+                (0, j) => j + 1,
+                (i, 0) => naive(i - 1, 1),
+                (i, j) => naive(i - 1, naive(i, j - 1)),
+            }
+        }
+        for i in 0..4 {
+            for j in 0..5 {
+                assert_eq!(ackermann(i, j), naive(i, j), "A({i},{j})");
+            }
+        }
+        assert_eq!(ackermann(4, 0), naive(3, 1));
+    }
+
+    #[test]
+    fn explosion_saturates() {
+        assert_eq!(ackermann(4, 2), super::CAP);
+        assert_eq!(ackermann(5, 5), super::CAP);
+        assert_eq!(ackermann(3, 100), super::CAP);
+    }
+
+    #[test]
+    fn alpha_is_tiny_for_all_feasible_inputs() {
+        for exp in 1..60 {
+            let n = 1u64 << exp;
+            let a = alpha(n, n);
+            assert!((1..=4).contains(&a), "alpha({n},{n}) = {a}");
+        }
+        // α(n, n) with ratio 1: A(1,1)=3, A(2,1)=5, A(3,1)=13, A(4,1)=65533.
+        assert_eq!(alpha(1 << 2, 1 << 2), 1);
+        assert_eq!(alpha(1 << 4, 1 << 4), 2);
+        assert_eq!(alpha(1 << 12, 1 << 12), 3);
+        assert_eq!(alpha(1 << 13, 1 << 13), 4);
+    }
+
+    #[test]
+    fn alpha_decreases_in_m() {
+        // More operations per element can only lower (or keep) α.
+        let n = 1 << 16;
+        let lo = alpha(n, n);
+        let hi = alpha(64 * n, n);
+        assert!(hi <= lo);
+    }
+
+    #[test]
+    fn alpha_handles_degenerate_n() {
+        assert_eq!(alpha(0, 1), 1);
+        assert_eq!(alpha(10, 1), 1);
+        assert_eq!(alpha(0, 0), 1);
+    }
+}

@@ -1,0 +1,434 @@
+use std::fmt;
+
+/// How [`UnionFind::union`] links two roots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum UnionPolicy {
+    /// Link the lower-rank root under the higher-rank root (Tarjan's union
+    /// by rank). Required for the `O(α)` bound.
+    #[default]
+    ByRank,
+    /// Link the smaller set under the larger (union by size) — the other
+    /// classic balanced policy, also `O(α)` with compression.
+    BySize,
+    /// Always link the first argument's root under the second's. Worst-case
+    /// linear trees; used by the reproduction's ablations.
+    Naive,
+}
+
+/// How [`UnionFind::find`] restructures the path it traverses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Compression {
+    /// Full path compression: every traversed node is re-pointed at the
+    /// root. Required for the `O(α)` bound.
+    #[default]
+    Full,
+    /// Path halving: every traversed node is re-pointed at its grandparent.
+    /// Also achieves `O(α)`, with cheaper constant factors.
+    Halving,
+    /// No restructuring. Used by the reproduction's ablations.
+    Off,
+}
+
+/// Tarjan's disjoint-set forest.
+///
+/// With the default policies (union by rank + full path compression) a
+/// sequence of `m` operations on `n` elements costs `O(m·α(m, n))` pointer
+/// traversals — the bound the paper's Ad-hoc algorithm inherits. The
+/// [`traversals`](UnionFind::traversals) counter exposes the actual pointer
+/// work so the reproduction can compare data-structure cost curves against
+/// the distributed algorithm's message curves.
+///
+/// # Example
+///
+/// ```
+/// use ard_union_find::UnionFind;
+///
+/// let mut uf = UnionFind::new(5);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(3, 4));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert_eq!(uf.set_count(), 3);
+/// assert_eq!(uf.find(1), uf.find(0));
+/// ```
+#[derive(Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+    union_policy: UnionPolicy,
+    compression: Compression,
+    traversals: u64,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets with the default (optimal) policies.
+    pub fn new(n: usize) -> Self {
+        Self::with_policies(n, UnionPolicy::ByRank, Compression::Full)
+    }
+
+    /// Creates `n` singleton sets with explicit policies (for ablations).
+    pub fn with_policies(n: usize, union_policy: UnionPolicy, compression: Compression) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            size: vec![1; n],
+            sets: n,
+            union_policy,
+            compression,
+            traversals: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Total parent-pointer traversals performed by all operations so far —
+    /// the data structure's analogue of the distributed algorithm's
+    /// `search`/`release` message count.
+    pub fn traversals(&self) -> u64 {
+        self.traversals
+    }
+
+    /// Adds a fresh singleton, returning its index.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.rank.push(0);
+        self.size.push(1);
+        self.sets += 1;
+        i
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root] as usize
+    }
+
+    /// Enumerates the current sets, each as a sorted list of elements;
+    /// sets ordered by smallest member.
+    pub fn sets(&mut self) -> Vec<Vec<usize>> {
+        use std::collections::BTreeMap;
+        let mut by_root: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for x in 0..self.parent.len() {
+            let root = self.find(x);
+            by_root.entry(root).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|set| set[0]);
+        out
+    }
+
+    /// Returns the representative of `x`'s set, applying the configured
+    /// compression policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        match self.compression {
+            Compression::Full => {
+                // First pass: find the root.
+                let mut root = x;
+                while self.parent[root] != root {
+                    self.traversals += 1;
+                    root = self.parent[root];
+                }
+                // Second pass: point everything at it.
+                let mut cur = x;
+                while self.parent[cur] != root {
+                    let next = self.parent[cur];
+                    self.parent[cur] = root;
+                    cur = next;
+                }
+                root
+            }
+            Compression::Halving => {
+                let mut cur = x;
+                while self.parent[cur] != cur {
+                    self.traversals += 1;
+                    self.parent[cur] = self.parent[self.parent[cur]];
+                    cur = self.parent[cur];
+                }
+                cur
+            }
+            Compression::Off => {
+                let mut cur = x;
+                while self.parent[cur] != cur {
+                    self.traversals += 1;
+                    cur = self.parent[cur];
+                }
+                cur
+            }
+        }
+    }
+
+    /// The representative of `x`'s set without restructuring or counting
+    /// (for assertions and oracles).
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut cur = x;
+        while self.parent[cur] != cur {
+            cur = self.parent[cur];
+        }
+        cur
+    }
+
+    /// Whether `x` and `y` are currently in the same set.
+    pub fn same_set(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Merges the sets containing `x` and `y`. Returns `false` if they were
+    /// already the same set.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let rx = self.find(x);
+        let ry = self.find(y);
+        if rx == ry {
+            return false;
+        }
+        self.sets -= 1;
+        let merged_size = self.size[rx] + self.size[ry];
+        let new_root = match self.union_policy {
+            UnionPolicy::ByRank => {
+                if self.rank[rx] < self.rank[ry] {
+                    self.parent[rx] = ry;
+                    ry
+                } else if self.rank[rx] > self.rank[ry] {
+                    self.parent[ry] = rx;
+                    rx
+                } else {
+                    self.parent[ry] = rx;
+                    self.rank[rx] += 1;
+                    rx
+                }
+            }
+            UnionPolicy::BySize => {
+                if self.size[rx] < self.size[ry] {
+                    self.parent[rx] = ry;
+                    ry
+                } else {
+                    self.parent[ry] = rx;
+                    rx
+                }
+            }
+            UnionPolicy::Naive => {
+                self.parent[rx] = ry;
+                ry
+            }
+        };
+        self.size[new_root] = merged_size;
+        true
+    }
+
+    /// Depth of `x` in its tree (root has depth 0); diagnostic only.
+    pub fn depth(&self, x: usize) -> usize {
+        let mut cur = x;
+        let mut d = 0;
+        while self.parent[cur] != cur {
+            cur = self.parent[cur];
+            d += 1;
+        }
+        d
+    }
+}
+
+impl fmt::Debug for UnionFind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UnionFind(n={}, sets={}, policy={:?}/{:?})",
+            self.len(),
+            self.sets,
+            self.union_policy,
+            self.compression
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.same_set(0, 3));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.set_count(), 4);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 3));
+    }
+
+    #[test]
+    fn push_adds_singleton() {
+        let mut uf = UnionFind::new(2);
+        let c = uf.push();
+        assert_eq!(c, 2);
+        assert_eq!(uf.set_count(), 3);
+        uf.union(0, c);
+        assert!(uf.same_set(0, 2));
+    }
+
+    #[test]
+    fn full_compression_flattens() {
+        let mut uf = UnionFind::with_policies(8, UnionPolicy::Naive, Compression::Full);
+        // Chain: 0 under 1 under 2 under ... (naive unions make a path)
+        for i in 0..7 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.depth(0) > 1);
+        uf.find(0);
+        assert_eq!(uf.depth(0), 1);
+    }
+
+    #[test]
+    fn naive_without_compression_builds_deep_trees() {
+        let n = 64;
+        let mut uf = UnionFind::with_policies(n, UnionPolicy::Naive, Compression::Off);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.depth(0), n - 1);
+    }
+
+    #[test]
+    fn by_rank_keeps_trees_shallow() {
+        let n = 1024;
+        let mut uf = UnionFind::with_policies(n, UnionPolicy::ByRank, Compression::Off);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        // Union by rank alone bounds depth by log₂ n.
+        for i in 0..n {
+            assert!(uf.depth(i) <= 10, "depth({i}) = {}", uf.depth(i));
+        }
+    }
+
+    #[test]
+    fn halving_shortens_paths() {
+        let mut uf = UnionFind::with_policies(16, UnionPolicy::Naive, Compression::Halving);
+        for i in 0..15 {
+            uf.union(i, i + 1);
+        }
+        let before = uf.depth(0);
+        uf.find(0);
+        assert!(uf.depth(0) < before);
+    }
+
+    #[test]
+    fn traversals_reflect_compression() {
+        let build = |compression| {
+            let n = 4096;
+            let mut uf = UnionFind::with_policies(n, UnionPolicy::Naive, compression);
+            for i in 0..n - 1 {
+                uf.union(i, i + 1);
+            }
+            for _ in 0..4 {
+                for i in 0..n {
+                    uf.find(i);
+                }
+            }
+            uf.traversals()
+        };
+        let with = build(Compression::Full);
+        let without = build(Compression::Off);
+        assert!(
+            with * 4 < without,
+            "compression should dramatically cut traversals: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = UnionFind::new(10);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        uf.union(7, 8);
+        for i in 0..10 {
+            assert_eq!(uf.find_immutable(i), uf.clone().find(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod size_tests {
+    use super::*;
+
+    #[test]
+    fn by_size_keeps_trees_shallow() {
+        let n = 1024;
+        let mut uf = UnionFind::with_policies(n, UnionPolicy::BySize, Compression::Off);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        for i in 0..n {
+            assert!(uf.depth(i) <= 10, "depth({i}) = {}", uf.depth(i));
+        }
+    }
+
+    #[test]
+    fn set_size_tracks_merges() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.set_size(0), 1);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(0, 2);
+        assert_eq!(uf.set_size(3), 4);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn set_size_tracked_under_all_policies() {
+        for policy in [UnionPolicy::ByRank, UnionPolicy::BySize, UnionPolicy::Naive] {
+            let mut uf = UnionFind::with_policies(8, policy, Compression::Full);
+            uf.union(0, 1);
+            uf.union(1, 2);
+            uf.union(5, 6);
+            assert_eq!(uf.set_size(2), 3, "{policy:?}");
+            assert_eq!(uf.set_size(6), 2, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn sets_enumerates_partition() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        let sets = uf.sets();
+        assert_eq!(sets, vec![vec![0, 3], vec![1, 4], vec![2]]);
+    }
+
+    #[test]
+    fn push_after_unions_is_singleton() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        let c = uf.push();
+        assert_eq!(uf.set_size(c), 1);
+        assert_eq!(uf.sets().len(), 2);
+    }
+}

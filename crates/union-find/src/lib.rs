@@ -1,0 +1,47 @@
+//! The classic Union–Find problem, as it appears in *Asynchronous Resource
+//! Discovery* (Abraham & Dolev, PODC 2003).
+//!
+//! The paper proves its Ad-hoc Resource Discovery bound by a two-way
+//! connection to disjoint sets:
+//!
+//! * **Upper bound** (Lemma 5.6): the algorithm's `search`/`release`
+//!   computations simulate a sequential execution of Tarjan's union/find
+//!   with path compression, so Tarjan & van Leeuwen's `O(n·α(n,n))` analysis
+//!   bounds the message count.
+//! * **Lower bound** (Lemma 3.1 / Theorem 2): any `h(n)`-message Ad-hoc
+//!   algorithm yields an `h(2n−1+m)`-time union-find algorithm on a pointer
+//!   machine with the separation property, so Tarjan's `Ω(n·α(n,n))` lower
+//!   bound transfers.
+//!
+//! This crate provides the data structure ([`UnionFind`], with the
+//! by-rank/compression policy knobs used by the reproduction's ablations),
+//! the paper's exact inverse-Ackermann definition ([`alpha`]), and
+//! generators for union/find operation sequences ([`OpSequence`]) used to
+//! drive the Theorem 2 reduction experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use ard_union_find::{alpha, UnionFind};
+//!
+//! let mut uf = UnionFind::new(4);
+//! uf.union(0, 1);
+//! uf.union(2, 3);
+//! assert!(uf.same_set(0, 1));
+//! assert!(!uf.same_set(1, 2));
+//! assert_eq!(uf.set_count(), 2);
+//!
+//! // α grows absurdly slowly: it is ≤ 4 for any remotely feasible input.
+//! assert!(alpha(1_000_000, 1_000_000) <= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ackermann;
+mod dsu;
+mod ops;
+
+pub use ackermann::{ackermann, alpha};
+pub use dsu::{Compression, UnionFind, UnionPolicy};
+pub use ops::{Op, OpSequence};

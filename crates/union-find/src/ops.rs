@@ -1,0 +1,278 @@
+//! Union/find operation sequences.
+//!
+//! The Theorem 2 reduction turns a sequence of `n − 1` unions and `m` finds
+//! into a knowledge graph plus a wake-up schedule; this module generates and
+//! validates such sequences. Sequences guarantee the paper's precondition
+//! that every `U(i, j)` unites two sets that are disjoint at that point.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::UnionFind;
+
+/// One union/find operation over a universe of `n` initial singletons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `U(i, j)`: unite the sets currently containing elements `i` and `j`
+    /// (which are guaranteed disjoint at this point in the sequence).
+    Union(usize, usize),
+    /// `F(i)`: find the representative of the set containing element `i`.
+    Find(usize),
+}
+
+/// A validated sequence of union/find operations over `n` elements.
+///
+/// # Example
+///
+/// ```
+/// use ard_union_find::{Op, OpSequence, UnionFind};
+///
+/// let seq = OpSequence::random(16, 10, 42);
+/// assert_eq!(seq.n(), 16);
+/// assert_eq!(seq.union_count(), 15); // fully merges the universe
+/// assert_eq!(seq.find_count(), 10);
+///
+/// let mut uf = UnionFind::new(16);
+/// seq.run(&mut uf);
+/// assert_eq!(uf.set_count(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpSequence {
+    n: usize,
+    ops: Vec<Op>,
+}
+
+impl OpSequence {
+    /// Wraps a hand-built sequence, validating the union-disjointness
+    /// precondition and index ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or a union's arguments are already
+    /// in the same set when it executes.
+    pub fn new(n: usize, ops: Vec<Op>) -> Self {
+        let mut shadow = UnionFind::new(n);
+        for op in &ops {
+            match *op {
+                Op::Union(i, j) => {
+                    assert!(i < n && j < n, "union argument out of range");
+                    assert!(
+                        shadow.union(i, j),
+                        "invalid sequence: U({i},{j}) unites an already-joined pair"
+                    );
+                }
+                Op::Find(i) => {
+                    assert!(i < n, "find argument out of range");
+                }
+            }
+        }
+        OpSequence { n, ops }
+    }
+
+    /// Universe size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The operations, in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of union operations.
+    pub fn union_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Union(..)))
+            .count()
+    }
+
+    /// Number of find operations.
+    pub fn find_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Find(_)))
+            .count()
+    }
+
+    /// Total operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Executes the sequence against a [`UnionFind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uf.len() != self.n()` or a union precondition fails
+    /// (cannot happen for a sequence built by this module's constructors).
+    pub fn run(&self, uf: &mut UnionFind) {
+        assert_eq!(uf.len(), self.n, "universe size mismatch");
+        for op in &self.ops {
+            match *op {
+                Op::Union(i, j) => {
+                    assert!(uf.union(i, j), "union precondition violated");
+                }
+                Op::Find(i) => {
+                    uf.find(i);
+                }
+            }
+        }
+    }
+
+    /// A random valid sequence: `n − 1` unions (drawn between two random
+    /// distinct current sets) fully merging the universe, with `finds`
+    /// random finds interleaved uniformly. Deterministic in `seed`.
+    pub fn random(n: usize, finds: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shadow = UnionFind::new(n);
+        let mut roots: Vec<usize> = (0..n).collect();
+        let total = (n - 1) + finds;
+        let mut unions_left = n - 1;
+        let mut finds_left = finds;
+        let mut ops = Vec::with_capacity(total);
+        for _ in 0..total {
+            // Choose op kind proportionally to what remains, so finds are
+            // spread across the whole sequence.
+            let pick_union = rng.gen_range(0..unions_left + finds_left) < unions_left;
+            if pick_union {
+                let a = rng.gen_range(0..roots.len());
+                let mut b = rng.gen_range(0..roots.len() - 1);
+                if b >= a {
+                    b += 1;
+                }
+                let (ra, rb) = (roots[a], roots[b]);
+                ops.push(Op::Union(ra, rb));
+                shadow.union(ra, rb);
+                let merged_root = shadow.find(ra);
+                // Keep `roots` = one representative per current set.
+                let drop = if merged_root == shadow.find_immutable(roots[a]) {
+                    b
+                } else {
+                    a
+                };
+                // Both entries now share a root; remove one of the pair.
+                let _ = drop;
+                let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+                roots.swap_remove(hi);
+                roots[lo] = merged_root;
+                unions_left -= 1;
+            } else {
+                ops.push(Op::Find(rng.gen_range(0..n)));
+                finds_left -= 1;
+            }
+        }
+        OpSequence { n, ops }
+    }
+
+    /// An adversarial sequence: unions build a binomial-tree-like structure
+    /// (pairing sets of equal size round by round), and after each round a
+    /// batch of finds probes the elements that are deepest for structures
+    /// without path compression. `n` is rounded down to a power of two.
+    ///
+    /// Against naive variants this forces `Θ(log n)`-deep trees and
+    /// super-linear total work; against the optimal structure it stays
+    /// near-linear — exactly the contrast the reproduction's ablations show.
+    pub fn adversarial_deep(n: usize, finds_per_round: usize) -> Self {
+        assert!(n >= 1);
+        let n = if n.is_power_of_two() {
+            n
+        } else {
+            n.next_power_of_two() / 2
+        };
+        let mut ops = Vec::new();
+        let mut stride = 1;
+        while stride < n {
+            for base in (0..n).step_by(2 * stride) {
+                // Link the head of each block pair; with naive linking the
+                // left block's root ends up one level deeper each round.
+                ops.push(Op::Union(base, base + stride));
+            }
+            for k in 0..finds_per_round {
+                // Probe the high-index region: element n−1 and its
+                // neighbours sit at depth ≈ round-number in the binomial
+                // forest, for by-rank and naive linking alike.
+                let target = n - 1 - (k % (2 * stride));
+                ops.push(Op::Find(target));
+            }
+            stride *= 2;
+        }
+        OpSequence::new(n, ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compression, UnionPolicy};
+
+    #[test]
+    fn random_sequences_are_valid_and_seeded() {
+        for seed in 0..10 {
+            let seq = OpSequence::random(32, 20, seed);
+            assert_eq!(seq.union_count(), 31);
+            assert_eq!(seq.find_count(), 20);
+            // `new` re-validates.
+            let revalidated = OpSequence::new(seq.n(), seq.ops().to_vec());
+            assert_eq!(revalidated, seq);
+        }
+        assert_eq!(OpSequence::random(16, 4, 5), OpSequence::random(16, 4, 5));
+    }
+
+    #[test]
+    fn random_sequence_fully_merges() {
+        let seq = OpSequence::random(64, 0, 1);
+        let mut uf = UnionFind::new(64);
+        seq.run(&mut uf);
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-joined")]
+    fn duplicate_union_rejected() {
+        OpSequence::new(3, vec![Op::Union(0, 1), Op::Union(1, 0)]);
+    }
+
+    #[test]
+    fn singleton_universe() {
+        let seq = OpSequence::random(1, 3, 0);
+        assert_eq!(seq.union_count(), 0);
+        assert_eq!(seq.find_count(), 3);
+    }
+
+    #[test]
+    fn adversarial_is_valid_and_merges() {
+        let seq = OpSequence::adversarial_deep(64, 8);
+        assert_eq!(seq.union_count(), 63);
+        let mut uf = UnionFind::new(64);
+        seq.run(&mut uf);
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn adversarial_rounds_down_to_power_of_two() {
+        let seq = OpSequence::adversarial_deep(100, 2);
+        assert_eq!(seq.n(), 64);
+    }
+
+    #[test]
+    fn adversarial_hurts_naive_more_than_optimal() {
+        let seq = OpSequence::adversarial_deep(1 << 12, 1 << 10);
+        let mut best = UnionFind::new(seq.n());
+        let mut worst = UnionFind::with_policies(seq.n(), UnionPolicy::Naive, Compression::Off);
+        seq.run(&mut best);
+        seq.run(&mut worst);
+        assert!(
+            best.traversals() * 2 < worst.traversals(),
+            "optimal {} vs naive {}",
+            best.traversals(),
+            worst.traversals()
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Dynamic growth (§6 of the paper): nodes and links join a live Ad-hoc
+//! discovery without restarting it, at near-constant marginal cost.
+//!
+//! ```text
+//! cargo run --release --example dynamic_network
+//! ```
+
+use asynchronous_resource_discovery::core::{Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::netsim::{LivelockError, NodeId, RandomScheduler};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), LivelockError> {
+    let base = 100;
+    let graph = gen::random_weakly_connected(base, 2 * base, 3);
+    let mut discovery = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(11);
+
+    discovery.run_all(&mut sched)?;
+    let base_msgs = discovery.runner().metrics().total_messages();
+    println!("base network of {base} nodes discovered with {base_msgs} messages");
+
+    // Nodes trickle in, each knowing one or two random existing nodes.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut last = base_msgs;
+    for round in 0..10 {
+        let n_now = discovery.graph().len();
+        let peer = NodeId::new(rng.gen_range(0..n_now));
+        let newcomer = discovery.add_node(vec![peer], &mut sched);
+        discovery.run(&mut sched)?;
+
+        // And an extra link between two existing nodes.
+        let u = NodeId::new(rng.gen_range(0..n_now));
+        let v = NodeId::new(rng.gen_range(0..n_now));
+        if u != v {
+            discovery.add_link(u, v, &mut sched);
+            discovery.run(&mut sched)?;
+        }
+
+        let now = discovery.runner().metrics().total_messages();
+        println!(
+            "round {round}: node {newcomer} joined via {peer}, link {u}->{v} added; marginal cost {} messages",
+            now - last
+        );
+        last = now;
+    }
+
+    let final_graph = discovery.graph().clone();
+    discovery
+        .check_requirements(&final_graph)
+        .expect("requirements hold after dynamic growth");
+
+    // The newest node can pull the full membership with one probe.
+    let newest = NodeId::new(final_graph.len() - 1);
+    let snapshot = discovery.probe_blocking(newest, &mut sched)?;
+    println!(
+        "\nfinal network: {} nodes; total {} messages ({} marginal for all additions)",
+        final_graph.len(),
+        last,
+        last - base_msgs
+    );
+    println!(
+        "probe from newest node {newest} sees {} members",
+        snapshot.len()
+    );
+    assert_eq!(snapshot.len(), final_graph.len());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Observability: record and analyze a full execution trace — per-node and
+//! per-link traffic, hot spots, and a filtered event view.
+//!
+//! On scale-free topologies (realistic P2P bootstrap lists) the final
+//! leader and the hubs dominate the traffic — this is how you'd find out.
+//!
+//! ```text
+//! cargo run --release --example trace_inspection
+//! ```
+
+use asynchronous_resource_discovery::core::{Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::netsim::{LivelockError, RandomScheduler};
+
+fn main() -> Result<(), LivelockError> {
+    let n = 80;
+    let graph = gen::scale_free(n, 2, 11);
+    let mut discovery = Discovery::new(&graph, Variant::AdHoc);
+    discovery.runner_mut().enable_trace();
+    let mut sched = RandomScheduler::seeded(3);
+    let outcome = discovery.run_all(&mut sched)?;
+    let leader = outcome.leaders[0];
+    println!(
+        "scale-free network of {n} peers discovered under {leader}: {} messages\n",
+        outcome.metrics.total_messages()
+    );
+
+    let trace = discovery.runner().trace().expect("tracing enabled");
+    let stats = trace.stats();
+
+    println!("top senders:");
+    for (node, count) in stats.top_senders(5) {
+        let role = if node == leader {
+            " (the final leader)"
+        } else {
+            ""
+        };
+        println!("  {node:<5} {count:>5} messages{role}");
+    }
+    if let Some(((src, dst), count)) = stats.busiest_link() {
+        println!("busiest link: {src} → {dst} carried {count} messages");
+    }
+
+    println!("\nthe leader's first ten events:");
+    for event in trace.involving(leader).take(10) {
+        println!("  {event}");
+    }
+
+    println!("\ntotal events logged: {}", trace.len());
+    Ok(())
+}

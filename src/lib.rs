@@ -1,0 +1,62 @@
+//! # Asynchronous Resource Discovery
+//!
+//! A full Rust reproduction of **“Asynchronous Resource Discovery”** by
+//! Ittai Abraham and Danny Dolev (PODC 2003): resource discovery on
+//! knowledge graphs in asynchronous networks, with message-optimal
+//! algorithms for the Oblivious, Bounded and Ad-hoc problem variants, the
+//! paper's two lower-bound constructions as executable adversaries, and a
+//! benchmark harness regenerating every theorem and lemma as an empirical
+//! table.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`core`] | `ard-core` | the paper's algorithms (§4, §4.5, §6) |
+//! | [`netsim`] | `ard-netsim` | asynchronous network simulator substrate |
+//! | [`graph`] | `ard-graph` | knowledge graphs, connectivity, generators |
+//! | [`union_find`] | `ard-union-find` | Tarjan union-find + inverse Ackermann |
+//! | [`baselines`] | `ard-baselines` | Name-Dropper, flooding, max-id election |
+//! | [`lower_bounds`] | `ard-lower-bounds` | Theorem 1 adversary, Theorem 2 reduction |
+//! | [`overlay`] | `ard-overlay` | Chord-style DHT bootstrapped from discovery |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asynchronous_resource_discovery::core::{Discovery, Variant};
+//! use asynchronous_resource_discovery::graph::gen;
+//! use asynchronous_resource_discovery::netsim::RandomScheduler;
+//!
+//! // 64 peers, each initially knowing a few others (weakly connected).
+//! let graph = gen::random_weakly_connected(64, 128, 42);
+//!
+//! // Run the Ad-hoc variant under a randomized asynchronous schedule.
+//! let mut discovery = Discovery::new(&graph, Variant::AdHoc);
+//! let mut sched = RandomScheduler::seeded(7);
+//! let outcome = discovery.run_all(&mut sched)?;
+//!
+//! // Exactly one leader; every node can reach it; it knows everyone.
+//! assert_eq!(outcome.leaders.len(), 1);
+//! discovery.check_requirements(&graph).unwrap();
+//! println!(
+//!     "discovered 64 peers in {} messages / {} bits",
+//!     outcome.metrics.total_messages(),
+//!     outcome.metrics.total_bits(),
+//! );
+//! # Ok::<(), asynchronous_resource_discovery::netsim::LivelockError>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and experiment index, and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ard_baselines as baselines;
+pub use ard_core as core;
+pub use ard_graph as graph;
+pub use ard_lower_bounds as lower_bounds;
+pub use ard_netsim as netsim;
+pub use ard_overlay as overlay;
+pub use ard_union_find as union_find;

@@ -1,0 +1,106 @@
+//! Integration tests comparing the paper's algorithms with the §1.1
+//! baselines on shared topologies.
+
+use asynchronous_resource_discovery::baselines::{election, flood, name_dropper};
+use asynchronous_resource_discovery::core::{Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::netsim::RandomScheduler;
+
+#[test]
+fn all_algorithms_agree_on_membership() {
+    let n = 40;
+    let graph = gen::random_weakly_connected(n, 80, 1);
+
+    // Abraham–Dolev: the leader's done set.
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    d.run_all(&mut RandomScheduler::seeded(2)).unwrap();
+    let leader = d.leaders()[0];
+    let ard_members = d.runner().node(leader).done().len();
+
+    // Flooding: every node's known set.
+    let mut sched = RandomScheduler::seeded(3);
+    let (fl, _) = flood::run(&graph, &mut sched, 100_000_000).unwrap();
+    let flood_members = fl.node(leader).known().len();
+
+    // Name-Dropper: every node's known set (whp).
+    let nd = name_dropper::run(&graph, 4);
+    let nd_members = nd.node(leader).known().len();
+
+    assert_eq!(ard_members, n);
+    assert_eq!(flood_members, n);
+    assert_eq!(nd_members, n);
+}
+
+#[test]
+fn abraham_dolev_beats_baselines_on_messages_and_bits() {
+    let n = 128;
+    let graph = gen::random_weakly_connected(n, 3 * n, 5);
+
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut RandomScheduler::seeded(6)).unwrap();
+    let ard = d.runner().metrics().clone();
+
+    let nd = name_dropper::run(&graph, 7);
+    let mut sched = RandomScheduler::seeded(8);
+    let (fl, _) = flood::run(&graph, &mut sched, 100_000_000).unwrap();
+
+    assert!(ard.total_messages() * 2 < nd.metrics().total_messages());
+    assert!(ard.total_messages() * 4 < fl.metrics().total_messages());
+    assert!(ard.total_bits() * 10 < nd.metrics().total_bits());
+    assert!(ard.total_bits() * 10 < fl.metrics().total_bits());
+}
+
+#[test]
+fn name_dropper_needs_its_round_budget() {
+    // With a starved budget Name-Dropper fails on hard shapes — evidence
+    // that it genuinely depends on knowing n (the paper's critique).
+    use asynchronous_resource_discovery::baselines::name_dropper::NameDropperNode;
+    use asynchronous_resource_discovery::netsim::sync::SyncNetwork;
+
+    let graph = gen::path(40);
+    let starved_rounds = 3;
+    let nodes: Vec<NameDropperNode> = graph
+        .ids()
+        .map(|id| NameDropperNode::new(id, graph.out_edges(id).to_vec(), starved_rounds, 1))
+        .collect();
+    let mut net = SyncNetwork::new(nodes, graph.initial_knowledge());
+    net.run(starved_rounds + 2);
+    let incomplete = net.nodes().any(|n| n.known().len() < 40);
+    assert!(incomplete, "3 rounds cannot complete a 40-node path");
+}
+
+#[test]
+fn election_agrees_with_discovery_on_strongly_connected_graphs() {
+    // On a ring both approaches name a unique coordinator; max-id flooding
+    // picks the max id, discovery picks the (phase, id) winner. Both must
+    // be *unique and agreed upon*, which is the requirement.
+    let graph = gen::ring(30);
+    let mut sched = RandomScheduler::seeded(9);
+    let runner = election::run(&graph, &mut sched, 1_000_000).unwrap();
+    let elected: Vec<_> = runner.nodes().map(|n| n.leader()).collect();
+    assert!(elected.windows(2).all(|w| w[0] == w[1]));
+
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut RandomScheduler::seeded(10)).unwrap();
+    assert_eq!(d.leaders().len(), 1);
+}
+
+#[test]
+fn flooding_bits_blow_up_cubically() {
+    // Bits grow ~n³ for flooding vs ~n log² n for the paper's algorithm:
+    // doubling n must widen the gap substantially.
+    let gap = |n: usize| {
+        let graph = gen::random_weakly_connected(n, 2 * n, 11);
+        let mut sched = RandomScheduler::seeded(12);
+        let (fl, _) = flood::run(&graph, &mut sched, 100_000_000).unwrap();
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        d.run_all(&mut RandomScheduler::seeded(13)).unwrap();
+        fl.metrics().total_bits() as f64 / d.runner().metrics().total_bits() as f64
+    };
+    let small = gap(32);
+    let large = gap(128);
+    assert!(
+        large > 2.0 * small,
+        "flooding gap should widen: {small:.1} → {large:.1}"
+    );
+}

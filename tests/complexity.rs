@@ -1,0 +1,130 @@
+//! Integration tests for the paper's complexity results (Theorems 5–7,
+//! Lemmas 5.5–5.10): measured costs stay within the analytic budgets across
+//! sizes, densities and schedulers.
+
+use asynchronous_resource_discovery::core::{budgets, Config, Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::netsim::{Metrics, RandomScheduler};
+use asynchronous_resource_discovery::union_find::alpha;
+
+fn run(n: usize, extra: usize, variant: Variant, seed: u64) -> (Metrics, u64) {
+    let graph = gen::random_weakly_connected(n, extra, seed);
+    let mut d = Discovery::new(&graph, variant);
+    d.run_all(&mut RandomScheduler::seeded(seed + 1000))
+        .expect("livelock");
+    d.check_requirements(&graph).expect("requirements");
+    (d.runner().metrics().clone(), graph.edge_count() as u64)
+}
+
+#[test]
+fn budgets_hold_across_sizes_and_densities() {
+    for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+        for &n in &[16usize, 64, 256] {
+            for &extra in &[n / 2, 2 * n, 6 * n] {
+                let (m, e0) = run(n, extra, variant, (n + extra) as u64);
+                budgets::check_all(&m, n as u64, e0, variant)
+                    .unwrap_or_else(|e| panic!("{variant} n={n} extra={extra}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn adhoc_is_cheapest_bounded_next_oblivious_last() {
+    // The variants form a cost hierarchy: Ad-hoc (no broadcasts) ≤ Bounded
+    // (one final wave) ≤ Oblivious (a wave per merge epoch).
+    for seed in 0..5 {
+        let (obl, _) = run(256, 512, Variant::Oblivious, seed);
+        let (bnd, _) = run(256, 512, Variant::Bounded, seed);
+        let (adh, _) = run(256, 512, Variant::AdHoc, seed);
+        assert!(adh.total_messages() <= bnd.total_messages(), "seed {seed}");
+        assert!(bnd.total_messages() <= obl.total_messages(), "seed {seed}");
+    }
+}
+
+#[test]
+fn per_node_cost_is_flat_for_adhoc() {
+    // Theorem 6: O(n·α) presents as linear since α is constant in range.
+    let rate = |n: usize| {
+        let (m, _) = run(n, 2 * n, Variant::AdHoc, n as u64);
+        m.total_messages() as f64 / n as f64
+    };
+    let small = rate(64);
+    let large = rate(1024);
+    assert!(
+        (large - small).abs() < small * 0.5,
+        "per-node cost moved too much: {small:.2} → {large:.2}"
+    );
+}
+
+#[test]
+fn oblivious_stays_within_n_log_n_even_when_dense() {
+    for &n in &[64usize, 256] {
+        let graph = gen::complete(n);
+        let mut d = Discovery::new(&graph, Variant::Oblivious);
+        d.run_all(&mut RandomScheduler::seeded(3))
+            .expect("livelock");
+        d.check_requirements(&graph).expect("requirements");
+        budgets::check_theorem_5(d.runner().metrics(), n as u64).unwrap();
+        // Message count must not scale with |E0| = n(n−1).
+        let m = d.runner().metrics().total_messages();
+        assert!(
+            m < (n * n / 2) as u64,
+            "messages {m} scale with edges on complete K{n}"
+        );
+    }
+}
+
+#[test]
+fn bit_complexity_scales_with_e0_log_n_not_e0_log2_n() {
+    // Fix n, grow |E0|: bits must grow ~linearly in |E0| with slope ~log n
+    // (Lemma 5.9), not faster.
+    let n = 256;
+    let bits = |extra: usize| {
+        let (m, e0) = run(n, extra, Variant::Oblivious, 11);
+        (m.total_bits(), e0)
+    };
+    let (b1, e1) = bits(n);
+    let (b2, e2) = bits(8 * n);
+    let slope = (b2 - b1) as f64 / (e2 - e1) as f64;
+    let log_n = (n as f64).log2();
+    assert!(
+        slope < 3.0 * log_n + 40.0,
+        "bit slope per edge {slope:.1} too steep vs log n = {log_n:.1}"
+    );
+}
+
+#[test]
+fn alpha_term_is_honest() {
+    // The α in our budget formulas is tiny for all test sizes; make sure
+    // the checks aren't vacuously loose because of a huge α.
+    for &n in &[64u64, 1024, 65536] {
+        assert!(alpha(n, n) <= 4);
+    }
+}
+
+#[test]
+fn ablated_configs_still_satisfy_requirements() {
+    // Ablations degrade complexity, not correctness.
+    for config in [
+        Config::without_path_compression(),
+        Config::without_balanced_queries(),
+    ] {
+        for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+            let graph = gen::random_weakly_connected(40, 80, 5);
+            let mut d = Discovery::with_config(&graph, variant, config);
+            d.run_all(&mut RandomScheduler::seeded(6))
+                .expect("livelock");
+            d.check_requirements(&graph).unwrap();
+        }
+    }
+}
+
+#[test]
+fn causal_depth_is_linear_not_quadratic() {
+    // Asynchronous wake-up time is Ω(n) (paper §1.2); our causal-depth
+    // measure should stay O(n) with a small constant.
+    let n = 512;
+    let (m, _) = run(n, 2 * n, Variant::Oblivious, 13);
+    assert!(m.max_causal_depth() <= 20 * n as u64);
+}

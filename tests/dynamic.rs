@@ -1,0 +1,183 @@
+//! Integration tests for §6: dynamic node and link additions, and the
+//! Ad-hoc probe operation (§4.5.2).
+
+use asynchronous_resource_discovery::core::{Discovery, ProbeStatus, Variant};
+use asynchronous_resource_discovery::graph::{gen, KnowledgeGraph};
+use asynchronous_resource_discovery::netsim::{FifoScheduler, NodeId, RandomScheduler};
+
+#[test]
+fn nodes_join_a_finished_discovery() {
+    let graph = gen::random_weakly_connected(20, 40, 1);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(2);
+    d.run_all(&mut sched).unwrap();
+
+    for i in 0..5 {
+        let peer = NodeId::new(i * 3);
+        let newcomer = d.add_node(vec![peer], &mut sched);
+        d.run(&mut sched).unwrap();
+        assert_eq!(newcomer.index(), 20 + i);
+    }
+    let final_graph = d.graph().clone();
+    d.check_requirements(&final_graph).unwrap();
+    assert_eq!(d.leaders().len(), 1);
+    // The leader knows all 25 nodes.
+    let leader = d.leaders()[0];
+    assert_eq!(d.runner().node(leader).done().len(), 25);
+}
+
+#[test]
+fn links_merge_separate_components() {
+    // Two disjoint components; a dynamic link joins them into one.
+    let graph = gen::random_multi_component(2, 10, 10, 3);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(4);
+    d.run_all(&mut sched).unwrap();
+    assert_eq!(d.leaders().len(), 2);
+
+    d.add_link(NodeId::new(0), NodeId::new(10), &mut sched);
+    d.run(&mut sched).unwrap();
+    let final_graph = d.graph().clone();
+    d.check_requirements(&final_graph).unwrap();
+    assert_eq!(d.leaders().len(), 1, "the link must merge the components");
+    let leader = d.leaders()[0];
+    assert_eq!(d.runner().node(leader).done().len(), 20);
+}
+
+#[test]
+fn duplicate_and_self_links_are_noops() {
+    let graph = gen::path(5);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = FifoScheduler::new();
+    d.run_all(&mut sched).unwrap();
+    let before = d.runner().metrics().total_messages();
+    // Already-known edge and self-edge: no traffic.
+    d.add_link(NodeId::new(0), NodeId::new(1), &mut sched);
+    d.add_link(NodeId::new(2), NodeId::new(2), &mut sched);
+    d.run(&mut sched).unwrap();
+    assert_eq!(d.runner().metrics().total_messages(), before);
+}
+
+#[test]
+fn dynamic_additions_work_mid_flight() {
+    // Add nodes while the initial discovery is still running.
+    let graph = gen::random_weakly_connected(15, 30, 5);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(6);
+    d.enqueue_wake_all(&mut sched);
+    // Step a little, then inject.
+    for _ in 0..20 {
+        d.runner_mut().step(&mut sched);
+    }
+    let newcomer = d.add_node(vec![NodeId::new(3)], &mut sched);
+    for _ in 0..10 {
+        d.runner_mut().step(&mut sched);
+    }
+    d.add_link(NodeId::new(7), newcomer, &mut sched);
+    d.run(&mut sched).unwrap();
+    let final_graph = d.graph().clone();
+    d.check_requirements(&final_graph).unwrap();
+}
+
+#[test]
+fn marginal_cost_beats_rerun() {
+    let n = 200;
+    let graph = gen::random_weakly_connected(n, 2 * n, 7);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(8);
+    d.run_all(&mut sched).unwrap();
+    let base = d.runner().metrics().total_messages();
+    for i in 0..10 {
+        d.add_node(vec![NodeId::new(i)], &mut sched);
+        d.run(&mut sched).unwrap();
+    }
+    let marginal = d.runner().metrics().total_messages() - base;
+
+    let mut fresh = Discovery::new(&d.graph().clone(), Variant::AdHoc);
+    fresh.run_all(&mut RandomScheduler::seeded(9)).unwrap();
+    let rerun = fresh.runner().metrics().total_messages();
+    assert!(
+        marginal * 3 < rerun,
+        "marginal {marginal} not far below re-run {rerun}"
+    );
+}
+
+#[test]
+fn probes_return_current_snapshots() {
+    let graph = gen::random_weakly_connected(30, 60, 10);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(11);
+    d.run_all(&mut sched).unwrap();
+    for v in 0..30 {
+        let snap = d.probe_blocking(NodeId::new(v), &mut sched).unwrap();
+        assert_eq!(snap.len(), 30, "probe from n{v}");
+    }
+}
+
+#[test]
+fn leader_probe_is_immediate_and_free() {
+    let graph = gen::path(6);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = FifoScheduler::new();
+    d.run_all(&mut sched).unwrap();
+    let leader = d.leaders()[0];
+    let before = d.runner().metrics().total_messages();
+    match d.probe(leader, &mut sched) {
+        ProbeStatus::Immediate(ids) => assert_eq!(ids.len(), 6),
+        ProbeStatus::InFlight => panic!("leader probes answer immediately"),
+    }
+    assert_eq!(d.runner().metrics().total_messages(), before);
+}
+
+#[test]
+fn repeated_probes_amortize_to_two_messages() {
+    let graph = gen::random_weakly_connected(50, 100, 12);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(13);
+    d.run_all(&mut sched).unwrap();
+    let v = NodeId::new(17);
+    // First probe may pay for path compression…
+    d.probe_blocking(v, &mut sched).unwrap();
+    // …every later probe from the same node costs exactly 2 messages.
+    for _ in 0..5 {
+        let before = d.runner().metrics().total_messages();
+        d.probe_blocking(v, &mut sched).unwrap();
+        let cost = d.runner().metrics().total_messages() - before;
+        assert!(cost <= 2, "probe after compression cost {cost}");
+    }
+}
+
+#[test]
+fn probe_snapshot_reflects_dynamic_growth() {
+    let graph = gen::ring(8);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = FifoScheduler::new();
+    d.run_all(&mut sched).unwrap();
+    assert_eq!(
+        d.probe_blocking(NodeId::new(0), &mut sched).unwrap().len(),
+        8
+    );
+    d.add_node(vec![NodeId::new(2)], &mut sched);
+    d.run(&mut sched).unwrap();
+    assert_eq!(
+        d.probe_blocking(NodeId::new(0), &mut sched).unwrap().len(),
+        9
+    );
+}
+
+#[test]
+fn growing_from_a_single_node() {
+    // Start from one node; grow the whole network dynamically.
+    let graph = KnowledgeGraph::new(1);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    let mut sched = RandomScheduler::seeded(14);
+    d.run_all(&mut sched).unwrap();
+    for i in 0..15usize {
+        d.add_node(vec![NodeId::new(i / 2)], &mut sched);
+        d.run(&mut sched).unwrap();
+    }
+    let final_graph = d.graph().clone();
+    d.check_requirements(&final_graph).unwrap();
+    assert_eq!(d.leaders().len(), 1);
+    assert_eq!(d.runner().node(d.leaders()[0]).done().len(), 16);
+}

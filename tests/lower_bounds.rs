@@ -1,0 +1,130 @@
+//! Integration tests for the executable lower bounds (Theorems 1 and 2).
+
+use asynchronous_resource_discovery::core::{Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::lower_bounds::{tree_adversary, uf_reduction};
+use asynchronous_resource_discovery::netsim::RandomScheduler;
+use asynchronous_resource_discovery::union_find::{Op, OpSequence};
+
+#[test]
+fn theorem_1_bound_is_forced_on_every_tree() {
+    for levels in 2..=10 {
+        let r = tree_adversary::run(levels);
+        assert!(
+            r.messages >= r.bound,
+            "T({levels}): {} < bound {}",
+            r.messages,
+            r.bound
+        );
+    }
+}
+
+#[test]
+fn adversary_costs_more_than_benign_schedules() {
+    for levels in [6u32, 9] {
+        let graph = gen::binary_tree_down(levels);
+        let mut d = Discovery::new(&graph, Variant::Oblivious);
+        let benign = d
+            .run_all(&mut RandomScheduler::seeded(levels as u64))
+            .unwrap()
+            .metrics
+            .total_messages();
+        let forced = tree_adversary::run(levels).messages;
+        assert!(
+            forced > benign,
+            "T({levels}): forced {forced} ≤ benign {benign}"
+        );
+    }
+}
+
+#[test]
+fn adversarial_per_node_cost_grows_logarithmically() {
+    // The signature of Ω(n log n): messages/n grows ~linearly in the depth.
+    let rates: Vec<f64> = (4..=10)
+        .map(|levels| {
+            let r = tree_adversary::run(levels);
+            r.messages as f64 / r.n as f64
+        })
+        .collect();
+    for w in rates.windows(2) {
+        assert!(
+            w[1] > w[0],
+            "per-node cost must be strictly increasing: {rates:?}"
+        );
+    }
+    // And roughly affine in depth: growth per level bounded both ways.
+    let first_delta = rates[1] - rates[0];
+    let last_delta = rates[rates.len() - 1] - rates[rates.len() - 2];
+    assert!(last_delta > 0.3 * first_delta && last_delta < 3.0 * first_delta + 1.0);
+}
+
+#[test]
+fn reduction_network_size_matches_lemma_3_1() {
+    // N = 2n − 1 + m for n−1 unions and m finds.
+    for (n, m) in [(8usize, 3usize), (32, 10), (100, 55)] {
+        let seq = OpSequence::random(n, m, 1);
+        let inst = uf_reduction::compile(&seq);
+        assert_eq!(inst.graph.len(), 2 * n - 1 + m);
+    }
+}
+
+#[test]
+fn reduction_respects_separation_property() {
+    // Nodes of one component never get edges into another: components in
+    // the compiled graph correspond to the union-find partition reachable
+    // so far. Check the *final* graph's weak components equal 1 (fully
+    // merged sequence) plus nothing else.
+    use asynchronous_resource_discovery::graph::components;
+    let seq = OpSequence::random(30, 10, 4);
+    let inst = uf_reduction::compile(&seq);
+    assert_eq!(
+        components::weakly_connected_components(&inst.graph).len(),
+        1
+    );
+}
+
+#[test]
+fn reduction_executes_interleaved_sequences() {
+    let seq = OpSequence::new(
+        5,
+        vec![
+            Op::Find(0),
+            Op::Union(0, 1),
+            Op::Find(1),
+            Op::Union(2, 3),
+            Op::Find(3),
+            Op::Union(1, 2),
+            Op::Union(4, 0),
+            Op::Find(4),
+        ],
+    );
+    let out = uf_reduction::run(&seq);
+    assert_eq!(out.network_size, 2 * 5 - 1 + 4);
+    assert!(out.messages > 0);
+}
+
+#[test]
+fn reduction_cost_tracks_n_alpha() {
+    // messages / (N·α) stays within a constant band as N grows.
+    let ratio = |n: usize| {
+        let seq = OpSequence::random(n, n / 2, 2);
+        let out = uf_reduction::run(&seq);
+        out.messages as f64 / out.n_alpha as f64
+    };
+    let r1 = ratio(64);
+    let r2 = ratio(512);
+    assert!(r2 < 2.0 * r1 + 1.0, "ratio drifted: {r1:.2} → {r2:.2}");
+}
+
+#[test]
+fn freeze_scheduler_generalizes_beyond_trees() {
+    // Freezing arbitrary nodes of a random graph must not break
+    // correctness — only reorder (and potentially inflate) the execution.
+    use asynchronous_resource_discovery::netsim::NodeId;
+    let graph = gen::random_weakly_connected(20, 40, 8);
+    let thaw: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+    let mut sched = tree_adversary::FreezeScheduler::new(20, thaw);
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    d.run_all(&mut sched).expect("livelock");
+    d.check_requirements(&graph).unwrap();
+}

@@ -1,0 +1,176 @@
+//! Property-based tests (proptest): correctness and budgets hold for
+//! arbitrary random graphs, schedules and operation sequences.
+
+use proptest::prelude::*;
+
+use asynchronous_resource_discovery::core::{budgets, Discovery, Variant};
+use asynchronous_resource_discovery::graph::{components, gen, KnowledgeGraph};
+use asynchronous_resource_discovery::netsim::{NodeId, RandomScheduler};
+use asynchronous_resource_discovery::union_find::{
+    Compression, Op, OpSequence, UnionFind, UnionPolicy,
+};
+
+fn variant_strategy() -> impl Strategy<Value = Variant> {
+    prop_oneof![
+        Just(Variant::Oblivious),
+        Just(Variant::Bounded),
+        Just(Variant::AdHoc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Requirements + budgets on arbitrary random weakly connected graphs
+    /// under arbitrary random schedules.
+    #[test]
+    fn discovery_is_correct_on_random_graphs(
+        n in 2usize..40,
+        extra in 0usize..120,
+        graph_seed in 0u64..1_000_000,
+        sched_seed in 0u64..1_000_000,
+        variant in variant_strategy(),
+    ) {
+        let graph = gen::random_weakly_connected(n, extra, graph_seed);
+        let mut d = Discovery::new(&graph, variant);
+        let mut sched = RandomScheduler::seeded(sched_seed);
+        d.run_all(&mut sched).expect("livelock");
+        d.check_requirements(&graph).map_err(TestCaseError::fail)?;
+        budgets::check_all(
+            d.runner().metrics(),
+            n as u64,
+            graph.edge_count() as u64,
+            variant,
+        )
+        .map_err(TestCaseError::fail)?;
+    }
+
+    /// Multi-component graphs elect exactly one leader per component.
+    #[test]
+    fn one_leader_per_component(
+        parts in 1usize..4,
+        per in 2usize..10,
+        seed in 0u64..100_000,
+        variant in variant_strategy(),
+    ) {
+        let graph = gen::random_multi_component(parts, per, per, seed);
+        let mut d = Discovery::new(&graph, variant);
+        d.run_all(&mut RandomScheduler::seeded(seed ^ 0x55)).expect("livelock");
+        prop_assert_eq!(d.leaders().len(), parts);
+        d.check_requirements(&graph).map_err(TestCaseError::fail)?;
+    }
+
+    /// Arbitrary edge lists (possibly disconnected, any shape) still
+    /// satisfy the requirements.
+    #[test]
+    fn discovery_handles_arbitrary_edge_lists(
+        n in 1usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60),
+        sched_seed in 0u64..100_000,
+        variant in variant_strategy(),
+    ) {
+        let mut graph = KnowledgeGraph::new(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u != v {
+                graph.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+        let mut d = Discovery::new(&graph, variant);
+        d.run_all(&mut RandomScheduler::seeded(sched_seed)).expect("livelock");
+        d.check_requirements(&graph).map_err(TestCaseError::fail)?;
+    }
+
+    /// The number of leaders always equals the number of weak components.
+    #[test]
+    fn leader_count_equals_component_count(
+        n in 1usize..25,
+        edges in prop::collection::vec((0usize..25, 0usize..25), 0..40),
+        seed in 0u64..100_000,
+    ) {
+        let mut graph = KnowledgeGraph::new(n);
+        for (u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u != v {
+                graph.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        d.run_all(&mut RandomScheduler::seeded(seed)).expect("livelock");
+        let comps = components::weakly_connected_components(&graph);
+        prop_assert_eq!(d.leaders().len(), comps.len());
+    }
+
+    /// Union-find agrees with a naive quadratic oracle on arbitrary
+    /// operation sequences, for every policy combination.
+    #[test]
+    fn union_find_matches_oracle(
+        n in 1usize..40,
+        ops in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+        policy_bits in 0u8..6,
+    ) {
+        let (up, cp) = match policy_bits {
+            0 => (UnionPolicy::ByRank, Compression::Full),
+            1 => (UnionPolicy::ByRank, Compression::Halving),
+            2 => (UnionPolicy::ByRank, Compression::Off),
+            3 => (UnionPolicy::Naive, Compression::Full),
+            4 => (UnionPolicy::Naive, Compression::Halving),
+            _ => (UnionPolicy::Naive, Compression::Off),
+        };
+        let mut uf = UnionFind::with_policies(n, up, cp);
+        // Oracle: component label vector.
+        let mut labels: Vec<usize> = (0..n).collect();
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            let merged = uf.union(a, b);
+            let (la, lb) = (labels[a], labels[b]);
+            prop_assert_eq!(merged, la != lb);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(uf.same_set(i, j), labels[i] == labels[j]);
+            }
+        }
+    }
+
+    /// Generated op sequences are always valid and fully merging.
+    #[test]
+    fn op_sequences_are_valid(n in 1usize..60, finds in 0usize..40, seed in 0u64..100_000) {
+        let seq = OpSequence::random(n, finds, seed);
+        prop_assert_eq!(seq.union_count(), n - 1);
+        prop_assert_eq!(seq.find_count(), finds);
+        let mut uf = UnionFind::new(n);
+        seq.run(&mut uf); // panics internally if any union is invalid
+        prop_assert_eq!(uf.set_count(), 1);
+        // Finds never target out-of-range elements.
+        for op in seq.ops() {
+            if let Op::Find(i) = op {
+                prop_assert!(*i < n);
+            }
+        }
+    }
+
+    /// Probes from every node return the full component, whatever the
+    /// schedule.
+    #[test]
+    fn probes_see_everything(
+        n in 2usize..25,
+        extra in 0usize..50,
+        seed in 0u64..100_000,
+    ) {
+        let graph = gen::random_weakly_connected(n, extra, seed);
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        let mut sched = RandomScheduler::seeded(!seed);
+        d.run_all(&mut sched).expect("livelock");
+        let probe_from = NodeId::new((seed as usize) % n);
+        let snap = d.probe_blocking(probe_from, &mut sched).expect("probe livelock");
+        prop_assert_eq!(snap.len(), n);
+    }
+}

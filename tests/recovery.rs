@@ -1,0 +1,104 @@
+//! Extension experiments beyond the paper: recovery from node resets and
+//! removals (named as an open question in the paper's §7, motivated in its
+//! §1: "The first step toward rebuilding such a system is discovering and
+//! regrouping all the currently online nodes").
+
+use asynchronous_resource_discovery::core::{Discovery, Variant};
+use asynchronous_resource_discovery::graph::{components, gen};
+use asynchronous_resource_discovery::netsim::{NodeId, RandomScheduler};
+
+/// Run discovery, crash most nodes, restart discovery over the survivors'
+/// accumulated knowledge, and verify the survivors regroup.
+#[test]
+fn survivors_regroup_after_mass_crash() {
+    let n = 60;
+    let graph = gen::random_weakly_connected(n, 2 * n, 1);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut RandomScheduler::seeded(2)).unwrap();
+
+    // Crash two thirds of the nodes; every third node survives.
+    let survivors: Vec<NodeId> = (0..n).step_by(3).map(NodeId::new).collect();
+    let (survivor_graph, mapping) = d.survivor_graph(&survivors);
+    assert_eq!(survivor_graph.len(), survivors.len());
+    assert_eq!(mapping, survivors);
+
+    let mut recovery = Discovery::new(&survivor_graph, Variant::AdHoc);
+    recovery.run_all(&mut RandomScheduler::seeded(3)).unwrap();
+    recovery.check_requirements(&survivor_graph).unwrap();
+
+    // Because the pre-crash leader knew everyone, survivors that belonged to
+    // the same pre-crash component stay findable: components of the
+    // survivor graph partition them, and each gets exactly one new leader.
+    let comps = components::weakly_connected_components(&survivor_graph);
+    assert_eq!(recovery.leaders().len(), comps.len());
+}
+
+/// If the pre-crash leader survives, its knowledge keeps the survivor graph
+/// connected, so recovery always ends with a single leader.
+#[test]
+fn surviving_leader_guarantees_one_component() {
+    let n = 40;
+    let graph = gen::random_weakly_connected(n, n, 4);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut RandomScheduler::seeded(5)).unwrap();
+    let leader = d.leaders()[0];
+
+    // Survivors: the leader plus every fourth node.
+    let mut survivors: Vec<NodeId> = (0..n).step_by(4).map(NodeId::new).collect();
+    if !survivors.contains(&leader) {
+        survivors.push(leader);
+    }
+    let (survivor_graph, _) = d.survivor_graph(&survivors);
+    // The leader knows every survivor, so the graph is weakly connected.
+    assert!(components::is_weakly_connected(&survivor_graph));
+
+    let mut recovery = Discovery::new(&survivor_graph, Variant::AdHoc);
+    recovery.run_all(&mut RandomScheduler::seeded(6)).unwrap();
+    recovery.check_requirements(&survivor_graph).unwrap();
+    assert_eq!(recovery.leaders().len(), 1);
+}
+
+/// Repeated crash/recover cycles keep working (each run's knowledge feeds
+/// the next).
+#[test]
+fn repeated_crash_cycles() {
+    let mut graph = gen::random_weakly_connected(48, 96, 7);
+    let mut population: Vec<NodeId> = (0..48).map(NodeId::new).collect();
+    for round in 0..3 {
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        d.run_all(&mut RandomScheduler::seeded(round)).unwrap();
+        d.check_requirements(&graph).unwrap();
+        // Keep the even-indexed half.
+        let survivors: Vec<NodeId> = (0..graph.len()).step_by(2).map(NodeId::new).collect();
+        let (next_graph, mapping) = d.survivor_graph(&survivors);
+        population = mapping.iter().map(|v| population[v.index()]).collect();
+        graph = next_graph;
+    }
+    assert_eq!(graph.len(), 6);
+    assert_eq!(population.len(), 6);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut RandomScheduler::seeded(99)).unwrap();
+    d.check_requirements(&graph).unwrap();
+}
+
+/// Recovery cost is a fresh run over the (smaller) survivor set — far below
+/// the original discovery when few nodes survive.
+#[test]
+fn recovery_cost_scales_with_survivors() {
+    let n = 200;
+    let graph = gen::random_weakly_connected(n, 3 * n, 8);
+    let mut d = Discovery::new(&graph, Variant::AdHoc);
+    d.run_all(&mut RandomScheduler::seeded(9)).unwrap();
+    let full_cost = d.runner().metrics().total_messages();
+
+    let survivors: Vec<NodeId> = (0..n).step_by(10).map(NodeId::new).collect();
+    let (survivor_graph, _) = d.survivor_graph(&survivors);
+    let mut recovery = Discovery::new(&survivor_graph, Variant::AdHoc);
+    recovery.run_all(&mut RandomScheduler::seeded(10)).unwrap();
+    let recovery_cost = recovery.runner().metrics().total_messages();
+    assert!(
+        recovery_cost * 5 < full_cost,
+        "recovering {} survivors cost {recovery_cost}, original {full_cost}",
+        survivors.len()
+    );
+}

@@ -1,0 +1,51 @@
+//! Large-scale soak tests, run explicitly with `cargo test -- --ignored`
+//! (they take minutes in debug builds, seconds in release).
+
+use asynchronous_resource_discovery::core::{budgets, Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::lower_bounds::tree_adversary;
+use asynchronous_resource_discovery::netsim::RandomScheduler;
+
+#[test]
+#[ignore = "large-scale soak; run with --ignored"]
+fn soak_discovery_at_sixteen_k() {
+    let n = 1 << 14;
+    let graph = gen::random_weakly_connected(n, 2 * n, 1);
+    for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+        let mut d = Discovery::new(&graph, variant);
+        d.run_all(&mut RandomScheduler::seeded(2)).unwrap();
+        d.check_requirements(&graph).unwrap();
+        budgets::check_all(
+            d.runner().metrics(),
+            n as u64,
+            graph.edge_count() as u64,
+            variant,
+        )
+        .unwrap();
+    }
+}
+
+#[test]
+#[ignore = "large-scale soak; run with --ignored"]
+fn soak_tree_adversary_at_depth_fourteen() {
+    let r = tree_adversary::run(14);
+    assert!(r.messages >= r.bound);
+}
+
+#[test]
+#[ignore = "large-scale soak; run with --ignored"]
+fn soak_many_seeds_small_graphs() {
+    // Breadth instead of depth: thousands of schedules over small graphs.
+    for seed in 0..2000u64 {
+        let graph = gen::random_weakly_connected(10, 20, seed % 17);
+        let variant = match seed % 3 {
+            0 => Variant::Oblivious,
+            1 => Variant::Bounded,
+            _ => Variant::AdHoc,
+        };
+        let mut d = Discovery::new(&graph, variant);
+        d.run_all(&mut RandomScheduler::seeded(seed)).unwrap();
+        d.check_requirements(&graph)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
