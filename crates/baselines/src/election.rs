@@ -24,8 +24,8 @@ impl Envelope for Candidate {
     fn kind(&self) -> &'static str {
         "candidate"
     }
-    fn carried_ids(&self) -> Vec<NodeId> {
-        vec![self.0]
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
+        f(self.0);
     }
     fn aux_bits(&self) -> u64 {
         0

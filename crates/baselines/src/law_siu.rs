@@ -44,10 +44,12 @@ impl Envelope for RootGossip {
     fn kind(&self) -> &'static str {
         "root gossip"
     }
-    fn carried_ids(&self) -> Vec<NodeId> {
-        let mut ids = vec![self.root];
-        ids.extend_from_slice(&self.known);
-        ids
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
+        f(self.root);
+        self.known.iter().copied().for_each(f);
+    }
+    fn carried_id_count(&self) -> usize {
+        1 + self.known.len()
     }
     fn aux_bits(&self) -> u64 {
         32 + 1

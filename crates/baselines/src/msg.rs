@@ -8,8 +8,11 @@ impl Envelope for KnownSet {
     fn kind(&self) -> &'static str {
         "known set"
     }
-    fn carried_ids(&self) -> Vec<NodeId> {
-        self.0.clone()
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
+        self.0.iter().copied().for_each(f);
+    }
+    fn carried_id_count(&self) -> usize {
+        self.0.len()
     }
     fn aux_bits(&self) -> u64 {
         32 // length prefix

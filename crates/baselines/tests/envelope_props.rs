@@ -1,0 +1,56 @@
+//! Property tests of the baselines' [`Envelope`] impls: for every message
+//! type, the non-allocating `for_each_carried_id` visitor yields exactly the
+//! ids the `carried_ids()` convenience collects, in payload order, and the
+//! hand-written `carried_id_count` overrides agree.
+
+use proptest::prelude::*;
+
+use ard_baselines::election::Candidate;
+use ard_baselines::law_siu::RootGossip;
+use ard_baselines::KnownSet;
+use ard_netsim::{Envelope, NodeId};
+
+fn nid() -> impl Strategy<Value = NodeId> {
+    (0usize..512).prop_map(NodeId::new)
+}
+
+fn id_vec() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec(nid(), 0..16)
+}
+
+fn assert_visitor_matches<E: Envelope>(msg: &E, expected: &[NodeId]) -> Result<(), TestCaseError> {
+    let mut visited = Vec::new();
+    msg.for_each_carried_id(&mut |id| visited.push(id));
+    prop_assert_eq!(&visited[..], expected);
+    prop_assert_eq!(msg.carried_ids(), expected.to_vec());
+    prop_assert_eq!(msg.carried_id_count(), expected.len());
+    Ok(())
+}
+
+proptest! {
+    /// Gossip baselines: a `KnownSet` carries exactly its id vector.
+    #[test]
+    fn known_set_visitor_matches(ids in id_vec()) {
+        assert_visitor_matches(&KnownSet(ids.clone()), &ids)?;
+    }
+
+    /// Leader election: a `Candidate` carries exactly its one id.
+    #[test]
+    fn candidate_visitor_matches(id in nid()) {
+        assert_visitor_matches(&Candidate(id), &[id])?;
+    }
+
+    /// Law–Siu push–pull: a `RootGossip` carries its root followed by its
+    /// known set, in that order.
+    #[test]
+    fn root_gossip_visitor_matches(
+        root in nid(),
+        known in id_vec(),
+        wants_reply in any::<bool>(),
+    ) {
+        let msg = RootGossip { root, known: known.clone(), wants_reply };
+        let mut expected = vec![root];
+        expected.extend(known);
+        assert_visitor_matches(&msg, &expected)?;
+    }
+}

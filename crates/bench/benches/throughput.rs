@@ -1,0 +1,44 @@
+//! Criterion throughput bench: simulator events/sec on the generic
+//! (Oblivious) algorithm, the wall-clock companion to
+//! `BENCH_throughput.json` (regenerate that with `scripts/bench.sh`).
+//!
+//! Each iteration runs one full discovery to quiescence on a pre-built
+//! random `G(n, 3n)` graph; throughput is reported in simulator events
+//! (wake-ups + deliveries) per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ard_bench::throughput::run_events;
+use ard_core::{Discovery, Variant};
+use ard_graph::gen;
+use ard_netsim::{FifoScheduler, RandomScheduler, Scheduler};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events_per_sec");
+    group.sample_size(10);
+    for n in ard_bench::throughput::THROUGHPUT_SIZES {
+        let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
+        for scheduler in ["fifo", "random"] {
+            group.throughput(Throughput::Elements(run_events(n, scheduler)));
+            group.bench_with_input(
+                BenchmarkId::new(scheduler, n),
+                &graph,
+                |b, graph| {
+                    b.iter(|| {
+                        let mut sched: Box<dyn Scheduler> = match scheduler {
+                            "fifo" => Box::new(FifoScheduler::new()),
+                            _ => Box::new(RandomScheduler::seeded(n as u64 ^ 0xa5a5)),
+                        };
+                        let mut d = Discovery::new(graph, Variant::Oblivious);
+                        d.run_all(sched.as_mut()).expect("livelock");
+                        std::hint::black_box(d.runner().steps_executed())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

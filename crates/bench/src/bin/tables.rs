@@ -4,7 +4,9 @@
 //! cargo run --release -p ard-bench --bin tables            # everything
 //! cargo run --release -p ard-bench --bin tables -- --exp e5
 //! cargo run --release -p ard-bench --bin tables -- --quick # small sweeps
+//! cargo run --release -p ard-bench --bin tables -- --jobs 4
 //! cargo run --release -p ard-bench --bin tables -- --list
+//! cargo run --release -p ard-bench --bin tables -- --bench-throughput BENCH_throughput.json
 //! ```
 
 use std::process::ExitCode;
@@ -14,6 +16,8 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut exp: Option<String> = None;
     let mut list = false;
+    let mut jobs = 1usize;
+    let mut throughput_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,13 +33,62 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a thread count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--bench-throughput" => {
+                // Optional path operand; defaults to BENCH_throughput.json.
+                let next = args.get(i + 1);
+                let path = match next {
+                    Some(p) if !p.starts_with("--") => {
+                        i += 1;
+                        p.clone()
+                    }
+                    _ => "BENCH_throughput.json".to_string(),
+                };
+                throughput_path = Some(path);
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: tables [--quick] [--list] [--exp <id>]");
+                eprintln!(
+                    "usage: tables [--quick] [--list] [--exp <id>] [--jobs N] [--bench-throughput [PATH]]"
+                );
                 return ExitCode::FAILURE;
             }
         }
         i += 1;
+    }
+
+    // Trials merge in seed order, so any job count gives identical output.
+    ard_bench::parallel::set_jobs(jobs);
+
+    if let Some(path) = throughput_path {
+        let sizes = if quick {
+            vec![32, 64]
+        } else {
+            ard_bench::throughput::THROUGHPUT_SIZES.to_vec()
+        };
+        let points = ard_bench::throughput::measure(&sizes, 3);
+        for p in &points {
+            println!(
+                "n={:<5} {:<7} {:>9} events in {:>8.3}s  ->  {:>12.0} events/s",
+                p.n, p.scheduler, p.events, p.secs, p.events_per_sec
+            );
+        }
+        let json = ard_bench::throughput::to_json(&points);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+        return ExitCode::SUCCESS;
     }
 
     if list {

@@ -53,22 +53,28 @@ fn mean_sd(values: &[f64]) -> (f64, f64) {
 
 fn message_sweep(variant: Variant, quick: bool, table: &mut Table) {
     let seeds: u64 = if quick { 2 } else { 5 };
-    for n in sweep(quick) {
-        let extra = 2 * n;
-        let mut msgs = Vec::new();
-        let mut e0 = 0;
-        for seed in 0..seeds {
-            // Vary both the topology and the schedule across repetitions.
-            let (d, graph) = run_once(n, extra, variant, Config::paper(), n as u64 + 7919 * seed);
-            e0 = graph.edge_count();
-            let m = d.runner().metrics();
-            let check = match variant {
-                Variant::Oblivious => budgets::check_theorem_5(m, n as u64),
-                _ => budgets::check_theorem_6(m, n as u64),
-            };
-            check.expect("theorem bound violated");
-            msgs.push(m.total_messages() as f64);
-        }
+    // Trials are independent — each owns its topology seed and its seeded
+    // scheduler — so they run on the configured worker pool; merging by
+    // input order keeps the table byte-identical whatever the job count.
+    let trials: Vec<(usize, u64)> = sweep(quick)
+        .into_iter()
+        .flat_map(|n| (0..seeds).map(move |seed| (n, seed)))
+        .collect();
+    let measured = crate::parallel::map_configured(trials, |(n, seed)| {
+        // Vary both the topology and the schedule across repetitions.
+        let (d, graph) = run_once(n, 2 * n, variant, Config::paper(), n as u64 + 7919 * seed);
+        let m = d.runner().metrics();
+        let check = match variant {
+            Variant::Oblivious => budgets::check_theorem_5(m, n as u64),
+            _ => budgets::check_theorem_6(m, n as u64),
+        };
+        check.expect("theorem bound violated");
+        (n, graph.edge_count(), m.total_messages() as f64)
+    });
+    for per_n in measured.chunks(seeds as usize) {
+        let n = per_n[0].0;
+        let e0 = per_n[per_n.len() - 1].1;
+        let msgs: Vec<f64> = per_n.iter().map(|&(_, _, m)| m).collect();
         let (mean, sd) = mean_sd(&msgs);
         let nf = n as f64;
         let a = alpha(n as u64, n as u64);
@@ -915,5 +921,18 @@ mod tests {
     fn quick_metrics_nonempty() {
         let m = quick_metrics();
         assert!(m.total_messages() > 0);
+    }
+
+    /// `--jobs N` must be a pure wall-clock knob: the sweep tables render
+    /// byte-identically at any worker count.
+    #[test]
+    fn sweep_tables_are_identical_across_job_counts() {
+        let before = crate::parallel::jobs();
+        crate::parallel::set_jobs(1);
+        let sequential = e1_generic_messages(true).render();
+        crate::parallel::set_jobs(4);
+        let parallelized = e1_generic_messages(true).render();
+        crate::parallel::set_jobs(before);
+        assert_eq!(sequential, parallelized);
     }
 }

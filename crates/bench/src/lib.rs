@@ -16,33 +16,40 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 mod table;
+pub mod throughput;
 
 pub use table::Table;
 
 /// Returns every experiment's table, in index order. `quick` shrinks the
 /// sweeps (for tests and debug builds).
+///
+/// Tables are built on the worker pool configured via
+/// [`parallel::set_jobs`] (sequentially by default); the returned order and
+/// every table's contents are identical whatever the job count.
 pub fn all_tables(quick: bool) -> Vec<Table> {
-    vec![
-        experiments::e1_generic_messages(quick),
-        experiments::e2_bounded_messages(quick),
-        experiments::e3_adhoc_messages(quick),
-        experiments::e4_bit_complexity(quick),
-        experiments::e5_tree_lower_bound(quick),
-        experiments::e6_uf_reduction(quick),
-        experiments::e7_message_breakdown(quick),
-        experiments::e8_dynamic_additions(quick),
-        experiments::e9_baseline_comparison(quick),
-        experiments::e10_probe_amortization(quick),
-        experiments::e11_time_complexity(quick),
-        experiments::e12_overlay_pipeline(quick),
-        experiments::e13_phase_distribution(quick),
-        experiments::e14_schedule_sensitivity(quick),
-        experiments::f1_transition_coverage(quick),
-        experiments::a1_path_compression(quick),
-        experiments::a2_balanced_queries(quick),
-        experiments::a3_union_find_variants(quick),
-    ]
+    let builders: Vec<fn(bool) -> Table> = vec![
+        experiments::e1_generic_messages,
+        experiments::e2_bounded_messages,
+        experiments::e3_adhoc_messages,
+        experiments::e4_bit_complexity,
+        experiments::e5_tree_lower_bound,
+        experiments::e6_uf_reduction,
+        experiments::e7_message_breakdown,
+        experiments::e8_dynamic_additions,
+        experiments::e9_baseline_comparison,
+        experiments::e10_probe_amortization,
+        experiments::e11_time_complexity,
+        experiments::e12_overlay_pipeline,
+        experiments::e13_phase_distribution,
+        experiments::e14_schedule_sensitivity,
+        experiments::f1_transition_coverage,
+        experiments::a1_path_compression,
+        experiments::a2_balanced_queries,
+        experiments::a3_union_find_variants,
+    ];
+    parallel::map_configured(builders, |build| build(quick))
 }
 
 /// Looks up one experiment by id (e.g. `"e5"`, `"f1"`, `"a2"`).

@@ -1,0 +1,127 @@
+//! Engine-throughput measurement: events/sec of the discrete-event
+//! simulator running the generic (Oblivious) discovery algorithm.
+//!
+//! An "event" is one `Runner::step` — a wake-up or a message delivery.
+//! This is the metric `BENCH_throughput.json` records so successive PRs
+//! have a perf trajectory to compare against; regenerate it with
+//! `scripts/bench.sh` (or `tables --bench-throughput`).
+
+use std::time::Instant;
+
+use ard_core::{Discovery, Variant};
+use ard_graph::gen;
+use ard_netsim::{FifoScheduler, RandomScheduler, Scheduler};
+
+/// Network sizes the throughput sweep covers.
+pub const THROUGHPUT_SIZES: [usize; 3] = [256, 1024, 4096];
+
+/// One measured (n, scheduler) throughput point.
+#[derive(Clone, Debug)]
+pub struct ThroughputPoint {
+    /// Number of nodes in the random weakly connected topology.
+    pub n: usize,
+    /// Scheduler name (`"fifo"` or `"random"`).
+    pub scheduler: &'static str,
+    /// Simulator events (wake-ups + deliveries) executed per run.
+    pub events: u64,
+    /// Best wall-clock seconds over the measured repetitions.
+    pub secs: f64,
+    /// `events / secs` for the best repetition.
+    pub events_per_sec: f64,
+}
+
+fn make_scheduler(name: &'static str, seed: u64) -> Box<dyn Scheduler> {
+    match name {
+        "fifo" => Box::new(FifoScheduler::new()),
+        "random" => Box::new(RandomScheduler::seeded(seed)),
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+/// Runs one full discovery on a fresh `G(n, 3n)` graph and returns the
+/// executed event count (the graph build is excluded from timing by the
+/// caller re-using this via [`measure`]).
+pub fn run_events(n: usize, scheduler: &'static str) -> u64 {
+    let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
+    let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
+    let mut d = Discovery::new(&graph, Variant::Oblivious);
+    d.run_all(sched.as_mut()).expect("throughput run livelocked");
+    d.runner().steps_executed()
+}
+
+/// Measures events/sec for every `(n, scheduler)` pair in the sweep,
+/// taking the best of `reps` repetitions (graph generation excluded).
+pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
+        for scheduler in ["fifo", "random"] {
+            let mut best_secs = f64::INFINITY;
+            let mut events = 0u64;
+            for _ in 0..reps.max(1) {
+                let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
+                let mut d = Discovery::new(&graph, Variant::Oblivious);
+                let start = Instant::now();
+                d.run_all(sched.as_mut()).expect("throughput run livelocked");
+                let secs = start.elapsed().as_secs_f64();
+                events = d.runner().steps_executed();
+                best_secs = best_secs.min(secs);
+            }
+            points.push(ThroughputPoint {
+                n,
+                scheduler,
+                events,
+                secs: best_secs,
+                events_per_sec: events as f64 / best_secs,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the points as the `BENCH_throughput.json` document.
+pub fn to_json(points: &[ThroughputPoint]) -> String {
+    let mut out = String::from("{\n  \"metric\": \"events_per_sec\",\n  \"workload\": \"oblivious discovery on random G(n, 3n)\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"scheduler\": \"{}\", \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            p.n,
+            p.scheduler,
+            p.events,
+            p.secs,
+            p.events_per_sec,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_produces_all_pairs() {
+        let points = measure(&[32], 1);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.events > 0);
+            assert!(p.events_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = measure(&[24], 1);
+        let json = to_json(&points);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"scheduler\"").count(), points.len());
+        assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        assert_eq!(run_events(48, "random"), run_events(48, "random"));
+    }
+}

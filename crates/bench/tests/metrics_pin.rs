@@ -1,0 +1,135 @@
+//! Regression pins for the metering refactor: metering moved to *send* time
+//! (via the non-allocating [`Envelope::carried_id_count`]) and knowledge
+//! growth to *delivery* time (via `for_each_carried_id`), with no id `Vec`
+//! materialised on either side. Every total below was produced by the
+//! pre-refactor engine (which collected `carried_ids()` vectors on both
+//! sides) on the same fixtures — byte-for-byte identical accounting is the
+//! contract.
+
+use ard_core::{Discovery, Variant};
+use ard_graph::gen;
+use ard_netsim::{FifoScheduler, Metrics, RandomScheduler, Scheduler};
+
+fn run(variant: Variant, sched: &mut dyn Scheduler) -> Metrics {
+    let graph = gen::random_weakly_connected(48, 96, 5);
+    let mut d = Discovery::new(&graph, variant);
+    d.run_all(sched).expect("livelock");
+    d.check_requirements(&graph).expect("requirements violated");
+    d.runner().metrics().clone()
+}
+
+struct Pin {
+    variant: Variant,
+    random: bool,
+    messages: u64,
+    bits: u64,
+    deliveries: u64,
+    depth: u64,
+    /// `(kind, messages, bits)` for every kind the run produces.
+    kinds: &'static [(&'static str, u64, u64)],
+}
+
+#[test]
+fn metrics_totals_match_pre_refactor_engine() {
+    let pins = [
+        Pin {
+            variant: Variant::Oblivious,
+            random: false,
+            messages: 593,
+            bits: 19127,
+            deliveries: 593,
+            depth: 234,
+            kinds: &[
+                ("conquer", 75, 900),
+                ("info", 47, 7600),
+                ("merge accept", 47, 188),
+                ("merge fail", 5, 20),
+                ("more/done", 75, 375),
+                ("query", 38, 1368),
+                ("query reply", 38, 1976),
+                ("release", 134, 3350),
+                ("search", 134, 3350),
+            ],
+        },
+        Pin {
+            variant: Variant::Oblivious,
+            random: true,
+            messages: 588,
+            bits: 18971,
+            deliveries: 588,
+            depth: 240,
+            kinds: &[
+                ("conquer", 73, 876),
+                ("info", 47, 7534),
+                ("merge accept", 47, 188),
+                ("merge fail", 4, 16),
+                ("more/done", 73, 365),
+                ("query", 36, 1296),
+                ("query reply", 36, 1896),
+                ("release", 136, 3400),
+                ("search", 136, 3400),
+            ],
+        },
+        Pin {
+            variant: Variant::Bounded,
+            random: false,
+            messages: 543,
+            bits: 18819,
+            deliveries: 543,
+            depth: 188,
+            kinds: &[
+                ("conquer", 47, 564),
+                ("info", 47, 7612),
+                ("merge accept", 47, 188),
+                ("merge fail", 5, 20),
+                ("more/done", 47, 235),
+                ("query", 38, 1368),
+                ("query reply", 38, 1982),
+                ("release", 137, 3425),
+                ("search", 137, 3425),
+            ],
+        },
+        Pin {
+            variant: Variant::Bounded,
+            random: true,
+            messages: 548,
+            bits: 18942,
+            deliveries: 548,
+            depth: 177,
+            kinds: &[
+                ("conquer", 47, 564),
+                ("info", 47, 7630),
+                ("merge accept", 47, 188),
+                ("merge fail", 6, 24),
+                ("more/done", 47, 235),
+                ("query", 37, 1332),
+                ("query reply", 37, 1969),
+                ("release", 140, 3500),
+                ("search", 140, 3500),
+            ],
+        },
+    ];
+    for pin in pins {
+        let mut sched: Box<dyn Scheduler> = if pin.random {
+            Box::new(RandomScheduler::seeded(42))
+        } else {
+            Box::new(FifoScheduler::new())
+        };
+        let m = run(pin.variant, sched.as_mut());
+        let ctx = format!(
+            "{:?}/{}",
+            pin.variant,
+            if pin.random { "random" } else { "fifo" }
+        );
+        assert_eq!(m.total_messages(), pin.messages, "{ctx}: messages");
+        assert_eq!(m.total_bits(), pin.bits, "{ctx}: bits");
+        assert_eq!(m.deliveries(), pin.deliveries, "{ctx}: deliveries");
+        assert_eq!(m.wakeups(), 48, "{ctx}: wakeups");
+        assert_eq!(m.max_causal_depth(), pin.depth, "{ctx}: causal depth");
+        let kinds: Vec<(&str, u64, u64)> = m
+            .kinds()
+            .map(|(k, c)| (k, c.messages, c.bits))
+            .collect();
+        assert_eq!(kinds, pin.kinds, "{ctx}: per-kind breakdown");
+    }
+}

@@ -52,6 +52,8 @@ commands:
              --n N --lookups K [--seed S]
   baselines  compare against name-dropper / law-siu / flooding
              --n N [--seed S]
+             --seeds T     run T independent trials (seeds S, S+3, S+6, …)
+             --jobs N      run trials on N worker threads (same output as 1)
   help       print this text
 "
     .to_string()
@@ -272,6 +274,32 @@ fn overlay(flags: HashMap<String, String>) -> Result<String, CliError> {
 fn baselines(flags: HashMap<String, String>) -> Result<String, CliError> {
     let n = flag_usize(&flags, "n", 64)?;
     let seed = flag_u64(&flags, "seed", 0)?;
+    let seeds = flag_usize(&flags, "seeds", 1)?;
+    let jobs = flag_usize(&flags, "jobs", 1)?;
+    if seeds == 0 {
+        return Err(CliError("--seeds must be ≥ 1".into()));
+    }
+    if jobs == 0 {
+        return Err(CliError("--jobs must be ≥ 1".into()));
+    }
+    // Each trial owns its graph seed and its seeded schedulers (base seed,
+    // +1, +2 internally — hence the stride of 3), so trials parallelize
+    // freely; merging reports in seed order makes the output independent of
+    // the job count.
+    let trial_seeds: Vec<u64> = (0..seeds as u64).map(|i| seed + 3 * i).collect();
+    let reports = ard_bench::parallel::parallel_map(jobs, trial_seeds, |s| baseline_trial(n, s));
+    if seeds == 1 {
+        return reports.into_iter().next().unwrap();
+    }
+    let mut out = String::new();
+    for (i, report) in reports.into_iter().enumerate() {
+        writeln!(out, "=== trial {} (seed {}) ===", i + 1, seed + 3 * i as u64).unwrap();
+        out.push_str(&report?);
+    }
+    Ok(out)
+}
+
+fn baseline_trial(n: usize, seed: u64) -> Result<String, CliError> {
     let graph = ard_graph::gen::random_weakly_connected(n, 2 * n, seed);
     let mut out = String::new();
     writeln!(
@@ -417,6 +445,16 @@ mod tests {
         assert!(out.contains("name-dropper"));
         assert!(out.contains("law-siu"));
         assert!(out.contains("flooding"));
+    }
+
+    #[test]
+    fn baselines_jobs_do_not_change_output() {
+        let parallel = run_line("baselines --n 16 --seeds 3 --jobs 4").unwrap();
+        let sequential = run_line("baselines --n 16 --seeds 3 --jobs 1").unwrap();
+        assert_eq!(parallel, sequential);
+        assert!(parallel.contains("=== trial 3 (seed 6) ==="));
+        assert!(run_line("baselines --n 16 --jobs 0").is_err());
+        assert!(run_line("baselines --n 16 --seeds 0").is_err());
     }
 
     #[test]

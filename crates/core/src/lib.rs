@@ -53,5 +53,5 @@ mod status;
 
 pub use config::{Config, Variant};
 pub use driver::{Discovery, Outcome, ProbeStatus};
-pub use msg::{Message, Verdict};
+pub use msg::{InfoPayload, Message, Verdict};
 pub use status::{Status, Transition, EXPECTED_TRANSITIONS};

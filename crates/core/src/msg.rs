@@ -75,19 +75,11 @@ pub enum Message {
     MergeFail,
     /// Surrendered leader → conqueror: its entire bookkeeping state. In the
     /// Bounded/Ad-hoc variants `unaware` is always empty (§4.5).
-    Info {
-        /// The surrendered leader's final phase.
-        phase: u32,
-        /// Its `more` set (members with unreported ids).
-        more: Vec<NodeId>,
-        /// Its `done` set (fully reported members).
-        done: Vec<NodeId>,
-        /// Its `unaware` set (always empty in practice; a conqueror cannot
-        /// be conquered mid-conquest).
-        unaware: Vec<NodeId>,
-        /// Its `unexplored` set (ids known but not yet searched).
-        unexplored: Vec<NodeId>,
-    },
+    ///
+    /// The payload is boxed so this rare, four-`Vec` variant does not set
+    /// the size of every [`Message`] moved through the simulator's link
+    /// queues.
+    Info(Box<InfoPayload>),
     /// Leader → newly acquired member: "I am your leader now" (generic
     /// variant after every merge; Bounded variant only at termination).
     Conquer {
@@ -121,6 +113,23 @@ pub enum Message {
     },
 }
 
+/// The state a surrendered leader ships to its conqueror in a
+/// [`Message::Info`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfoPayload {
+    /// The surrendered leader's final phase.
+    pub phase: u32,
+    /// Its `more` set (members with unreported ids).
+    pub more: Vec<NodeId>,
+    /// Its `done` set (fully reported members).
+    pub done: Vec<NodeId>,
+    /// Its `unaware` set (always empty in practice; a conqueror cannot
+    /// be conquered mid-conquest).
+    pub unaware: Vec<NodeId>,
+    /// Its `unexplored` set (ids known but not yet searched).
+    pub unexplored: Vec<NodeId>,
+}
+
 impl Message {
     /// Whether this message is routed leaf-to-leader along `next` pointers
     /// (and therefore serialized through relays' `previous` queues).
@@ -146,37 +155,55 @@ impl Envelope for Message {
         }
     }
 
-    fn carried_ids(&self) -> Vec<NodeId> {
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
         match self {
             Message::Query { .. }
             | Message::MergeAccept
             | Message::MergeFail
             | Message::Conquer { .. }
-            | Message::MoreDone { .. } => Vec::new(),
-            Message::QueryReply { ids, .. } => ids.clone(),
-            Message::Search { origin, target, .. } => vec![*origin, *target],
-            Message::Release { leader, dest, .. } => vec![*leader, *dest],
-            Message::Info {
-                more,
-                done,
-                unaware,
-                unexplored,
-                ..
-            } => more
+            | Message::MoreDone { .. } => {}
+            Message::QueryReply { ids, .. } => ids.iter().copied().for_each(f),
+            Message::Search { origin, target, .. } => {
+                f(*origin);
+                f(*target);
+            }
+            Message::Release { leader, dest, .. } => {
+                f(*leader);
+                f(*dest);
+            }
+            Message::Info(p) => p
+                .more
                 .iter()
-                .chain(done)
-                .chain(unaware)
-                .chain(unexplored)
+                .chain(&p.done)
+                .chain(&p.unaware)
+                .chain(&p.unexplored)
                 .copied()
-                .collect(),
-            Message::Probe { origin } => vec![*origin],
+                .for_each(f),
+            Message::Probe { origin } => f(*origin),
             Message::ProbeReply {
                 leader, dest, ids, ..
             } => {
-                let mut all = vec![*leader, *dest];
-                all.extend_from_slice(ids);
-                all
+                f(*leader);
+                f(*dest);
+                ids.iter().copied().for_each(f);
             }
+        }
+    }
+
+    fn carried_id_count(&self) -> usize {
+        match self {
+            Message::Query { .. }
+            | Message::MergeAccept
+            | Message::MergeFail
+            | Message::Conquer { .. }
+            | Message::MoreDone { .. } => 0,
+            Message::QueryReply { ids, .. } => ids.len(),
+            Message::Search { .. } | Message::Release { .. } => 2,
+            Message::Info(p) => {
+                p.more.len() + p.done.len() + p.unaware.len() + p.unexplored.len()
+            }
+            Message::Probe { .. } => 1,
+            Message::ProbeReply { ids, .. } => 2 + ids.len(),
         }
     }
 
@@ -222,13 +249,13 @@ mod tests {
             },
             Message::MergeAccept,
             Message::MergeFail,
-            Message::Info {
+            Message::Info(Box::new(InfoPayload {
                 phase: 1,
                 more: vec![],
                 done: vec![],
                 unaware: vec![],
                 unexplored: vec![],
-            },
+            })),
             Message::Conquer { phase: 2 },
             Message::MoreDone { exhausted: true },
             Message::Probe {
@@ -249,14 +276,17 @@ mod tests {
 
     #[test]
     fn carried_ids_cover_payload() {
-        let info = Message::Info {
+        let info = Message::Info(Box::new(InfoPayload {
             phase: 3,
             more: vec![NodeId::new(1)],
             done: vec![NodeId::new(2), NodeId::new(3)],
             unaware: vec![],
             unexplored: vec![NodeId::new(4)],
-        };
-        assert_eq!(info.carried_ids().len(), 4);
+        }));
+        // Set order: more, done, unaware, unexplored.
+        let expected: Vec<NodeId> = [1, 2, 3, 4].map(NodeId::new).to_vec();
+        assert_eq!(info.carried_ids(), expected);
+        assert_eq!(info.carried_id_count(), 4);
 
         let search = Message::Search {
             origin: NodeId::new(9),
@@ -265,6 +295,123 @@ mod tests {
             new_edge: true,
         };
         assert_eq!(search.carried_ids(), vec![NodeId::new(9), NodeId::new(5)]);
+        assert_eq!(search.carried_id_count(), 2);
+    }
+
+    mod visitor_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn nid() -> impl Strategy<Value = NodeId> {
+            (0usize..512).prop_map(NodeId::new)
+        }
+
+        fn id_vec(max: usize) -> impl Strategy<Value = Vec<NodeId>> {
+            prop::collection::vec(nid(), 0..max)
+        }
+
+        /// Generates one arbitrary message of any variant together with the
+        /// id list its payload carries, in payload order — the oracle the
+        /// visitor must reproduce exactly.
+        fn arb_message() -> impl Strategy<Value = (Message, Vec<NodeId>)> {
+            prop_oneof![
+                any::<u32>().prop_map(|want| (Message::Query { want }, vec![])),
+                (id_vec(8), any::<bool>()).prop_map(|(ids, exhausted)| (
+                    Message::QueryReply {
+                        ids: ids.clone(),
+                        exhausted
+                    },
+                    ids
+                )),
+                (nid(), any::<u32>(), nid(), any::<bool>()).prop_map(
+                    |(origin, origin_phase, target, new_edge)| (
+                        Message::Search {
+                            origin,
+                            origin_phase,
+                            target,
+                            new_edge
+                        },
+                        vec![origin, target]
+                    )
+                ),
+                (nid(), any::<u32>(), any::<bool>(), nid()).prop_map(
+                    |(leader, leader_phase, merge, dest)| (
+                        Message::Release {
+                            leader,
+                            leader_phase,
+                            verdict: if merge { Verdict::Merge } else { Verdict::Abort },
+                            dest
+                        },
+                        vec![leader, dest]
+                    )
+                ),
+                Just((Message::MergeAccept, vec![])),
+                Just((Message::MergeFail, vec![])),
+                (any::<u32>(), id_vec(6), id_vec(6), id_vec(6), id_vec(6)).prop_map(
+                    |(phase, more, done, unaware, unexplored)| {
+                        let expected: Vec<NodeId> = more
+                            .iter()
+                            .chain(&done)
+                            .chain(&unaware)
+                            .chain(&unexplored)
+                            .copied()
+                            .collect();
+                        (
+                            Message::Info(Box::new(InfoPayload {
+                                phase,
+                                more,
+                                done,
+                                unaware,
+                                unexplored,
+                            })),
+                            expected,
+                        )
+                    }
+                ),
+                any::<u32>().prop_map(|phase| (Message::Conquer { phase }, vec![])),
+                any::<bool>().prop_map(|exhausted| (Message::MoreDone { exhausted }, vec![])),
+                nid().prop_map(|origin| (Message::Probe { origin }, vec![origin])),
+                (nid(), any::<u32>(), nid(), id_vec(8)).prop_map(
+                    |(leader, leader_phase, dest, ids)| {
+                        let mut expected = vec![leader, dest];
+                        expected.extend(ids.iter().copied());
+                        (
+                            Message::ProbeReply {
+                                leader,
+                                leader_phase,
+                                dest,
+                                ids,
+                            },
+                            expected,
+                        )
+                    }
+                ),
+            ]
+        }
+
+        proptest! {
+            /// For every variant, the non-allocating visitor yields exactly
+            /// the payload's ids in payload order, and the counting and
+            /// `Vec`-collecting conveniences agree with it — so metering at
+            /// send time and knowledge growth at delivery time see the same
+            /// ids the old `carried_ids()` path did.
+            #[test]
+            fn visitor_yields_payload_ids_in_order((msg, expected) in arb_message()) {
+                let mut visited = Vec::new();
+                msg.for_each_carried_id(&mut |id| visited.push(id));
+                prop_assert_eq!(&visited, &expected);
+                prop_assert_eq!(msg.carried_ids(), expected);
+                prop_assert_eq!(msg.carried_id_count(), visited.len());
+            }
+        }
+    }
+
+    #[test]
+    fn message_moves_stay_small() {
+        // Every send/deliver moves a `Message` through the simulator's link
+        // queues; the rare `Info` variant is boxed so it does not set the
+        // size of all the common variants.
+        assert!(std::mem::size_of::<Message>() <= 48);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use ard_netsim::{Context, NodeId, Protocol};
 
-use crate::msg::{Message, Verdict};
+use crate::msg::{InfoPayload, Message, Verdict};
 use crate::status::{Status, Transition};
 use crate::{Config, Variant};
 
@@ -697,13 +697,13 @@ impl ArdNode {
                 self.next = from;
                 ctx.send(
                     from,
-                    Message::Info {
+                    Message::Info(Box::new(InfoPayload {
                         phase: self.phase,
                         more: self.more.iter().copied().collect(),
                         done: self.done.iter().copied().collect(),
                         unaware: self.unaware.iter().copied().collect(),
                         unexplored: self.unexplored.iter().copied().collect(),
-                    },
+                    })),
                 );
                 // Ownership of the sets transfers with the info.
                 self.more.clear();
@@ -728,13 +728,14 @@ impl ArdNode {
         ctx: &mut Context<'_, Message>,
     ) -> Disposition {
         match msg {
-            Message::Info {
-                phase,
-                more,
-                done,
-                unaware,
-                unexplored,
-            } => {
+            Message::Info(info) => {
+                let InfoPayload {
+                    phase,
+                    more,
+                    done,
+                    unaware,
+                    unexplored,
+                } = *info;
                 self.merge_info(phase, more, done, unaware, unexplored, ctx);
                 Disposition::Consumed
             }

@@ -12,16 +12,23 @@ pub(crate) const KIND_TAG_BITS: u64 = 4;
 /// The simulator uses this trait for two things:
 ///
 /// 1. **Knowledge propagation.** When a message is delivered, the receiver
-///    learns the sender's id *and* every id returned by [`carried_ids`].
-///    This is exactly the paper's knowledge-graph rule: "when a node `v`
-///    receives a message containing `id(w)` then `E := E ∪ {(v → w)}`".
-///    A protocol must therefore report every id embedded in a message, or
-///    later sends to those ids will (correctly) panic.
+///    learns the sender's id *and* every id visited by
+///    [`for_each_carried_id`]. This is exactly the paper's knowledge-graph
+///    rule: "when a node `v` receives a message containing `id(w)` then
+///    `E := E ∪ {(v → w)}`". A protocol must therefore report every id
+///    embedded in a message, or later sends to those ids will (correctly)
+///    panic.
 /// 2. **Bit accounting.** A message of kind `k` carrying `c` ids costs
 ///    `c · id_bits + aux_bits + 4` bits, where `id_bits = ⌈log₂ n⌉` is
 ///    configured on the [`Metrics`](crate::Metrics) and `aux_bits` covers
 ///    non-id payload (flags, counters, phase numbers).
 ///
+/// Both uses sit on the simulator's per-event hot path, so the required
+/// method is a visitor: implementations walk their embedded ids without
+/// allocating. The [`carried_ids`] convenience (which *does* allocate a
+/// `Vec`) is provided for tests and debugging.
+///
+/// [`for_each_carried_id`]: Envelope::for_each_carried_id
 /// [`carried_ids`]: Envelope::carried_ids
 ///
 /// # Example
@@ -42,10 +49,10 @@ pub(crate) const KIND_TAG_BITS: u64 = 4;
 ///             Msg::Introduce { .. } => "introduce",
 ///         }
 ///     }
-///     fn carried_ids(&self) -> Vec<NodeId> {
+///     fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
 ///         match self {
-///             Msg::Hello => Vec::new(),
-///             Msg::Introduce { who } => who.clone(),
+///             Msg::Hello => {}
+///             Msg::Introduce { who } => who.iter().copied().for_each(f),
 ///         }
 ///     }
 ///     fn aux_bits(&self) -> u64 { 0 }
@@ -53,28 +60,50 @@ pub(crate) const KIND_TAG_BITS: u64 = 4;
 ///
 /// let m = Msg::Introduce { who: vec![NodeId::new(1), NodeId::new(2)] };
 /// assert_eq!(m.kind(), "introduce");
-/// assert_eq!(m.carried_ids().len(), 2);
+/// assert_eq!(m.carried_id_count(), 2);
+/// assert_eq!(m.carried_ids(), vec![NodeId::new(1), NodeId::new(2)]);
 /// ```
 pub trait Envelope: Clone + std::fmt::Debug {
     /// A short static name for this message's kind, used as the metrics key
     /// (e.g. `"search"`, `"query reply"`).
     fn kind(&self) -> &'static str;
 
-    /// Every node id embedded in the message payload.
+    /// Calls `f` with every node id embedded in the message payload, in a
+    /// fixed order.
     ///
     /// The receiver learns all of these ids on delivery. The sender's own id
     /// is implicit (the underlying transport reveals the peer address, as
-    /// TCP/IP does) and must not be listed here.
-    fn carried_ids(&self) -> Vec<NodeId>;
+    /// TCP/IP does) and must not be visited here.
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId));
 
     /// Bits of non-id payload: booleans, counters, phase numbers, set-length
     /// prefixes, and similar. Ids are charged separately via
-    /// [`carried_ids`](Envelope::carried_ids).
+    /// [`for_each_carried_id`](Envelope::for_each_carried_id).
     fn aux_bits(&self) -> u64;
+
+    /// Number of ids the visitor yields; used for metering.
+    ///
+    /// The default counts via [`for_each_carried_id`] without allocating;
+    /// override only if a cheaper count is available.
+    fn carried_id_count(&self) -> usize {
+        let mut count = 0usize;
+        self.for_each_carried_id(&mut |_| count += 1);
+        count
+    }
+
+    /// Every embedded id collected into a `Vec`, in visitor order.
+    ///
+    /// Convenience for tests and debugging; the simulator itself never
+    /// calls this on the hot path.
+    fn carried_ids(&self) -> Vec<NodeId> {
+        let mut ids = Vec::new();
+        self.for_each_carried_id(&mut |id| ids.push(id));
+        ids
+    }
 
     /// Total size of the message in bits, given the configured id width.
     fn bits(&self, id_bits: u64) -> u64 {
-        self.carried_ids().len() as u64 * id_bits + self.aux_bits() + KIND_TAG_BITS
+        self.carried_id_count() as u64 * id_bits + self.aux_bits() + KIND_TAG_BITS
     }
 }
 
@@ -89,8 +118,8 @@ mod tests {
         fn kind(&self) -> &'static str {
             "fixed"
         }
-        fn carried_ids(&self) -> Vec<NodeId> {
-            self.0.clone()
+        fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
+            self.0.iter().copied().for_each(f);
         }
         fn aux_bits(&self) -> u64 {
             self.1
@@ -107,5 +136,15 @@ mod tests {
     fn empty_message_still_costs_tag() {
         let m = Fixed(Vec::new(), 0);
         assert_eq!(m.bits(16), KIND_TAG_BITS);
+    }
+
+    #[test]
+    fn count_and_vec_agree_with_visitor() {
+        let m = Fixed(vec![NodeId::new(4), NodeId::new(2)], 0);
+        assert_eq!(m.carried_id_count(), 2);
+        assert_eq!(m.carried_ids(), vec![NodeId::new(4), NodeId::new(2)]);
+        let empty = Fixed(Vec::new(), 0);
+        assert_eq!(empty.carried_id_count(), 0);
+        assert!(empty.carried_ids().is_empty());
     }
 }

@@ -35,7 +35,7 @@
 //!
 //! impl Envelope for Ping {
 //!     fn kind(&self) -> &'static str { "ping" }
-//!     fn carried_ids(&self) -> Vec<NodeId> { Vec::new() }
+//!     fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
 //!     fn aux_bits(&self) -> u64 { 0 }
 //! }
 //!
@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod context;
 mod envelope;
 mod id;
@@ -79,6 +80,7 @@ mod scheduler;
 pub mod sync;
 pub mod trace;
 
+pub use bitset::BitSet;
 pub use context::Context;
 pub use envelope::Envelope;
 pub use id::NodeId;

@@ -1,4 +1,3 @@
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Message and bit counters for one message kind.
@@ -38,7 +37,10 @@ pub struct KindCounts {
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     id_bits: u64,
-    per_kind: BTreeMap<&'static str, KindCounts>,
+    // Few kinds (one per message variant), recorded once per send: a short
+    // vector scanned by pointer equality beats a string-keyed map. Kept
+    // sorted by kind name so read-side iteration is in kind order.
+    per_kind: Vec<(&'static str, KindCounts)>,
     deliveries: u64,
     wakeups: u64,
     max_causal_depth: u64,
@@ -62,9 +64,34 @@ impl Metrics {
     /// Records the send of one message of `kind` carrying `ids` node ids and
     /// `aux_bits` bits of non-id payload.
     pub fn record(&mut self, kind: &'static str, ids: usize, aux_bits: u64) {
-        let entry = self.per_kind.entry(kind).or_default();
-        entry.messages += 1;
         let bits = ids as u64 * self.id_bits + aux_bits + crate::envelope::KIND_TAG_BITS;
+        // Kind names are interned literals, so pointer equality identifies a
+        // seen kind without comparing string contents.
+        if let Some((_, entry)) = self
+            .per_kind
+            .iter_mut()
+            .find(|&&mut (k, _)| std::ptr::eq(k, kind))
+        {
+            entry.messages += 1;
+            entry.bits += bits;
+            entry.max_bits = entry.max_bits.max(bits);
+            return;
+        }
+        self.record_new_kind(kind, bits);
+    }
+
+    /// Slow path of [`record`](Metrics::record): first send of a kind (or a
+    /// differently-interned copy of a seen kind name).
+    fn record_new_kind(&mut self, kind: &'static str, bits: u64) {
+        let at = match self.per_kind.binary_search_by_key(&kind, |&(k, _)| k) {
+            Ok(at) => at,
+            Err(at) => {
+                self.per_kind.insert(at, (kind, KindCounts::default()));
+                at
+            }
+        };
+        let entry = &mut self.per_kind[at].1;
+        entry.messages += 1;
         entry.bits += bits;
         entry.max_bits = entry.max_bits.max(bits);
     }
@@ -84,22 +111,25 @@ impl Metrics {
 
     /// Total messages sent, over all kinds.
     pub fn total_messages(&self) -> u64 {
-        self.per_kind.values().map(|c| c.messages).sum()
+        self.per_kind.iter().map(|&(_, c)| c.messages).sum()
     }
 
     /// Total bits sent, over all kinds.
     pub fn total_bits(&self) -> u64 {
-        self.per_kind.values().map(|c| c.bits).sum()
+        self.per_kind.iter().map(|&(_, c)| c.bits).sum()
     }
 
     /// Counters for one message kind (zero if never seen).
     pub fn kind(&self, kind: &str) -> KindCounts {
-        self.per_kind.get(kind).copied().unwrap_or_default()
+        match self.per_kind.binary_search_by_key(&kind, |&(k, _)| k) {
+            Ok(at) => self.per_kind[at].1,
+            Err(_) => KindCounts::default(),
+        }
     }
 
     /// Iterates over `(kind, counters)` pairs in kind order.
     pub fn kinds(&self) -> impl Iterator<Item = (&'static str, KindCounts)> + '_ {
-        self.per_kind.iter().map(|(k, v)| (*k, *v))
+        self.per_kind.iter().map(|&(k, v)| (k, v))
     }
 
     /// Sums the message counts of every kind whose name is in `kinds`.

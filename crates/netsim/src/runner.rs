@@ -1,11 +1,43 @@
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
+use crate::bitset::BitSet;
 use crate::envelope::Envelope;
 use crate::scheduler::{Choice, Scheduler, SendToken};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Context, Metrics, NodeId};
+
+/// Multiply-mix hasher for the link-slot map.
+///
+/// Keys are two dense node indices packed into one `u64`, hashed on every
+/// send and delivery; SipHash's DoS resistance buys nothing for
+/// deterministic simulation state, so a two-instruction mix is used
+/// instead.
+#[derive(Clone, Copy, Default)]
+struct LinkHasher(u64);
+
+impl Hasher for LinkHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        let mut x = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+/// Packs a directed link into the slot map's key.
+fn link_key(src: NodeId, dst: NodeId) -> u64 {
+    ((src.index() as u64) << 32) | dst.index() as u64
+}
 
 /// Behaviour of one node in the simulated network.
 ///
@@ -63,11 +95,18 @@ type LinkQueue<M> = VecDeque<(M, u64)>;
 /// [`Scheduler`]; the runner guarantees per-link FIFO delivery regardless of
 /// the scheduler's choices.
 ///
+/// Internally the engine is allocation-free per event: knowledge sets are
+/// [`BitSet`]s over dense node indices, metering uses the non-allocating
+/// [`Envelope`] visitor, and each directed link's queue is interned into a
+/// dense slot on first send (so steady-state traffic reuses its queue).
+///
 /// See the [crate-level documentation](crate) for a complete example.
 pub struct Runner<P: Protocol> {
     nodes: Vec<P>,
-    knowledge: Vec<HashSet<NodeId>>,
-    links: HashMap<(NodeId, NodeId), LinkQueue<P::Message>>,
+    knowledge: Vec<BitSet>,
+    /// First-send-only interning of `(src, dst)` to a dense slot in `links`.
+    link_slots: HashMap<u64, u32, BuildHasherDefault<LinkHasher>>,
+    links: Vec<LinkQueue<P::Message>>,
     awake: Vec<bool>,
     wake_enqueued: Vec<bool>,
     metrics: Metrics,
@@ -101,21 +140,23 @@ impl<P: Protocol> Runner<P> {
             .enumerate()
             .map(|(i, known)| {
                 let me = NodeId::new(i);
-                let mut set: HashSet<NodeId> = known.into_iter().collect();
-                for &v in &set {
+                let mut set = BitSet::with_capacity(n);
+                for v in known {
                     assert!(
                         v.index() < n,
                         "initial edge {me} → {v} points outside the network"
                     );
+                    set.insert(v.index());
                 }
-                set.insert(me);
+                set.insert(me.index());
                 set
             })
             .collect();
         Runner {
             nodes,
             knowledge,
-            links: HashMap::new(),
+            link_slots: HashMap::default(),
+            links: Vec::new(),
             awake: vec![false; n],
             wake_enqueued: vec![false; n],
             metrics: Metrics::new(id_bits),
@@ -184,7 +225,7 @@ impl<P: Protocol> Runner<P> {
 
     /// Whether node `u` has learned `v`'s id (knowledge-graph edge `u → v`).
     pub fn knows(&self, u: NodeId, v: NodeId) -> bool {
-        self.knowledge[u.index()].contains(&v)
+        self.knowledge[u.index()].contains(v.index())
     }
 
     /// Teaches node `u` the id of `v` out of band.
@@ -194,7 +235,7 @@ impl<P: Protocol> Runner<P> {
     /// happens automatically on message delivery.
     pub fn add_link(&mut self, u: NodeId, v: NodeId) {
         assert!(v.index() < self.len(), "link target {v} does not exist");
-        self.knowledge[u.index()].insert(v);
+        self.knowledge[u.index()].insert(v.index());
     }
 
     /// Adds a new node that initially knows `known`, returning its id.
@@ -204,14 +245,15 @@ impl<P: Protocol> Runner<P> {
     /// wakes up at that time" — wake the returned id to bring it online.
     pub fn add_node(&mut self, node: P, known: Vec<NodeId>) -> NodeId {
         let id = NodeId::new(self.len());
-        let mut set: HashSet<NodeId> = known.into_iter().collect();
-        for &v in &set {
+        let mut set = BitSet::with_capacity(self.len() + 1);
+        for v in known {
             assert!(
                 v.index() < self.len(),
                 "initial edge {id} → {v} points outside the network"
             );
+            set.insert(v.index());
         }
-        set.insert(id);
+        set.insert(id.index());
         self.nodes.push(node);
         self.knowledge.push(set);
         self.awake.push(false);
@@ -291,15 +333,20 @@ impl<P: Protocol> Runner<P> {
 
     /// Flushes the outbox of `src`: enforces the knowledge constraint,
     /// meters each message and hands a token to the scheduler.
+    ///
+    /// Metering happens here, at *send* time, with the non-allocating
+    /// [`Envelope::carried_id_count`]; knowledge updates happen at
+    /// *delivery* time in [`step`](Runner::step) via the visitor. Neither
+    /// side materialises an id `Vec`.
     fn flush(&mut self, src: NodeId, depth: u64, sched: &mut dyn Scheduler) {
         for (dst, msg) in self.outbox.drain(..) {
             assert!(
-                self.knowledge[src.index()].contains(&dst),
+                self.knowledge[src.index()].contains(dst.index()),
                 "knowledge violation: {src} sent a {:?} to {dst} without knowing its id",
                 msg.kind()
             );
             self.metrics
-                .record(msg.kind(), msg.carried_ids().len(), msg.aux_bits());
+                .record(msg.kind(), msg.carried_id_count(), msg.aux_bits());
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEvent::Send {
                     src,
@@ -316,7 +363,15 @@ impl<P: Protocol> Runner<P> {
                 kind: msg.kind(),
             };
             self.seq += 1;
-            let queue = self.links.entry((src, dst)).or_default();
+            let slot = match self.link_slots.entry(link_key(src, dst)) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let slot = u32::try_from(self.links.len()).expect("link slots overflow u32");
+                    self.links.push(LinkQueue::new());
+                    *e.insert(slot)
+                }
+            };
+            let queue = &mut self.links[slot as usize];
             queue.push_back((msg, depth));
             self.metrics.observe_link_queue(queue.len());
             sched.note_send(token);
@@ -340,10 +395,10 @@ impl<P: Protocol> Runner<P> {
             Some(Choice::Deliver { src, dst }) => {
                 self.steps += 1;
                 let (msg, depth) = {
-                    let queue = self.links.get_mut(&(src, dst)).unwrap_or_else(|| {
+                    let slot = *self.link_slots.get(&link_key(src, dst)).unwrap_or_else(|| {
                         panic!("scheduler bug: no pending messages on {src} → {dst}")
                     });
-                    queue
+                    self.links[slot as usize]
                         .pop_front()
                         .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"))
                 };
@@ -357,13 +412,14 @@ impl<P: Protocol> Runner<P> {
                     });
                 }
                 // Knowledge-graph growth: the receiver learns the sender and
-                // every id in the payload.
+                // every id in the payload (visited, not collected).
+                let n = self.nodes.len();
                 let know = &mut self.knowledge[dst.index()];
-                know.insert(src);
-                for id in msg.carried_ids() {
-                    debug_assert!(id.index() < self.nodes.len());
-                    know.insert(id);
-                }
+                know.insert(src.index());
+                msg.for_each_carried_id(&mut |id| {
+                    debug_assert!(id.index() < n);
+                    know.insert(id.index());
+                });
                 // A message wakes a sleeping receiver.
                 if !self.awake[dst.index()] {
                     self.wake_inner(dst, depth, sched);
@@ -403,7 +459,7 @@ impl<P: Protocol> Runner<P> {
 
     /// Whether all link queues are empty (no in-flight messages).
     pub fn links_empty(&self) -> bool {
-        self.links.values().all(VecDeque::is_empty)
+        self.links.iter().all(VecDeque::is_empty)
     }
 }
 
@@ -413,7 +469,7 @@ impl<P: Protocol + fmt::Debug> fmt::Debug for Runner<P> {
             .field("nodes", &self.nodes.len())
             .field(
                 "in_flight",
-                &self.links.values().map(VecDeque::len).sum::<usize>(),
+                &self.links.iter().map(VecDeque::len).sum::<usize>(),
             )
             .field("metrics", &self.metrics)
             .finish()
@@ -440,9 +496,7 @@ mod tests {
         fn kind(&self) -> &'static str {
             "tok"
         }
-        fn carried_ids(&self) -> Vec<NodeId> {
-            Vec::new()
-        }
+        fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
         fn aux_bits(&self) -> u64 {
             0
         }
@@ -574,9 +628,7 @@ mod tests {
             fn kind(&self) -> &'static str {
                 "num"
             }
-            fn carried_ids(&self) -> Vec<NodeId> {
-                Vec::new()
-            }
+            fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
             fn aux_bits(&self) -> u64 {
                 32
             }

@@ -17,7 +17,7 @@
 //! struct Hello;
 //! impl Envelope for Hello {
 //!     fn kind(&self) -> &'static str { "hello" }
-//!     fn carried_ids(&self) -> Vec<NodeId> { Vec::new() }
+//!     fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
 //!     fn aux_bits(&self) -> u64 { 0 }
 //! }
 //!
@@ -44,8 +44,7 @@
 //! assert_eq!(net.node(NodeId::new(1)).greeted, 1);
 //! ```
 
-use std::collections::HashSet;
-
+use crate::bitset::BitSet;
 use crate::envelope::Envelope;
 use crate::{Context, Metrics, NodeId};
 
@@ -68,7 +67,7 @@ pub trait SyncProtocol {
 /// A lockstep synchronous network over [`SyncProtocol`] nodes.
 pub struct SyncNetwork<P: SyncProtocol> {
     nodes: Vec<P>,
-    knowledge: Vec<HashSet<NodeId>>,
+    knowledge: Vec<BitSet>,
     inboxes: Vec<Vec<(NodeId, P::Message)>>,
     metrics: Metrics,
     round: u64,
@@ -85,11 +84,12 @@ impl<P: SyncProtocol> SyncNetwork<P> {
             .into_iter()
             .enumerate()
             .map(|(i, known)| {
-                let mut set: HashSet<NodeId> = known.into_iter().collect();
-                for &v in &set {
+                let mut set = BitSet::with_capacity(n);
+                for v in known {
                     assert!(v.index() < n, "initial edge points outside the network");
+                    set.insert(v.index());
                 }
-                set.insert(NodeId::new(i));
+                set.insert(i);
                 set
             })
             .collect();
@@ -134,7 +134,7 @@ impl<P: SyncProtocol> SyncNetwork<P> {
 
     /// Whether node `u` knows `v`'s id.
     pub fn knows(&self, u: NodeId, v: NodeId) -> bool {
-        self.knowledge[u.index()].contains(&v)
+        self.knowledge[u.index()].contains(v.index())
     }
 
     /// Executes one round. Returns the number of messages sent in it.
@@ -149,12 +149,12 @@ impl<P: SyncProtocol> SyncNetwork<P> {
             self.nodes[i].on_round(self.round, inbox, &mut ctx);
             for (dst, msg) in outbox {
                 assert!(
-                    self.knowledge[i].contains(&dst),
+                    self.knowledge[i].contains(dst.index()),
                     "knowledge violation: {me} sent {:?} to {dst} without knowing its id",
                     msg.kind()
                 );
                 self.metrics
-                    .record(msg.kind(), msg.carried_ids().len(), msg.aux_bits());
+                    .record(msg.kind(), msg.carried_id_count(), msg.aux_bits());
                 outgoing.push((me, dst, msg));
             }
         }
@@ -163,10 +163,10 @@ impl<P: SyncProtocol> SyncNetwork<P> {
         outgoing.sort_by_key(|(src, _, _)| *src);
         for (src, dst, msg) in outgoing {
             let know = &mut self.knowledge[dst.index()];
-            know.insert(src);
-            for id in msg.carried_ids() {
-                know.insert(id);
-            }
+            know.insert(src.index());
+            msg.for_each_carried_id(&mut |id| {
+                know.insert(id.index());
+            });
             self.metrics.record_delivery(self.round + 1);
             self.inboxes[dst.index()].push((src, msg));
         }
@@ -198,8 +198,8 @@ mod tests {
         fn kind(&self) -> &'static str {
             "share"
         }
-        fn carried_ids(&self) -> Vec<NodeId> {
-            self.0.clone()
+        fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
+            self.0.iter().copied().for_each(f);
         }
         fn aux_bits(&self) -> u64 {
             0

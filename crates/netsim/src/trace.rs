@@ -14,7 +14,7 @@
 //! # struct Ping;
 //! # impl Envelope for Ping {
 //! #     fn kind(&self) -> &'static str { "ping" }
-//! #     fn carried_ids(&self) -> Vec<NodeId> { Vec::new() }
+//! #     fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
 //! #     fn aux_bits(&self) -> u64 { 0 }
 //! # }
 //! # struct Node { peer: Option<NodeId> }

@@ -20,8 +20,8 @@ impl Envelope for Numbered {
     fn kind(&self) -> &'static str {
         "numbered"
     }
-    fn carried_ids(&self) -> Vec<NodeId> {
-        self.payload_ids.clone()
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
+        self.payload_ids.iter().copied().for_each(f);
     }
     fn aux_bits(&self) -> u64 {
         32

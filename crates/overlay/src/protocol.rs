@@ -93,15 +93,15 @@ impl Envelope for OverlayMessage {
             OverlayMessage::GetReply { .. } => "get reply",
         }
     }
-    fn carried_ids(&self) -> Vec<NodeId> {
+    fn for_each_carried_id(&self, f: &mut dyn FnMut(NodeId)) {
         match self {
             OverlayMessage::Lookup { origin, .. }
             | OverlayMessage::Put { origin, .. }
-            | OverlayMessage::Get { origin, .. } => vec![*origin],
-            OverlayMessage::Found { owner, .. } => vec![*owner],
+            | OverlayMessage::Get { origin, .. } => f(*origin),
+            OverlayMessage::Found { owner, .. } => f(*owner),
             OverlayMessage::PutAck { .. }
             | OverlayMessage::GetReply { .. }
-            | OverlayMessage::Replicate { .. } => Vec::new(),
+            | OverlayMessage::Replicate { .. } => {}
         }
     }
     fn aux_bits(&self) -> u64 {

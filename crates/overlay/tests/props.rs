@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use ard_netsim::{NodeId, RandomScheduler};
-use ard_overlay::{bootstrap, key_of, Key, RingTable};
+use ard_netsim::{Envelope, NodeId, RandomScheduler};
+use ard_overlay::{bootstrap, key_of, Key, OverlayMessage, RingTable};
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -85,5 +85,67 @@ proptest! {
         for probe in [0u64, u64::MAX / 2, u64::MAX] {
             prop_assert_eq!(ring.owner(Key::new(probe)), ring2.owner(Key::new(probe)));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Envelope visitor equivalence.
+// ---------------------------------------------------------------------
+
+fn arb_overlay_message() -> impl Strategy<Value = (OverlayMessage, Vec<NodeId>)> {
+    let nid = || (0usize..512).prop_map(NodeId::new);
+    prop_oneof![
+        (any::<u64>(), nid(), any::<u32>()).prop_map(|(k, origin, hops)| (
+            OverlayMessage::Lookup { key: Key::new(k), origin, hops },
+            vec![origin]
+        )),
+        (any::<u64>(), nid(), any::<u32>()).prop_map(|(k, owner, hops)| (
+            OverlayMessage::Found { key: Key::new(k), owner, hops },
+            vec![owner]
+        )),
+        (any::<u64>(), any::<u64>(), nid(), any::<u32>(), any::<bool>()).prop_map(
+            |(k, value, origin, hops, deliver)| (
+                OverlayMessage::Put { key: Key::new(k), value, origin, hops, deliver },
+                vec![origin]
+            )
+        ),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(k, value, hops)| (
+            OverlayMessage::PutAck { key: Key::new(k), value, hops },
+            vec![]
+        )),
+        (any::<u64>(), nid(), any::<u32>(), any::<bool>()).prop_map(
+            |(k, origin, hops, deliver)| (
+                OverlayMessage::Get { key: Key::new(k), origin, hops, deliver },
+                vec![origin]
+            )
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(k, value)| (
+            OverlayMessage::Replicate { key: Key::new(k), value },
+            vec![]
+        )),
+        (any::<u64>(), any::<bool>(), any::<u64>(), any::<u32>()).prop_map(
+            |(k, some, value, hops)| (
+                OverlayMessage::GetReply {
+                    key: Key::new(k),
+                    value: some.then_some(value),
+                    hops,
+                },
+                vec![]
+            )
+        ),
+    ]
+}
+
+proptest! {
+    /// For every overlay message variant, the non-allocating visitor yields
+    /// exactly the payload's ids in payload order, and the counting and
+    /// `Vec`-collecting conveniences agree with it.
+    #[test]
+    fn overlay_visitor_yields_payload_ids((msg, expected) in arb_overlay_message()) {
+        let mut visited = Vec::new();
+        msg.for_each_carried_id(&mut |id| visited.push(id));
+        prop_assert_eq!(&visited, &expected);
+        prop_assert_eq!(msg.carried_ids(), expected);
+        prop_assert_eq!(msg.carried_id_count(), visited.len());
     }
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the engine-throughput bench and rewrites BENCH_throughput.json in one
+# step, from the repo root:
+#
+#   scripts/bench.sh            # full sweep (n = 256, 1024, 4096)
+#   scripts/bench.sh --quick    # tiny sweep, for smoke-testing the harness
+#
+# Extra flags are passed through to the tables binary (e.g. --jobs N).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench --offline -p ard-bench --bench throughput
+cargo run --offline --release -p ard-bench --bin tables -- \
+    --bench-throughput BENCH_throughput.json "$@"

@@ -1,0 +1,331 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace-local crate provides the benchmarking surface the workspace
+//! uses: [`criterion_group!`] / [`criterion_main!`], [`Criterion`] with
+//! benchmark groups, `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`] and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, an
+//! iteration count is calibrated to fill a fixed measurement window, and
+//! the mean wall-clock time per iteration is reported (with elements/sec
+//! when a [`Throughput`] is set). There are no statistical comparisons or
+//! HTML reports. Under `cargo test` (`--test` mode) each benchmark runs a
+//! single iteration as a smoke test, matching upstream behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many logical items one iteration processes; enables rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. events, operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, rendered as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the measured closure; handed to benchmark functions.
+pub struct Bencher<'a> {
+    /// Filled in by [`Bencher::iter`].
+    result: &'a mut Option<Duration>,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, storing the mean wall-clock time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            *self.result = Some(Duration::ZERO);
+            return;
+        }
+        // Warm-up and calibration: time single calls until 10ms elapses.
+        let calib_start = Instant::now();
+        let mut calls = 0u32;
+        while calib_start.elapsed() < Duration::from_millis(10) || calls == 0 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = calib_start.elapsed() / calls;
+        // Fill a ~300ms measurement window, capped for very slow routines.
+        let target = Duration::from_millis(300);
+        let iters = (target.as_nanos() / per_call.as_nanos().max(1))
+            .clamp(1, 5_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result = Some(start.elapsed() / iters);
+    }
+}
+
+/// Shared measurement settings and the benchmark registry entry point.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Builds a `Criterion` from the process arguments (`--test` enables
+    /// single-iteration smoke mode; positional args filter by substring).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--quiet" | "--noplot" => {}
+                s if s.starts_with('-') => {}
+                s => c.filters.push(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single free-standing routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let full = id.to_string();
+        self.run_one(&full, None, f);
+        self
+    }
+
+    /// Called by [`criterion_main!`] after all groups have run.
+    pub fn final_summary(&self) {}
+
+    fn matches_filter(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f))
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if !self.matches_filter(full_id) {
+            return;
+        }
+        let mut result = None;
+        let mut bencher = Bencher {
+            result: &mut result,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        let Some(mean) = result else {
+            println!("{full_id:<40} (no measurement: Bencher::iter not called)");
+            return;
+        };
+        if self.test_mode {
+            println!("{full_id:<40} ok (test mode)");
+            return;
+        }
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(
+                " thrpt: {:.0} elem/s",
+                n as f64 / mean.as_secs_f64()
+            ),
+            Throughput::Bytes(n) => format!(
+                " thrpt: {:.0} B/s",
+                n as f64 / mean.as_secs_f64()
+            ),
+        });
+        println!(
+            "{full_id:<40} time: {:>12}{}",
+            format_duration(mean),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness auto-calibrates
+    /// iteration counts instead of sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a routine under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Benchmarks a routine over a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream reports summaries here; a no-op).
+    pub fn finish(self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns/iter")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs/iter", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms/iter", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s/iter", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter(1024).to_string(), "1024");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn bencher_measures_and_groups_run() {
+        let mut c = Criterion::default();
+        c.test_mode = true; // keep the unit test fast
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(10);
+            group.throughput(Throughput::Elements(100));
+            group.bench_function("a", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        c.bench_function("free", |b| b.iter(|| 1 + 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["match_me".into()],
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match_me/64", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns/iter");
+        assert!(format_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(12)).contains("ms"));
+    }
+}
