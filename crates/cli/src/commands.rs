@@ -3,9 +3,11 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use ard_core::{Discovery, Variant};
+use ard_core::{budgets, Discovery, Variant};
 use ard_lower_bounds::{tree_adversary, uf_reduction};
-use ard_netsim::{NodeId, RandomScheduler};
+use ard_netsim::explore::{explore, fixtures, ExploreConfig};
+use ard_netsim::shrink::shrink;
+use ard_netsim::{NodeId, RandomScheduler, ReplayScheduler, Schedule, Scheduler};
 use ard_overlay::{bootstrap, Key};
 use ard_union_find::{alpha, OpSequence};
 
@@ -54,6 +56,19 @@ commands:
              --n N [--seed S]
              --seeds T     run T independent trials (seeds S, S+3, S+6, …)
              --jobs N      run trials on N worker threads (same output as 1)
+  explore    search interleavings for requirement/budget violations
+             --topology SPEC (default random:n=16,extra=24)
+             --variant oblivious|bounded|adhoc (default adhoc)
+             --system discovery|racy:K (default discovery; racy:K is a
+                           fixture with a planted race among K clients)
+             --budget N    schedules to try: half random walks, half
+                           branch-point DFS (default 64)
+             --depth D     DFS branch-point depth (default 4)
+             --seed S      base seed for the random walks (default 0)
+             --out PATH    file for the minimized failing schedule
+                           (default ard-failure.schedule)
+  replay     re-execute a recorded schedule file byte-for-byte
+             ard replay <file>
   help       print this text
 "
     .to_string()
@@ -120,6 +135,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "reduction" => reduction(parse_flags(rest)?),
         "overlay" => overlay(parse_flags(rest)?),
         "baselines" => baselines(parse_flags(rest)?),
+        "explore" => explore_cmd(parse_flags(rest)?),
+        "replay" => replay_cmd(rest),
         other => Err(CliError(format!(
             "unknown command `{other}`\n\n{}",
             usage()
@@ -366,6 +383,190 @@ fn baseline_trial(n: usize, seed: u64) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The system an `explore`/`replay` invocation drives: the discovery
+/// protocol proper, or the planted-race demo fixture.
+enum System {
+    Discovery {
+        topology: String,
+        variant: Variant,
+    },
+    Racy {
+        clients: usize,
+    },
+}
+
+impl System {
+    /// Reconstructs the system a schedule file was recorded against, from
+    /// its metadata.
+    fn from_schedule(schedule: &Schedule) -> Result<Self, CliError> {
+        if let Some(spec) = schedule.meta("system") {
+            return Self::parse_racy(spec);
+        }
+        let topology = schedule
+            .meta("topology")
+            .ok_or_else(|| CliError("schedule has neither `system` nor `topology` meta".into()))?;
+        let variant = spec::parse_variant(
+            schedule
+                .meta("variant")
+                .ok_or_else(|| CliError("schedule has no `variant` meta".into()))?,
+        )?;
+        Ok(System::Discovery {
+            topology: topology.to_string(),
+            variant,
+        })
+    }
+
+    fn parse_racy(spec: &str) -> Result<Self, CliError> {
+        let clients = spec
+            .strip_prefix("racy:")
+            .ok_or_else(|| CliError(format!("unknown system `{spec}` (try discovery, racy:K)")))?;
+        let clients = clients
+            .parse::<usize>()
+            .map_err(|_| CliError(format!("racy: `{clients}` is not a client count")))?;
+        if clients == 0 {
+            return Err(CliError("racy needs at least one client".into()));
+        }
+        Ok(System::Racy { clients })
+    }
+
+    /// Stamps the metadata replay needs to rebuild this system.
+    fn stamp(&self, schedule: &mut Schedule) {
+        match self {
+            System::Discovery { topology, variant } => {
+                schedule.set_meta("topology", topology.clone());
+                schedule.set_meta("variant", variant.to_string());
+            }
+            System::Racy { clients } => {
+                schedule.set_meta("system", format!("racy:{clients}"));
+            }
+        }
+    }
+
+    /// The property closure shared by explore and shrink: build the system
+    /// from scratch, run it under `sched`, return `Err` on any violation.
+    fn run_one(&self, sched: &mut dyn Scheduler) -> Result<(), String> {
+        match self {
+            System::Discovery { topology, variant } => {
+                let graph = spec::parse_topology(topology).map_err(|e| e.to_string())?;
+                let mut d = Discovery::new(&graph, *variant);
+                let outcome = d.run_all(sched).map_err(|e| e.to_string())?;
+                d.check_requirements(&graph)?;
+                budgets::check_all(
+                    &outcome.metrics,
+                    graph.len() as u64,
+                    graph.edge_count() as u64,
+                    *variant,
+                )
+            }
+            System::Racy { clients } => fixtures::run_racy(*clients, sched),
+        }
+    }
+}
+
+fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
+    let budget = flag_u64(&flags, "budget", 64)?;
+    let depth = flag_usize(&flags, "depth", 4)?;
+    let seed = flag_u64(&flags, "seed", 0)?;
+    let out_path = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("ard-failure.schedule");
+    let system = match flags.get("system").map(String::as_str) {
+        None | Some("discovery") => {
+            let topology = flags
+                .get("topology")
+                .map(String::as_str)
+                .unwrap_or("random:n=16,extra=24");
+            let variant = spec::parse_variant(
+                flags.get("variant").map(String::as_str).unwrap_or("adhoc"),
+            )?;
+            // Parse eagerly so bad specs fail before any exploration.
+            spec::parse_topology(topology)?;
+            System::Discovery {
+                topology: topology.to_string(),
+                variant,
+            }
+        }
+        Some(other) => System::parse_racy(other)?,
+    };
+
+    let config = ExploreConfig {
+        random_walks: budget / 2,
+        dfs_budget: budget - budget / 2,
+        dfs_depth: depth,
+        seed,
+    };
+    let report = explore(&config, |sched| system.run_one(sched));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "explored  : {} schedules ({} random walks, {} dfs, depth {depth})",
+        report.runs, report.random_walks, report.dfs_runs
+    )
+    .unwrap();
+    let Some(failure) = report.failure else {
+        writeln!(out, "result    : no violation found").unwrap();
+        return Ok(out);
+    };
+    writeln!(out, "violation : {}", failure.reason).unwrap();
+    writeln!(
+        out,
+        "found by  : {} (run {} of the exploration)",
+        failure.origin,
+        failure.run_index + 1
+    )
+    .unwrap();
+    let shrunk = shrink(&failure.schedule, |sched| system.run_one(sched));
+    writeln!(
+        out,
+        "shrunk    : {} → {} choices ({} candidate runs)",
+        shrunk.original_len,
+        shrunk.schedule.len(),
+        shrunk.attempts
+    )
+    .unwrap();
+    let mut schedule = shrunk.schedule;
+    system.stamp(&mut schedule);
+    std::fs::write(out_path, schedule.to_text())
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+    writeln!(out, "replay    : {out_path} (re-run with `ard replay {out_path}`)").unwrap();
+    Ok(out)
+}
+
+fn replay_cmd(args: &[String]) -> Result<String, CliError> {
+    let Some((path, rest)) = args.split_first() else {
+        return Err(CliError("replay needs a schedule file: ard replay <file>".into()));
+    };
+    if path.starts_with("--") {
+        return Err(CliError("replay needs a schedule file: ard replay <file>".into()));
+    }
+    parse_flags(rest)?; // no flags yet, but reject garbage loudly
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let schedule = Schedule::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let system = System::from_schedule(&schedule)?;
+
+    let mut out = String::new();
+    writeln!(out, "schedule  : {} choices from {path}", schedule.len()).unwrap();
+    for (k, v) in schedule.meta_iter() {
+        writeln!(out, "meta      : {k} = {v}").unwrap();
+    }
+    let mut replay = ReplayScheduler::strict(&schedule);
+    match system.run_one(&mut replay) {
+        Err(reason) => writeln!(out, "result    : violation reproduced: {reason}").unwrap(),
+        Ok(()) => writeln!(out, "result    : schedule replayed cleanly (no violation)").unwrap(),
+    }
+    if replay.leftover() > 0 {
+        writeln!(
+            out,
+            "note      : {} events still pending (schedule is a truncation)",
+            replay.leftover()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,5 +662,59 @@ mod tests {
     fn flag_parsing_rejects_orphans() {
         assert!(run_line("discover --topology").is_err());
         assert!(run_line("discover topology ring:5").is_err());
+    }
+
+    #[test]
+    fn explore_discovery_reports_no_violation() {
+        let out =
+            run_line("explore --topology path:6 --variant oblivious --budget 8 --depth 2").unwrap();
+        assert!(out.contains("explored  : 8 schedules (4 random walks, 4 dfs"));
+        assert!(out.contains("no violation found"));
+    }
+
+    #[test]
+    fn explore_finds_shrinks_and_writes_a_replayable_schedule() {
+        let path = std::env::temp_dir().join("ard-cli-test-racy.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let report =
+            run_line(&format!("explore --system racy:3 --budget 32 --out {path}")).unwrap();
+        assert!(report.contains("violation : lease granted to highest-id client"));
+        assert!(report.contains("found by  :"));
+        assert!(report.contains("shrunk    :"));
+        let replayed = run_line(&format!("replay {path}")).unwrap();
+        assert!(replayed.contains("violation reproduced: lease granted"));
+        assert!(replayed.contains("meta      : system = racy:3"));
+    }
+
+    #[test]
+    fn explore_same_flags_same_stdout() {
+        let line = "explore --topology ring:6 --variant adhoc --budget 6 --depth 2 --seed 7";
+        assert_eq!(run_line(line).unwrap(), run_line(line).unwrap());
+    }
+
+    #[test]
+    fn replay_same_file_same_stdout() {
+        let graph = spec::parse_topology("ring:8").unwrap();
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        let (result, mut schedule) = d.run_recorded(RandomScheduler::seeded(3));
+        result.unwrap();
+        schedule.set_meta("topology", "ring:8");
+        let path = std::env::temp_dir().join("ard-cli-test-ring.schedule");
+        std::fs::write(&path, schedule.to_text()).unwrap();
+        let line = format!("replay {}", path.display());
+        let a = run_line(&line).unwrap();
+        assert_eq!(a, run_line(&line).unwrap());
+        assert!(a.contains("result    : schedule replayed cleanly"));
+        assert!(a.contains("meta      : variant = ad-hoc"));
+    }
+
+    #[test]
+    fn explore_and_replay_reject_bad_input() {
+        assert!(run_line("explore --system racy:0").is_err());
+        assert!(run_line("explore --system warp").is_err());
+        assert!(run_line("explore --topology blob:5").is_err());
+        assert!(run_line("replay").is_err());
+        assert!(run_line("replay --flag").is_err());
+        assert!(run_line("replay /nonexistent/ard.schedule").is_err());
     }
 }

@@ -1,5 +1,8 @@
 use ard_graph::{components, KnowledgeGraph};
-use ard_netsim::{LivelockError, Metrics, NodeId, Runner, Scheduler};
+use ard_netsim::{
+    LivelockError, Metrics, NodeId, RecordingScheduler, ReplayScheduler, Runner, Schedule,
+    Scheduler,
+};
 
 use crate::invariants;
 use crate::node::ArdNode;
@@ -151,6 +154,36 @@ impl Discovery {
     pub fn run_all(&mut self, sched: &mut dyn Scheduler) -> Result<Outcome, LivelockError> {
         self.enqueue_wake_all(sched);
         self.run(sched)
+    }
+
+    /// Like [`run_all`](Discovery::run_all), but records the exact choice
+    /// sequence the scheduler makes into a replayable [`Schedule`] (with
+    /// `nodes` and `variant` metadata attached). The schedule is returned
+    /// even when the run livelocks — a livelocking prefix is still worth
+    /// replaying.
+    pub fn run_recorded<S: Scheduler>(
+        &mut self,
+        inner: S,
+    ) -> (Result<Outcome, LivelockError>, Schedule) {
+        let mut sched = RecordingScheduler::new(inner);
+        let result = self.run_all(&mut sched);
+        let mut schedule = sched.into_schedule();
+        schedule.set_meta("nodes", self.runner.len().to_string());
+        schedule.set_meta("variant", self.variant.to_string());
+        (result, schedule)
+    }
+
+    /// Re-executes a recorded [`Schedule`] against this (freshly built)
+    /// network: wakes every node and replays strictly, panicking with a
+    /// divergence diagnostic if the schedule was recorded against a
+    /// different system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LivelockError`] if the step budget is exhausted first.
+    pub fn run_replay(&mut self, schedule: &Schedule) -> Result<Outcome, LivelockError> {
+        let mut sched = ReplayScheduler::strict(schedule);
+        self.run_all(&mut sched)
     }
 
     /// Computes the current [`Outcome`] without running anything.
@@ -465,6 +498,42 @@ mod tests {
         for v in d.runner().ids().collect::<Vec<_>>() {
             assert_eq!(d.leader_of(v), leader);
         }
+    }
+
+    #[test]
+    fn recorded_run_replays_to_identical_outcome() {
+        let graph = gen::random_weakly_connected(12, 20, 6);
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        let (result, schedule) = d.run_recorded(RandomScheduler::seeded(5));
+        let recorded = result.unwrap();
+        assert_eq!(schedule.meta("nodes"), Some("12"));
+        assert_eq!(schedule.meta("variant"), Some("ad-hoc"));
+        assert_eq!(schedule.len() as u64, recorded.steps);
+
+        let mut fresh = Discovery::new(&graph, Variant::AdHoc);
+        let replayed = fresh.run_replay(&schedule).unwrap();
+        assert_eq!(replayed.leaders, recorded.leaders);
+        assert_eq!(replayed.leader_of, recorded.leader_of);
+        assert_eq!(replayed.steps, recorded.steps);
+        assert_eq!(
+            format!("{}", replayed.metrics),
+            format!("{}", recorded.metrics)
+        );
+        fresh.check_requirements(&graph).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "replay divergence")]
+    fn replaying_against_a_different_network_diverges() {
+        let graph = gen::path(6);
+        let mut d = Discovery::new(&graph, Variant::Oblivious);
+        let (result, schedule) = d.run_recorded(RandomScheduler::seeded(1));
+        result.unwrap();
+        // A different topology enables different choices: strict replay
+        // must detect the mismatch rather than execute nonsense.
+        let other = gen::star_in(6);
+        let mut fresh = Discovery::new(&other, Variant::Oblivious);
+        let _ = fresh.run_replay(&schedule);
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! Systematic interleaving exploration.
+//!
+//! The paper's guarantees are quantified over *every* asynchronous schedule
+//! (finite but unbounded delays); a handful of seeded random runs samples
+//! that space thinly. This module searches it deliberately, in the style of
+//! deterministic-simulation testing: a caller-supplied closure builds and
+//! runs the system under test against a scheduler the explorer controls and
+//! reports whether the run satisfied its properties; the explorer tries
+//! many schedules — a bounded **random walk** over seeds plus a
+//! depth-bounded **branch-point DFS** that systematically enumerates which
+//! pending event fires at each of the first few steps — and, on the first
+//! failure, hands back the exact [`Schedule`] so the failure replays
+//! forever (and can be [shrunk](crate::shrink)).
+//!
+//! # Example
+//!
+//! ```
+//! use ard_netsim::explore::{explore, ExploreConfig};
+//!
+//! // A "system" whose property always holds: the explorer finds nothing.
+//! let report = explore(&ExploreConfig::default(), |sched| {
+//!     let mut r = ard_netsim::explore::fixtures::racy_network(2);
+//!     r.enqueue_wake_all(sched);
+//!     r.run(sched, 1_000).map_err(|e| e.to_string())?;
+//!     Ok(()) // ignore the planted bug: pretend all is well
+//! });
+//! assert!(report.failure.is_none());
+//! assert!(report.runs > 0);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::record::{RecordingScheduler, Schedule};
+use crate::scheduler::{Choice, RandomScheduler, Scheduler, SendToken};
+use crate::NodeId;
+
+/// Budget and shape of an exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Number of random-walk schedules to try first (seeds `seed`,
+    /// `seed + 1`, …).
+    pub random_walks: u64,
+    /// Maximum number of DFS schedules to try after the walks.
+    pub dfs_budget: u64,
+    /// Branch-point depth: the DFS enumerates every combination of "which
+    /// pending event fires" for the first `dfs_depth` steps (later steps
+    /// fall back to oldest-first).
+    pub dfs_depth: usize,
+    /// Base seed for the random-walk phase.
+    pub seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            random_walks: 32,
+            dfs_budget: 32,
+            dfs_depth: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Where a failing schedule came from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// Found by the random-walk phase, under this seed.
+    RandomWalk {
+        /// The seed of the failing walk.
+        seed: u64,
+    },
+    /// Found by the DFS phase, with this branch-decision prefix.
+    Dfs {
+        /// Pending-event index chosen at each of the first steps.
+        prefix: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for Origin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Origin::RandomWalk { seed } => write!(f, "random-walk seed={seed}"),
+            Origin::Dfs { prefix } => {
+                let p: Vec<String> = prefix.iter().map(usize::to_string).collect();
+                write!(f, "dfs prefix=[{}]", p.join(","))
+            }
+        }
+    }
+}
+
+/// A property violation found during exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreFailure {
+    /// The exact schedule that produced the violation (strict-replayable).
+    pub schedule: Schedule,
+    /// The property-check failure message.
+    pub reason: String,
+    /// 0-based index of the failing run within the exploration.
+    pub run_index: u64,
+    /// Which search phase found it.
+    pub origin: Origin,
+}
+
+/// Summary of one exploration.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// Total schedules executed.
+    pub runs: u64,
+    /// Schedules executed by the random-walk phase.
+    pub random_walks: u64,
+    /// Schedules executed by the DFS phase.
+    pub dfs_runs: u64,
+    /// The first violation found, if any (the exploration stops there).
+    pub failure: Option<ExploreFailure>,
+}
+
+/// A deterministic scheduler steered by a branch-decision prefix.
+///
+/// Pending events are kept in arrival order. At step `i` the scheduler
+/// fires the event at index `prefix[i]` (clamped to the pending count);
+/// past the prefix it fires the oldest pending event, i.e. degenerates to
+/// global FIFO. While running it records how many events were pending at
+/// each of the first `depth` steps — the branching factors the DFS driver
+/// uses to enumerate sibling schedules.
+#[derive(Debug)]
+pub struct DfsScheduler {
+    pending: VecDeque<Choice>,
+    prefix: Vec<usize>,
+    depth: usize,
+    step: usize,
+    branch_counts: Vec<usize>,
+}
+
+impl DfsScheduler {
+    /// A scheduler following `prefix`, recording branch counts for the
+    /// first `depth` steps.
+    pub fn new(prefix: Vec<usize>, depth: usize) -> Self {
+        DfsScheduler {
+            pending: VecDeque::new(),
+            prefix,
+            depth,
+            step: 0,
+            branch_counts: Vec::new(),
+        }
+    }
+
+    /// Pending-event counts observed at each of the first `depth` steps.
+    pub fn branch_counts(&self) -> &[usize] {
+        &self.branch_counts
+    }
+}
+
+impl Scheduler for DfsScheduler {
+    fn note_wake(&mut self, node: NodeId) {
+        self.pending.push_back(Choice::Wake(node));
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.pending.push_back(Choice::Deliver {
+            src: token.src,
+            dst: token.dst,
+        });
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        if self.step < self.depth {
+            self.branch_counts.push(self.pending.len());
+        }
+        let want = self.prefix.get(self.step).copied().unwrap_or(0);
+        let idx = want.min(self.pending.len() - 1);
+        self.step += 1;
+        self.pending.remove(idx)
+    }
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Searches schedules for a property violation.
+///
+/// `run_one` is called once per candidate schedule. It must build the
+/// system under test *from scratch*, drive it with the given scheduler and
+/// return `Err(reason)` on any property violation (requirements, budgets,
+/// livelock, a fixture invariant, …). Determinism of `run_one` given the
+/// choice sequence is what makes the returned schedule replayable.
+///
+/// The search runs `config.random_walks` seeded random schedules, then up
+/// to `config.dfs_budget` DFS schedules enumerating the first
+/// `config.dfs_depth` branch points, and stops at the first failure. Every
+/// run is recorded, so the failing schedule comes back verbatim with
+/// `origin` and `reason` metadata attached.
+pub fn explore<F>(config: &ExploreConfig, mut run_one: F) -> ExploreReport
+where
+    F: FnMut(&mut dyn Scheduler) -> Result<(), String>,
+{
+    let mut report = ExploreReport::default();
+
+    // Phase 1: bounded random walk over seeds.
+    for i in 0..config.random_walks {
+        let seed = config.seed.wrapping_add(i);
+        let mut sched = RecordingScheduler::new(RandomScheduler::seeded(seed));
+        let result = run_one(&mut sched);
+        report.random_walks += 1;
+        report.runs += 1;
+        if let Err(reason) = result {
+            report.failure = Some(failure(
+                sched.into_schedule(),
+                reason,
+                report.runs - 1,
+                Origin::RandomWalk { seed },
+            ));
+            return report;
+        }
+    }
+
+    // Phase 2: depth-bounded branch-point DFS. A run with prefix `p`
+    // implicitly decides index 0 at every step past `p`, so the children
+    // enqueued after running `p` are exactly the prefixes
+    // `p + [0]*k + [i]` (`i ≥ 1`, within the observed branching factor):
+    // every decision path through the first `dfs_depth` steps is generated
+    // exactly once.
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while report.dfs_runs < config.dfs_budget {
+        let Some(prefix) = stack.pop() else { break };
+        let mut sched = RecordingScheduler::new(DfsScheduler::new(prefix.clone(), config.dfs_depth));
+        let result = run_one(&mut sched);
+        report.dfs_runs += 1;
+        report.runs += 1;
+        let (inner, schedule) = sched.into_parts();
+        if let Err(reason) = result {
+            report.failure = Some(failure(
+                schedule,
+                reason,
+                report.runs - 1,
+                Origin::Dfs { prefix },
+            ));
+            return report;
+        }
+        let counts = inner.branch_counts();
+        // Reverse push order so the stack pops children in lexicographic
+        // (earliest-position, smallest-index) order.
+        for j in (prefix.len()..counts.len()).rev() {
+            for i in (1..counts[j]).rev() {
+                let mut child = Vec::with_capacity(j + 1);
+                child.extend_from_slice(&prefix);
+                child.resize(j, 0);
+                child.push(i);
+                stack.push(child);
+            }
+        }
+    }
+    report
+}
+
+fn failure(mut schedule: Schedule, reason: String, run_index: u64, origin: Origin) -> ExploreFailure {
+    schedule.set_meta("origin", origin.to_string());
+    schedule.set_meta("reason", reason.replace('\n', " "));
+    ExploreFailure {
+        schedule,
+        reason,
+        run_index,
+        origin,
+    }
+}
+
+pub mod fixtures {
+    //! Deliberately buggy protocols for exercising the explorer and
+    //! shrinker — test fixtures, not part of the discovery reproduction.
+    //!
+    //! [`RacyNode`] plants a classic ordering bug: clients race their
+    //! requests to a coordinator that implicitly assumes the lowest-id
+    //! client's request always arrives first. Benign schedules (global
+    //! FIFO over index-ordered wake-ups) never violate the assumption;
+    //! an adversarial schedule that wakes the highest-id client early and
+    //! rushes its message through does — which is exactly the kind of
+    //! corner [`explore`](super::explore) exists to find and
+    //! [`shrink`](crate::shrink) to minimize.
+
+    use crate::envelope::Envelope;
+    use crate::runner::{Protocol, Runner};
+    use crate::scheduler::Scheduler;
+    use crate::{Context, NodeId};
+
+    /// The fixture's only message: a client's request for the lease.
+    #[derive(Clone, Debug)]
+    pub struct Request;
+
+    impl Envelope for Request {
+        fn kind(&self) -> &'static str {
+            "request"
+        }
+        fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
+        fn aux_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    /// One node of the planted-bug network: node 0 is the coordinator,
+    /// every other node a client that requests a lease on wake-up.
+    ///
+    /// The planted bug: the coordinator grants the lease to the *first*
+    /// request it receives, written against the (wrong) assumption that
+    /// requests arrive in client-id order — so a schedule in which the
+    /// highest-id client's request arrives first hands the lease to a
+    /// client the coordinator's bookkeeping believes cannot hold it.
+    #[derive(Debug)]
+    pub enum RacyNode {
+        /// The coordinator: remembers who was granted the lease.
+        Coordinator {
+            /// First requester, once a request arrived.
+            granted: Option<NodeId>,
+        },
+        /// A client: knows the coordinator's id.
+        Client,
+    }
+
+    impl Protocol for RacyNode {
+        type Message = Request;
+
+        fn on_wake(&mut self, ctx: &mut Context<'_, Request>) {
+            if matches!(self, RacyNode::Client) {
+                ctx.send(NodeId::new(0), Request);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, _msg: Request, _ctx: &mut Context<'_, Request>) {
+            if let RacyNode::Coordinator { granted } = self {
+                granted.get_or_insert(from);
+            }
+        }
+    }
+
+    /// Builds the fixture network: one coordinator plus `clients` clients,
+    /// each client initially knowing only the coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0`.
+    pub fn racy_network(clients: usize) -> Runner<RacyNode> {
+        assert!(clients >= 1, "the race needs at least one client");
+        let mut nodes = vec![RacyNode::Coordinator { granted: None }];
+        let mut knowledge = vec![vec![]];
+        for _ in 0..clients {
+            nodes.push(RacyNode::Client);
+            knowledge.push(vec![NodeId::new(0)]);
+        }
+        Runner::new(nodes, knowledge)
+    }
+
+    /// The fixture's property check: the lease must not sit with the
+    /// highest-id client (the coordinator's bookkeeping assumes it never
+    /// can). Returns a failure description when the planted bug fired.
+    pub fn racy_violation(runner: &Runner<RacyNode>) -> Option<String> {
+        let highest = NodeId::new(runner.len() - 1);
+        match runner.node(NodeId::new(0)) {
+            RacyNode::Coordinator {
+                granted: Some(winner),
+            } if *winner == highest => Some(format!(
+                "lease granted to highest-id client {winner}: its request outran every other"
+            )),
+            _ => None,
+        }
+    }
+
+    /// Runs the fixture under `sched` to quiescence (or a small step
+    /// budget) and applies [`racy_violation`] — the `run_one` closure the
+    /// explorer and shrinker tests use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation description (or a livelock report) as `Err`.
+    pub fn run_racy(clients: usize, sched: &mut dyn Scheduler) -> Result<(), String> {
+        let mut runner = racy_network(clients);
+        runner.enqueue_wake_all(sched);
+        runner
+            .run(sched, 10_000)
+            .map_err(|e| format!("fixture livelocked: {e}"))?;
+        match racy_violation(&runner) {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ReplayScheduler;
+    use crate::FifoScheduler;
+
+    #[test]
+    fn fixture_is_clean_under_fifo() {
+        let mut sched = FifoScheduler::new();
+        assert!(fixtures::run_racy(3, &mut sched).is_ok());
+    }
+
+    #[test]
+    fn dfs_scheduler_degenerates_to_fifo_beyond_prefix() {
+        let mut s = DfsScheduler::new(vec![], 2);
+        for i in 0..4 {
+            s.note_wake(NodeId::new(i));
+        }
+        for i in 0..4 {
+            assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(i))));
+        }
+        assert_eq!(s.branch_counts(), &[4, 3]);
+    }
+
+    #[test]
+    fn dfs_scheduler_follows_and_clamps_the_prefix() {
+        let mut s = DfsScheduler::new(vec![2, 99], 4);
+        for i in 0..3 {
+            s.note_wake(NodeId::new(i));
+        }
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(2))));
+        // Index 99 clamps to the last pending event.
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(1))));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
+    }
+
+    #[test]
+    fn random_walk_finds_the_planted_race() {
+        let config = ExploreConfig {
+            random_walks: 64,
+            dfs_budget: 0,
+            dfs_depth: 0,
+            seed: 0,
+        };
+        let report = explore(&config, |sched| fixtures::run_racy(4, sched));
+        let failure = report.failure.expect("walk should find the race");
+        assert!(matches!(failure.origin, Origin::RandomWalk { .. }));
+        assert!(failure.reason.contains("highest-id client"));
+        assert_eq!(failure.schedule.meta("reason"), Some(failure.reason.as_str()));
+    }
+
+    #[test]
+    fn dfs_alone_finds_the_planted_race() {
+        let config = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 128,
+            dfs_depth: 4,
+            seed: 0,
+        };
+        let report = explore(&config, |sched| fixtures::run_racy(2, sched));
+        let failure = report.failure.expect("dfs should find the race");
+        assert!(matches!(failure.origin, Origin::Dfs { .. }));
+    }
+
+    #[test]
+    fn found_schedules_replay_to_the_same_failure() {
+        let config = ExploreConfig::default();
+        let report = explore(&config, |sched| fixtures::run_racy(4, sched));
+        let failure = report.failure.expect("should find the race");
+        let mut replay = ReplayScheduler::strict(&failure.schedule);
+        let err = fixtures::run_racy(4, &mut replay).unwrap_err();
+        assert_eq!(err, failure.reason);
+        assert_eq!(replay.leftover(), 0, "recorded run was complete");
+    }
+
+    #[test]
+    fn exploration_respects_its_budget_and_counts_runs() {
+        let config = ExploreConfig {
+            random_walks: 3,
+            dfs_budget: 5,
+            dfs_depth: 3,
+            seed: 9,
+        };
+        let report = explore(&config, |sched| {
+            // Never fails: drain the schedule against a trivial system.
+            let mut r = fixtures::racy_network(2);
+            r.enqueue_wake_all(sched);
+            r.run(sched, 1_000).map_err(|e| e.to_string())?;
+            Ok(())
+        });
+        assert!(report.failure.is_none());
+        assert_eq!(report.random_walks, 3);
+        assert!(report.dfs_runs <= 5);
+        assert_eq!(report.runs, report.random_walks + report.dfs_runs);
+    }
+
+    #[test]
+    fn dfs_enumerates_distinct_interleavings() {
+        // Every DFS run on a benign system produces a distinct choice
+        // sequence: the prefix enumeration never repeats a decision path.
+        let mut seen: Vec<Vec<Choice>> = Vec::new();
+        let config = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 40,
+            dfs_depth: 3,
+            seed: 0,
+        };
+        let report = explore(&config, |sched| {
+            let mut recorder = RecordingScheduler::new(&mut *sched);
+            let mut r = fixtures::racy_network(2);
+            r.enqueue_wake_all(&mut recorder);
+            r.run(&mut recorder, 1_000).map_err(|e| e.to_string())?;
+            seen.push(recorder.recorded().to_vec());
+            Ok(())
+        });
+        assert!(report.failure.is_none());
+        assert!(seen.len() > 5, "expected a real enumeration");
+        for a in 0..seen.len() {
+            for b in a + 1..seen.len() {
+                assert_ne!(seen[a], seen[b], "schedules {a} and {b} coincide");
+            }
+        }
+    }
+}

@@ -73,10 +73,13 @@
 mod bitset;
 mod context;
 mod envelope;
+pub mod explore;
 mod id;
 mod metrics;
+pub mod record;
 mod runner;
 mod scheduler;
+pub mod shrink;
 pub mod sync;
 pub mod trace;
 
@@ -85,6 +88,7 @@ pub use context::Context;
 pub use envelope::Envelope;
 pub use id::NodeId;
 pub use metrics::{KindCounts, Metrics};
+pub use record::{RecordingScheduler, ReplayScheduler, Schedule, ScheduleParseError};
 pub use runner::{LivelockError, Protocol, Runner};
 pub use scheduler::{
     BoundedDelayScheduler, Choice, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler,

@@ -1,0 +1,575 @@
+//! Schedule recording and byte-exact replay.
+//!
+//! Because a simulation run is a pure function of the initial network and
+//! the sequence of [`Choice`]s the scheduler makes, capturing that sequence
+//! captures the *whole execution*: a [`RecordingScheduler`] wraps any inner
+//! scheduler and logs every choice into a [`Schedule`], and a
+//! [`ReplayScheduler`] re-executes a `Schedule` choice-for-choice — same
+//! metrics, same trace, same final state. This is what makes every failing
+//! interleaving (a property-test case, an explorer find, a field report)
+//! reproducible beyond its seed, and what the [`shrink`](crate::shrink)
+//! module minimizes.
+//!
+//! # The schedule file format (version 1)
+//!
+//! A schedule is a line-oriented UTF-8 text file:
+//!
+//! ```text
+//! ard-schedule v1
+//! meta topology ring:4
+//! meta variant ad-hoc
+//! # comment lines and blank lines are ignored
+//! w 0
+//! d 0 1
+//! ```
+//!
+//! * the first non-blank line must be the header `ard-schedule v1`;
+//! * `meta <key> <value…>` lines carry free-form metadata (topology spec,
+//!   variant, provenance) — keys contain no whitespace, the value is the
+//!   rest of the line;
+//! * `w <node>` wakes node `<node>`;
+//! * `d <src> <dst>` delivers the oldest in-flight message on the link
+//!   `src → dst` (per-link FIFO makes the token unambiguous).
+//!
+//! # Example
+//!
+//! ```
+//! use ard_netsim::record::{RecordingScheduler, ReplayScheduler, Schedule};
+//! use ard_netsim::{FifoScheduler, NodeId, Scheduler};
+//!
+//! let mut rec = RecordingScheduler::new(FifoScheduler::new());
+//! rec.note_wake(NodeId::new(0));
+//! rec.note_wake(NodeId::new(1));
+//! while rec.choose().is_some() {}
+//! let schedule = rec.into_schedule();
+//!
+//! let text = schedule.to_text();
+//! let parsed = Schedule::parse(&text).unwrap();
+//! assert_eq!(parsed, schedule);
+//!
+//! let mut replay = ReplayScheduler::strict(&parsed);
+//! replay.note_wake(NodeId::new(0));
+//! replay.note_wake(NodeId::new(1));
+//! assert_eq!(replay.choose(), Some(ard_netsim::Choice::Wake(NodeId::new(0))));
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+use crate::scheduler::{Choice, Scheduler, SendToken};
+use crate::NodeId;
+
+/// The header line every version-1 schedule file starts with.
+pub const SCHEDULE_HEADER: &str = "ard-schedule v1";
+
+/// A recorded sequence of scheduler choices plus free-form metadata.
+///
+/// The choice sequence is the execution; the metadata describes how to
+/// rebuild the system it drives (topology spec, variant, provenance).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    meta: BTreeMap<String, String>,
+    choices: Vec<Choice>,
+}
+
+impl Schedule {
+    /// A schedule over the given choices, with no metadata.
+    pub fn new(choices: Vec<Choice>) -> Self {
+        Schedule {
+            meta: BTreeMap::new(),
+            choices,
+        }
+    }
+
+    /// The recorded choices, in execution order.
+    pub fn choices(&self) -> &[Choice] {
+        &self.choices
+    }
+
+    /// Number of recorded choices.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Whether no choices were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Sets a metadata entry (replacing any previous value for `key`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty or contains whitespace, or if `value`
+    /// contains a newline — either would corrupt the text format.
+    pub fn set_meta(&mut self, key: &str, value: impl Into<String>) {
+        let value = value.into();
+        assert!(
+            !key.is_empty() && !key.contains(char::is_whitespace),
+            "meta key `{key}` must be non-empty and whitespace-free"
+        );
+        assert!(
+            !value.contains('\n'),
+            "meta value for `{key}` must be single-line"
+        );
+        self.meta.insert(key.to_string(), value);
+    }
+
+    /// Looks up a metadata entry.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+
+    /// All metadata entries, in key order.
+    pub fn meta_iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Renders the schedule in the version-1 text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(16 + 8 * self.choices.len());
+        out.push_str(SCHEDULE_HEADER);
+        out.push('\n');
+        for (k, v) in &self.meta {
+            out.push_str("meta ");
+            out.push_str(k);
+            out.push(' ');
+            out.push_str(v);
+            out.push('\n');
+        }
+        for choice in &self.choices {
+            match *choice {
+                Choice::Wake(node) => {
+                    out.push_str(&format!("w {}\n", node.index()));
+                }
+                Choice::Deliver { src, dst } => {
+                    out.push_str(&format!("d {} {}\n", src.index(), dst.index()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the version-1 text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleParseError`] naming the offending line on a bad
+    /// header, an unknown directive or a malformed operand.
+    pub fn parse(text: &str) -> Result<Self, ScheduleParseError> {
+        let fail = |line: usize, message: String| ScheduleParseError { line, message };
+        let parse_node = |line: usize, s: &str, what: &str| -> Result<NodeId, ScheduleParseError> {
+            s.parse::<usize>()
+                .map(NodeId::new)
+                .map_err(|_| fail(line, format!("{what}: `{s}` is not a node index")))
+        };
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        match lines.next() {
+            Some((_, header)) if header == SCHEDULE_HEADER => {}
+            Some((line, other)) => {
+                return Err(fail(
+                    line,
+                    format!("expected header `{SCHEDULE_HEADER}`, got `{other}`"),
+                ))
+            }
+            None => return Err(fail(0, "empty schedule file".to_string())),
+        }
+        let mut schedule = Schedule::default();
+        for (line, l) in lines {
+            let mut parts = l.split_whitespace();
+            let directive = parts.next().expect("non-empty line");
+            match directive {
+                "meta" => {
+                    let rest = l["meta".len()..].trim_start();
+                    if rest.is_empty() {
+                        return Err(fail(line, "meta needs a key".to_string()));
+                    }
+                    let (key, value) = match rest.split_once(char::is_whitespace) {
+                        Some((k, v)) => (k, v.trim_start()),
+                        None => (rest, ""),
+                    };
+                    schedule.meta.insert(key.to_string(), value.to_string());
+                }
+                "w" => {
+                    let node = parts
+                        .next()
+                        .ok_or_else(|| fail(line, "w needs a node".to_string()))?;
+                    if parts.next().is_some() {
+                        return Err(fail(line, "w takes exactly one operand".to_string()));
+                    }
+                    schedule
+                        .choices
+                        .push(Choice::Wake(parse_node(line, node, "wake node")?));
+                }
+                "d" => {
+                    let src = parts
+                        .next()
+                        .ok_or_else(|| fail(line, "d needs src and dst".to_string()))?;
+                    let dst = parts
+                        .next()
+                        .ok_or_else(|| fail(line, "d needs src and dst".to_string()))?;
+                    if parts.next().is_some() {
+                        return Err(fail(line, "d takes exactly two operands".to_string()));
+                    }
+                    schedule.choices.push(Choice::Deliver {
+                        src: parse_node(line, src, "deliver src")?,
+                        dst: parse_node(line, dst, "deliver dst")?,
+                    });
+                }
+                other => {
+                    return Err(fail(
+                        line,
+                        format!("unknown directive `{other}` (expected meta, w or d)"),
+                    ))
+                }
+            }
+        }
+        Ok(schedule)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// A parse failure in a schedule file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// 1-based line number of the offending line (0 for an empty file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ScheduleParseError {}
+
+/// Wraps any scheduler and records the exact choice sequence it makes.
+///
+/// The wrapper is transparent: the inner scheduler sees every token and
+/// makes every decision; `RecordingScheduler` only logs what it returns.
+#[derive(Debug)]
+pub struct RecordingScheduler<S> {
+    inner: S,
+    recorded: Vec<Choice>,
+}
+
+impl<S> RecordingScheduler<S> {
+    /// Wraps `inner`, recording from the first `choose` on.
+    pub fn new(inner: S) -> Self {
+        RecordingScheduler {
+            inner,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The choices recorded so far, in execution order.
+    pub fn recorded(&self) -> &[Choice] {
+        &self.recorded
+    }
+
+    /// Consumes the wrapper, returning the recorded [`Schedule`].
+    pub fn into_schedule(self) -> Schedule {
+        Schedule::new(self.recorded)
+    }
+
+    /// Consumes the wrapper, returning the inner scheduler and the
+    /// recorded [`Schedule`].
+    pub fn into_parts(self) -> (S, Schedule) {
+        (self.inner, Schedule::new(self.recorded))
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn note_wake(&mut self, node: NodeId) {
+        self.inner.note_wake(node);
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.inner.note_send(token);
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        let choice = self.inner.choose();
+        if let Some(c) = choice {
+            self.recorded.push(c);
+        }
+        choice
+    }
+    fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+}
+
+/// Re-executes a recorded choice sequence.
+///
+/// Two modes:
+///
+/// * **strict** ([`ReplayScheduler::strict`]) — every recorded choice must
+///   be enabled (its token pending) when its turn comes; a mismatch is a
+///   *divergence* (the system under replay differs from the one recorded)
+///   and panics with a loud diagnostic. When the sequence is exhausted the
+///   scheduler reports quiescence; [`leftover`](ReplayScheduler::leftover)
+///   tells whether the run was truncated.
+/// * **lenient** ([`ReplayScheduler::lenient`]) — recorded choices that are
+///   not enabled are silently skipped (counted in
+///   [`skipped`](ReplayScheduler::skipped)). This is what schedule
+///   *shrinking* needs: a candidate subsequence executes its enabled
+///   choices and ends, and the actually-executed sequence (re-recorded via
+///   [`RecordingScheduler`]) is strict-replayable again.
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    choices: Vec<Choice>,
+    cursor: usize,
+    /// All live tokens in arrival order (a multiset: one entry per token).
+    pending: VecDeque<Choice>,
+    strict: bool,
+    skipped: u64,
+}
+
+impl ReplayScheduler {
+    /// A strict replayer for `schedule` (panics on divergence).
+    pub fn strict(schedule: &Schedule) -> Self {
+        Self::from_choices(schedule.choices().to_vec(), true)
+    }
+
+    /// A lenient replayer over an explicit choice sequence (skips
+    /// disabled choices).
+    pub fn lenient(choices: &[Choice]) -> Self {
+        Self::from_choices(choices.to_vec(), false)
+    }
+
+    fn from_choices(choices: Vec<Choice>, strict: bool) -> Self {
+        ReplayScheduler {
+            choices,
+            cursor: 0,
+            pending: VecDeque::new(),
+            strict,
+            skipped: 0,
+        }
+    }
+
+    /// Index of the next choice to replay (= number executed or skipped).
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Tokens still pending (nonzero after exhaustion means the recorded
+    /// schedule was a truncation of the full run).
+    pub fn leftover(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Recorded choices skipped because they were not enabled (always 0 in
+    /// strict mode).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    fn enabled_at(&self, choice: Choice) -> Option<usize> {
+        self.pending.iter().position(|&p| p == choice)
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn note_wake(&mut self, node: NodeId) {
+        self.pending.push_back(Choice::Wake(node));
+    }
+    fn note_send(&mut self, token: SendToken) {
+        self.pending.push_back(Choice::Deliver {
+            src: token.src,
+            dst: token.dst,
+        });
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        while self.cursor < self.choices.len() {
+            let choice = self.choices[self.cursor];
+            match self.enabled_at(choice) {
+                Some(i) => {
+                    self.cursor += 1;
+                    self.pending.remove(i);
+                    return Some(choice);
+                }
+                None if self.strict => panic!(
+                    "replay divergence at event {}: recorded choice {choice:?} is not \
+                     pending ({} live tokens: {:?})",
+                    self.cursor,
+                    self.pending.len(),
+                    self.pending.iter().take(8).collect::<Vec<_>>(),
+                ),
+                None => {
+                    self.cursor += 1;
+                    self.skipped += 1;
+                }
+            }
+        }
+        None
+    }
+    fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FifoScheduler;
+
+    fn token(src: usize, dst: usize, seq: u64) -> SendToken {
+        SendToken {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            seq,
+            kind: "t",
+        }
+    }
+
+    #[test]
+    fn text_round_trip_preserves_everything() {
+        let mut s = Schedule::new(vec![
+            Choice::Wake(NodeId::new(3)),
+            Choice::Deliver {
+                src: NodeId::new(3),
+                dst: NodeId::new(0),
+            },
+        ]);
+        s.set_meta("topology", "path:4");
+        s.set_meta("variant", "ad-hoc");
+        let text = s.to_text();
+        assert!(text.starts_with(SCHEDULE_HEADER));
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blank_lines() {
+        let s = Schedule::parse(
+            "\n# a failing interleaving\nard-schedule v1\n\nmeta reason why it failed\n# hmm\nw 1\nd 1 2\n",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.meta("reason"), Some("why it failed"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("ard-schedule v2\nw 0\n", "expected header"),
+            ("ard-schedule v1\nx 0\n", "unknown directive"),
+            ("ard-schedule v1\nw\n", "needs a node"),
+            ("ard-schedule v1\nw zero\n", "not a node index"),
+            ("ard-schedule v1\nd 0\n", "needs src and dst"),
+            ("ard-schedule v1\nd 0 1 2\n", "exactly two"),
+            ("ard-schedule v1\nw 0 0\n", "exactly one"),
+        ] {
+            let err = Schedule::parse(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn recorder_captures_the_inner_choice_sequence() {
+        let mut rec = RecordingScheduler::new(FifoScheduler::new());
+        rec.note_wake(NodeId::new(0));
+        rec.note_send(token(0, 1, 0));
+        let mut seen = Vec::new();
+        while let Some(c) = rec.choose() {
+            seen.push(c);
+        }
+        assert_eq!(rec.recorded(), seen.as_slice());
+        assert_eq!(rec.into_schedule().choices(), seen.as_slice());
+    }
+
+    #[test]
+    fn strict_replay_follows_the_recorded_order() {
+        let schedule = Schedule::new(vec![
+            Choice::Wake(NodeId::new(1)),
+            Choice::Wake(NodeId::new(0)),
+        ]);
+        let mut r = ReplayScheduler::strict(&schedule);
+        r.note_wake(NodeId::new(0));
+        r.note_wake(NodeId::new(1));
+        assert_eq!(r.choose(), Some(Choice::Wake(NodeId::new(1))));
+        assert_eq!(r.choose(), Some(Choice::Wake(NodeId::new(0))));
+        assert_eq!(r.choose(), None);
+        assert_eq!(r.leftover(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay divergence at event 0")]
+    fn strict_replay_panics_on_divergence() {
+        let schedule = Schedule::new(vec![Choice::Wake(NodeId::new(7))]);
+        let mut r = ReplayScheduler::strict(&schedule);
+        r.note_wake(NodeId::new(0));
+        let _ = r.choose();
+    }
+
+    #[test]
+    fn strict_replay_reports_truncation_via_leftover() {
+        let schedule = Schedule::new(vec![Choice::Wake(NodeId::new(0))]);
+        let mut r = ReplayScheduler::strict(&schedule);
+        r.note_wake(NodeId::new(0));
+        r.note_wake(NodeId::new(1));
+        assert_eq!(r.choose(), Some(Choice::Wake(NodeId::new(0))));
+        assert_eq!(r.choose(), None);
+        assert_eq!(r.leftover(), 1);
+    }
+
+    #[test]
+    fn lenient_replay_skips_disabled_choices() {
+        let choices = [
+            Choice::Wake(NodeId::new(9)), // never pending → skipped
+            Choice::Wake(NodeId::new(0)),
+            Choice::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+            }, // not pending either → skipped
+            Choice::Wake(NodeId::new(1)),
+        ];
+        let mut r = ReplayScheduler::lenient(&choices);
+        r.note_wake(NodeId::new(0));
+        r.note_wake(NodeId::new(1));
+        assert_eq!(r.choose(), Some(Choice::Wake(NodeId::new(0))));
+        assert_eq!(r.choose(), Some(Choice::Wake(NodeId::new(1))));
+        assert_eq!(r.choose(), None);
+        assert_eq!(r.skipped(), 2);
+        assert_eq!(r.position(), 4);
+    }
+
+    #[test]
+    fn replay_consumes_per_link_tokens_as_a_multiset() {
+        let schedule = Schedule::new(vec![
+            Choice::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+            },
+            Choice::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+            },
+        ]);
+        let mut r = ReplayScheduler::strict(&schedule);
+        r.note_send(token(0, 1, 0));
+        r.note_send(token(0, 1, 1));
+        assert!(r.choose().is_some());
+        assert_eq!(r.pending(), 1);
+        assert!(r.choose().is_some());
+        assert_eq!(r.choose(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn meta_keys_with_whitespace_are_rejected() {
+        Schedule::default().set_meta("bad key", "v");
+    }
+}

@@ -64,6 +64,36 @@ pub trait Scheduler {
     fn pending(&self) -> usize;
 }
 
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn note_wake(&mut self, node: NodeId) {
+        (**self).note_wake(node);
+    }
+    fn note_send(&mut self, token: SendToken) {
+        (**self).note_send(token);
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        (**self).choose()
+    }
+    fn pending(&self) -> usize {
+        (**self).pending()
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn note_wake(&mut self, node: NodeId) {
+        (**self).note_wake(node);
+    }
+    fn note_send(&mut self, token: SendToken) {
+        (**self).note_send(token);
+    }
+    fn choose(&mut self) -> Option<Choice> {
+        (**self).choose()
+    }
+    fn pending(&self) -> usize {
+        (**self).pending()
+    }
+}
+
 fn token_choice(token: SendToken) -> Choice {
     Choice::Deliver {
         src: token.src,
@@ -223,8 +253,21 @@ impl Scheduler for RandomScheduler {
 /// ```
 #[derive(Debug)]
 pub struct BoundedDelayScheduler {
-    /// Pending events with the step at which each was enqueued, oldest first.
-    pending: VecDeque<(Choice, u64)>,
+    /// Slab of pending choices; `None` marks a free slot.
+    slots: Vec<Option<Choice>>,
+    /// Reuse generation per slot, bumped on every free: distinguishes a
+    /// reused slot from the stale age-ring entries of its past occupants.
+    gen: Vec<u32>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
+    /// Slots of live events, in arbitrary order — O(1) uniform sampling.
+    live: Vec<u32>,
+    /// Each slot's current position in `live` — O(1) swap-removal.
+    pos_in_live: Vec<u32>,
+    /// `(slot, generation, enqueued_step)` in arrival order. Entries whose
+    /// event was already delivered (random picks) are dropped lazily, so
+    /// the first valid entry is always the oldest live event.
+    ring: VecDeque<(u32, u32, u64)>,
     max_delay: u64,
     step: u64,
     rng: StdRng,
@@ -240,7 +283,12 @@ impl BoundedDelayScheduler {
     pub fn new(max_delay: u64, seed: u64) -> Self {
         assert!(max_delay >= 1, "a zero delay bound admits no schedule");
         BoundedDelayScheduler {
-            pending: VecDeque::new(),
+            slots: Vec::new(),
+            gen: Vec::new(),
+            free: Vec::new(),
+            live: Vec::new(),
+            pos_in_live: Vec::new(),
+            ring: VecDeque::new(),
             max_delay,
             step: 0,
             rng: StdRng::seed_from_u64(seed),
@@ -251,35 +299,76 @@ impl BoundedDelayScheduler {
     pub fn max_delay(&self) -> u64 {
         self.max_delay
     }
+
+    fn insert(&mut self, choice: Choice) {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(choice);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slot count overflows u32");
+                self.slots.push(Some(choice));
+                self.gen.push(0);
+                self.pos_in_live.push(0);
+                slot
+            }
+        };
+        self.pos_in_live[slot as usize] =
+            u32::try_from(self.live.len()).expect("live count overflows u32");
+        self.live.push(slot);
+        self.ring
+            .push_back((slot, self.gen[slot as usize], self.step));
+    }
+
+    fn remove(&mut self, slot: u32) -> Choice {
+        let choice = self.slots[slot as usize].take().expect("slot is live");
+        self.gen[slot as usize] = self.gen[slot as usize].wrapping_add(1);
+        let pos = self.pos_in_live[slot as usize] as usize;
+        let last = self.live.pop().expect("live set is non-empty");
+        if last != slot {
+            self.live[pos] = last;
+            self.pos_in_live[last as usize] = pos as u32;
+        }
+        self.free.push(slot);
+        choice
+    }
 }
 
 impl Scheduler for BoundedDelayScheduler {
     fn note_wake(&mut self, node: NodeId) {
-        self.pending.push_back((Choice::Wake(node), self.step));
+        self.insert(Choice::Wake(node));
     }
     fn note_send(&mut self, token: SendToken) {
-        self.pending.push_back((token_choice(token), self.step));
+        self.insert(token_choice(token));
     }
     fn choose(&mut self) -> Option<Choice> {
-        if self.pending.is_empty() {
+        if self.live.is_empty() {
             return None;
         }
         self.step += 1;
+        // Drop consumed ring entries so the front is the true oldest event.
+        while let Some(&(slot, generation, _)) = self.ring.front() {
+            let valid =
+                self.slots[slot as usize].is_some() && self.gen[slot as usize] == generation;
+            if valid {
+                break;
+            }
+            self.ring.pop_front();
+        }
         let overdue = self
-            .pending
+            .ring
             .front()
-            .is_some_and(|&(_, enqueued)| self.step.saturating_sub(enqueued) >= self.max_delay);
-        let index = if overdue {
-            0
+            .is_some_and(|&(_, _, enqueued)| self.step.saturating_sub(enqueued) >= self.max_delay);
+        let slot = if overdue {
+            self.ring.pop_front().expect("overdue front exists").0
         } else {
-            self.rng.gen_range(0..self.pending.len())
+            self.live[self.rng.gen_range(0..self.live.len())]
         };
-        // O(len) removal keeps the deque age-ordered; schedulers run at test
-        // scale where this is irrelevant.
-        self.pending.remove(index).map(|(c, _)| c)
+        Some(self.remove(slot))
     }
     fn pending(&self) -> usize {
-        self.pending.len()
+        self.live.len()
     }
 }
 
@@ -375,6 +464,60 @@ mod tests {
     #[should_panic(expected = "zero delay bound")]
     fn zero_delay_bound_rejected() {
         let _ = BoundedDelayScheduler::new(0, 0);
+    }
+
+    #[test]
+    fn bounded_delay_drains_oldest_first_under_backlog() {
+        // With the whole backlog enqueued at step 0, every choose after the
+        // first `d - 1` sees an overdue front: the tail of the drain must be
+        // exactly oldest-first, and every event delivered exactly once —
+        // this exercises the age ring across heavy lazy deletion (each
+        // early random pick leaves a stale ring entry behind).
+        let d = 5usize;
+        let total = 1000usize;
+        let mut s = BoundedDelayScheduler::new(d as u64, 3);
+        for i in 0..total {
+            s.note_send(token(i, 0, i as u64));
+        }
+        let mut delivered = Vec::new();
+        while let Some(Choice::Deliver { src, .. }) = s.choose() {
+            delivered.push(src.index());
+        }
+        assert_eq!(s.pending(), 0);
+        assert_eq!(delivered.len(), total);
+        assert!(delivered[d..].windows(2).all(|w| w[0] < w[1]));
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_delay_slab_survives_slot_reuse() {
+        // Churn: repeatedly refill and partially drain so freed slots are
+        // reused while stale ring entries for their former occupants are
+        // still queued. Generation tags must keep a recycled slot's new
+        // event from being mistaken for the old (already-delivered) one.
+        let mut s = BoundedDelayScheduler::new(3, 11);
+        let mut next = 0usize;
+        let mut delivered = Vec::new();
+        for _ in 0..100 {
+            for _ in 0..4 {
+                s.note_send(token(next, 0, next as u64));
+                next += 1;
+            }
+            for _ in 0..3 {
+                if let Some(Choice::Deliver { src, .. }) = s.choose() {
+                    delivered.push(src.index());
+                }
+            }
+        }
+        while let Some(Choice::Deliver { src, .. }) = s.choose() {
+            delivered.push(src.index());
+        }
+        assert_eq!(s.pending(), 0);
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..next).collect::<Vec<_>>(), "every event delivered exactly once");
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Delta-debugging minimization of failing schedules.
+//!
+//! A schedule found by the [explorer](crate::explore) typically interleaves
+//! the handful of events that race with dozens that are irrelevant. This
+//! module applies ddmin-style chunk removal: repeatedly delete spans of
+//! choices, keep any candidate that still fails, and halve the chunk size
+//! until single-choice removals stop helping — yielding a **1-minimal**
+//! failing schedule (removing any one remaining choice makes the failure
+//! disappear).
+//!
+//! Candidates are executed under a *lenient* [`ReplayScheduler`] wrapped in
+//! a [`RecordingScheduler`]: deleting a choice can disable later recorded
+//! choices (a message can't be delivered if the send that produces it was
+//! skipped), and lenient replay simply drops those. The re-recorded
+//! sequence of choices that *actually executed* becomes the new baseline,
+//! so the minimized schedule is always strict-replayable — what you check
+//! into a corpus replays byte-for-byte.
+
+use crate::record::{RecordingScheduler, ReplayScheduler, Schedule};
+use crate::scheduler::{Choice, Scheduler};
+
+/// Outcome of a [`shrink`] call.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized schedule; still fails, strict-replayable.
+    pub schedule: Schedule,
+    /// The failure message the minimized schedule produces.
+    pub reason: String,
+    /// Choice count of the input schedule.
+    pub original_len: usize,
+    /// Number of candidate schedules executed during minimization.
+    pub attempts: u64,
+}
+
+impl ShrinkResult {
+    /// Fraction of the original choices removed, in `[0, 1]`.
+    pub fn reduction(&self) -> f64 {
+        if self.original_len == 0 {
+            return 0.0;
+        }
+        1.0 - self.schedule.len() as f64 / self.original_len as f64
+    }
+}
+
+/// Minimizes a failing schedule to a 1-minimal subsequence that still fails.
+///
+/// `run_one` is the same property closure the explorer takes: it builds the
+/// system from scratch, drives it with the given scheduler and returns
+/// `Err(reason)` on violation. The input `schedule` must fail under it.
+///
+/// The returned schedule keeps the input's metadata, with `shrunk-from`
+/// recording the original length. Runs in at most
+/// `O(len²)` candidate executions (ddmin's worst case); each candidate run
+/// is capped by the schedule length, so the whole pass is cheap at the
+/// sizes the explorer emits.
+///
+/// # Panics
+///
+/// Panics if `schedule` does not fail under `run_one` — a shrinker fed a
+/// passing schedule indicates a non-deterministic `run_one`.
+pub fn shrink<F>(schedule: &Schedule, mut run_one: F) -> ShrinkResult
+where
+    F: FnMut(&mut dyn Scheduler) -> Result<(), String>,
+{
+    let mut attempts: u64 = 0;
+    // `try_choices` runs a candidate leniently; on failure it returns the
+    // re-recorded (normalized) sequence plus the failure reason.
+    let mut try_choices = |choices: &[Choice], attempts: &mut u64| -> Option<(Vec<Choice>, String)> {
+        *attempts += 1;
+        let mut sched = RecordingScheduler::new(ReplayScheduler::lenient(choices));
+        let result = run_one(&mut sched);
+        let reason = result.err()?;
+        Some((sched.recorded().to_vec(), reason))
+    };
+
+    let (mut best, mut reason) = try_choices(schedule.choices(), &mut attempts)
+        .expect("shrink: input schedule does not fail under run_one");
+    let original_len = schedule.len();
+
+    let mut chunk = best.len().div_ceil(2).max(1);
+    loop {
+        let mut shrunk_this_pass = false;
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            match try_choices(&candidate, &mut attempts) {
+                Some((normalized, r)) if normalized.len() < best.len() => {
+                    best = normalized;
+                    reason = r;
+                    shrunk_this_pass = true;
+                    // Re-test the same position: the slice shifted left.
+                }
+                _ => start = end,
+            }
+        }
+        if chunk == 1 {
+            if !shrunk_this_pass {
+                break;
+            }
+            // Keep doing single-choice passes until a full pass removes
+            // nothing — that is the 1-minimality fixpoint.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    let mut out = Schedule::new(best);
+    for (k, v) in schedule.meta_iter() {
+        out.set_meta(k, v);
+    }
+    out.set_meta("shrunk-from", original_len.to_string());
+    ShrinkResult {
+        schedule: out,
+        reason,
+        original_len,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, fixtures, ExploreConfig};
+    use crate::record::ReplayScheduler;
+
+    fn find_failure(clients: usize) -> Schedule {
+        let report = explore(&ExploreConfig::default(), |sched| {
+            fixtures::run_racy(clients, sched)
+        });
+        report.failure.expect("explorer should find the race").schedule
+    }
+
+    #[test]
+    fn shrinks_the_planted_race_by_at_least_half() {
+        let schedule = find_failure(4);
+        let result = shrink(&schedule, |sched| fixtures::run_racy(4, sched));
+        assert!(
+            result.reduction() >= 0.5,
+            "only shrank {} → {} choices",
+            result.original_len,
+            result.schedule.len()
+        );
+        assert!(result.reason.contains("highest-id client"));
+        // The race needs at least the highest client's wake and delivery.
+        assert!(result.schedule.len() >= 2);
+    }
+
+    #[test]
+    fn minimized_schedule_strict_replays_to_the_same_failure() {
+        let schedule = find_failure(3);
+        let result = shrink(&schedule, |sched| fixtures::run_racy(3, sched));
+        let mut replay = ReplayScheduler::strict(&result.schedule);
+        let err = fixtures::run_racy(3, &mut replay).unwrap_err();
+        assert_eq!(err, result.reason);
+        // Minimization truncates the run: the cut events stay pending.
+        assert!(replay.leftover() > 0);
+    }
+
+    #[test]
+    fn minimized_schedule_is_one_minimal() {
+        let schedule = find_failure(3);
+        let result = shrink(&schedule, |sched| fixtures::run_racy(3, sched));
+        let best = result.schedule.choices();
+        for skip in 0..best.len() {
+            let mut candidate: Vec<Choice> = best.to_vec();
+            candidate.remove(skip);
+            let mut sched = ReplayScheduler::lenient(&candidate);
+            assert!(
+                fixtures::run_racy(3, &mut sched).is_ok(),
+                "removing choice {skip} should break the failure"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_records_provenance_meta() {
+        let mut schedule = find_failure(2);
+        schedule.set_meta("case", "demo");
+        let result = shrink(&schedule, |sched| fixtures::run_racy(2, sched));
+        assert_eq!(result.schedule.meta("case"), Some("demo"));
+        assert_eq!(
+            result.schedule.meta("shrunk-from"),
+            Some(result.original_len.to_string().as_str())
+        );
+        assert!(result.attempts > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input schedule does not fail")]
+    fn passing_schedule_is_rejected() {
+        // A FIFO-recorded run of the fixture passes; shrinking it is a bug.
+        let mut sched = RecordingScheduler::new(crate::FifoScheduler::new());
+        fixtures::run_racy(2, &mut sched).unwrap();
+        let schedule = sched.into_schedule();
+        shrink(&schedule, |s| fixtures::run_racy(2, s));
+    }
+}

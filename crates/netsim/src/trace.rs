@@ -313,6 +313,89 @@ mod tests {
     }
 
     #[test]
+    fn render_at_exact_limit_has_no_elision_marker() {
+        let mut t = Trace::default();
+        for i in 0..3 {
+            t.push(TraceEvent::Wake {
+                node: NodeId::new(i),
+                step: i as u64,
+            });
+        }
+        let exact = t.render(3);
+        assert_eq!(exact.lines().count(), 3);
+        assert!(!exact.contains("more events"));
+        // A zero limit renders nothing but the elision marker.
+        assert_eq!(t.render(0), "… 3 more events\n");
+        assert_eq!(t.render(usize::MAX), exact);
+    }
+
+    fn send(src: usize, dst: usize, seq: u64) -> TraceEvent {
+        TraceEvent::Send {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            kind: "x",
+            seq,
+            step: seq,
+        }
+    }
+
+    fn deliver(src: usize, dst: usize) -> TraceEvent {
+        TraceEvent::Deliver {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            kind: "x",
+            step: 0,
+        }
+    }
+
+    #[test]
+    fn top_senders_breaks_count_ties_by_node_id() {
+        let mut t = Trace::default();
+        // Nodes 2 and 1 send twice each, node 0 once; insertion order is
+        // deliberately scrambled.
+        t.push(send(2, 0, 0));
+        t.push(send(1, 0, 1));
+        t.push(send(0, 1, 2));
+        t.push(send(2, 1, 3));
+        t.push(send(1, 2, 4));
+        let s = t.stats();
+        assert_eq!(
+            s.top_senders(10),
+            vec![
+                (NodeId::new(1), 2),
+                (NodeId::new(2), 2),
+                (NodeId::new(0), 1),
+            ]
+        );
+        assert_eq!(s.top_senders(2).len(), 2);
+        assert!(s.top_senders(0).is_empty());
+    }
+
+    #[test]
+    fn tied_maxima_resolve_to_the_largest_key() {
+        // `max_by_key` keeps the last maximum; BTreeMap iterates in
+        // ascending key order, so ties resolve to the largest node/link.
+        // Pinned so hot-spot reports stay deterministic.
+        let mut t = Trace::default();
+        t.push(send(0, 1, 0));
+        t.push(send(1, 0, 1));
+        t.push(deliver(0, 1));
+        t.push(deliver(1, 0));
+        let s = t.stats();
+        assert_eq!(s.busiest_sender(), Some((NodeId::new(1), 1)));
+        assert_eq!(s.busiest_link(), Some(((NodeId::new(1), NodeId::new(0)), 1)));
+    }
+
+    #[test]
+    fn involving_counts_self_loops_once() {
+        let mut t = Trace::default();
+        t.push(deliver(0, 0));
+        assert_eq!(t.involving(NodeId::new(0)).count(), 1);
+        let s = t.stats();
+        assert_eq!(s.messages_by_link[&(NodeId::new(0), NodeId::new(0))], 1);
+    }
+
+    #[test]
     fn display_formats_are_readable() {
         let e = TraceEvent::Deliver {
             src: NodeId::new(1),

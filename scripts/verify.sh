@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification, from the repo root:
+#
+#   scripts/verify.sh
+#
+# Runs the build + test + lint gate from ROADMAP.md, then a small bounded
+# `ard explore` run twice with a fixed budget and seed, asserting the two
+# runs are byte-identical (the explorer is deterministic) and clean (no
+# violation on a healthy build). See docs/testing.md for the tiers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+explore=(cargo run --offline --release -p ard-cli --bin ard -- \
+    explore --topology random:n=12,extra=16 --budget 16 --depth 3 --seed 7)
+a="$("${explore[@]}")"
+b="$("${explore[@]}")"
+if [[ "$a" != "$b" ]]; then
+    echo "verify: explore smoke run is not deterministic" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+fi
+if ! grep -q "no violation found" <<<"$a"; then
+    echo "verify: explore smoke run reported a violation:" >&2
+    printf '%s\n' "$a" >&2
+    exit 1
+fi
+echo "verify: OK (tier-1 green, explore smoke deterministic and clean)"

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 
 use asynchronous_resource_discovery::core::{budgets, Discovery, Variant};
 use asynchronous_resource_discovery::graph::{components, gen, KnowledgeGraph};
-use asynchronous_resource_discovery::netsim::{NodeId, RandomScheduler};
+use asynchronous_resource_discovery::netsim::{
+    BoundedDelayScheduler, LifoScheduler, NodeId, RandomScheduler, Schedule, Scheduler,
+};
 use asynchronous_resource_discovery::union_find::{
     Compression, Op, OpSequence, UnionFind, UnionPolicy,
 };
@@ -18,46 +20,120 @@ fn variant_strategy() -> impl Strategy<Value = Variant> {
     ]
 }
 
+/// A drawn member of the scheduler family — the paper's guarantees hold for
+/// *every* asynchronous schedule, so the properties sample benign, hostile
+/// and partially synchronous orderings, not just uniform-random ones.
+#[derive(Clone, Debug)]
+enum SchedSpec {
+    Random(u64),
+    Lifo,
+    Bounded { delay: u64, seed: u64 },
+}
+
+impl SchedSpec {
+    fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedSpec::Random(seed) => Box::new(RandomScheduler::seeded(seed)),
+            SchedSpec::Lifo => Box::new(LifoScheduler::new()),
+            SchedSpec::Bounded { delay, seed } => Box::new(BoundedDelayScheduler::new(delay, seed)),
+        }
+    }
+}
+
+fn sched_strategy() -> impl Strategy<Value = SchedSpec> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(SchedSpec::Random),
+        Just(SchedSpec::Lifo),
+        (1u64..12, 0u64..1_000_000)
+            .prop_map(|(delay, seed)| SchedSpec::Bounded { delay, seed }),
+    ]
+}
+
+/// Writes the recorded schedule of a failing run under
+/// `target/failed-schedules/` and returns a test failure naming the
+/// artifact, so any property failure is replayable via `ard replay <path>`
+/// (the vendored proptest does not shrink; the replay file is the
+/// minimization story — see docs/testing.md).
+fn fail_with_artifact(
+    topology: &str,
+    variant: Variant,
+    mut schedule: Schedule,
+    reason: &str,
+) -> TestCaseError {
+    schedule.set_meta("topology", topology);
+    schedule.set_meta("variant", variant.to_string());
+    schedule.set_meta("reason", reason.replace('\n', " "));
+    let text = schedule.to_text();
+    // FNV-1a content hash: stable artifact names, no timestamp needed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let dir = std::path::Path::new("target").join("failed-schedules");
+    let path = dir.join(format!("{hash:016x}.schedule"));
+    let write = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &text));
+    match write {
+        Ok(()) => TestCaseError::fail(format!(
+            "{reason}\nreplay artifact: {} (re-run with `ard replay <path>`, shrink per docs/testing.md)",
+            path.display()
+        )),
+        Err(e) => TestCaseError::fail(format!("{reason}\n(could not write replay artifact: {e})")),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Requirements + budgets on arbitrary random weakly connected graphs
-    /// under arbitrary random schedules.
+    /// under the whole scheduler family (random, LIFO, bounded-delay).
     #[test]
     fn discovery_is_correct_on_random_graphs(
         n in 2usize..40,
         extra in 0usize..120,
         graph_seed in 0u64..1_000_000,
-        sched_seed in 0u64..1_000_000,
+        sched in sched_strategy(),
         variant in variant_strategy(),
     ) {
+        let topology = format!("random:n={n},extra={extra},seed={graph_seed}");
         let graph = gen::random_weakly_connected(n, extra, graph_seed);
         let mut d = Discovery::new(&graph, variant);
-        let mut sched = RandomScheduler::seeded(sched_seed);
-        d.run_all(&mut sched).expect("livelock");
-        d.check_requirements(&graph).map_err(TestCaseError::fail)?;
-        budgets::check_all(
-            d.runner().metrics(),
-            n as u64,
-            graph.edge_count() as u64,
-            variant,
-        )
-        .map_err(TestCaseError::fail)?;
+        let (result, schedule) = d.run_recorded(sched.build());
+        result.expect("livelock");
+        let check = d.check_requirements(&graph).and_then(|()| {
+            budgets::check_all(
+                d.runner().metrics(),
+                n as u64,
+                graph.edge_count() as u64,
+                variant,
+            )
+        });
+        if let Err(reason) = check {
+            return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+        }
     }
 
-    /// Multi-component graphs elect exactly one leader per component.
+    /// Multi-component graphs elect exactly one leader per component,
+    /// whichever family member schedules them.
     #[test]
     fn one_leader_per_component(
         parts in 1usize..4,
         per in 2usize..10,
         seed in 0u64..100_000,
+        sched in sched_strategy(),
         variant in variant_strategy(),
     ) {
         let graph = gen::random_multi_component(parts, per, per, seed);
         let mut d = Discovery::new(&graph, variant);
-        d.run_all(&mut RandomScheduler::seeded(seed ^ 0x55)).expect("livelock");
-        prop_assert_eq!(d.leaders().len(), parts);
-        d.check_requirements(&graph).map_err(TestCaseError::fail)?;
+        let (result, schedule) = d.run_recorded(sched.build());
+        result.expect("livelock");
+        let topology = format!("components:count={parts},per={per},extra={per},seed={seed}");
+        if d.leaders().len() != parts {
+            let reason = format!("{} leaders for {parts} components", d.leaders().len());
+            return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+        }
+        if let Err(reason) = d.check_requirements(&graph) {
+            return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+        }
     }
 
     /// Arbitrary edge lists (possibly disconnected, any shape) still
@@ -66,7 +142,7 @@ proptest! {
     fn discovery_handles_arbitrary_edge_lists(
         n in 1usize..20,
         edges in prop::collection::vec((0usize..20, 0usize..20), 0..60),
-        sched_seed in 0u64..100_000,
+        sched in sched_strategy(),
         variant in variant_strategy(),
     ) {
         let mut graph = KnowledgeGraph::new(n);
@@ -77,7 +153,8 @@ proptest! {
             }
         }
         let mut d = Discovery::new(&graph, variant);
-        d.run_all(&mut RandomScheduler::seeded(sched_seed)).expect("livelock");
+        let (result, _schedule) = d.run_recorded(sched.build());
+        result.expect("livelock");
         d.check_requirements(&graph).map_err(TestCaseError::fail)?;
     }
 

@@ -1,0 +1,169 @@
+//! Seed-pinned regression suite: replays every checked-in schedule file
+//! under `tests/corpus/` and asserts the recorded behavior still holds.
+//!
+//! Two kinds of corpus entries, dispatched on metadata:
+//!
+//! * **discovery schedules** (`topology` + `variant` meta) — complete
+//!   recorded runs of the discovery protocol; replay must quiesce, satisfy
+//!   the §1.2 requirements and the §5 budgets, and (when pinned) execute
+//!   exactly the recorded number of steps;
+//! * **failure schedules** (`system racy:K` meta) — minimized schedules of
+//!   the planted-race fixture, found by `ard explore` and shrunk; replay
+//!   must still reproduce the violation, proving the explorer/shrinker
+//!   pipeline's artifacts stay valid.
+//!
+//! To regenerate the discovery entries after an intentional engine change:
+//! `cargo test --test replay_corpus regenerate -- --ignored`, then review
+//! the diff. The racy entry is regenerated with
+//! `ard explore --system racy:3 --out tests/corpus/racy-minimized.schedule`.
+
+use std::path::PathBuf;
+
+use ard_cli::spec;
+use asynchronous_resource_discovery::core::{budgets, Discovery};
+use asynchronous_resource_discovery::netsim::explore::fixtures;
+use asynchronous_resource_discovery::netsim::{ReplayScheduler, Schedule, Scheduler};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "schedule"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn load(path: &PathBuf) -> Schedule {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    Schedule::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn corpus_is_present_and_mixed() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 4,
+        "expected a seeded corpus, found {} files",
+        files.len()
+    );
+    let schedules: Vec<Schedule> = files.iter().map(load).collect();
+    assert!(
+        schedules.iter().any(|s| s.meta("system").is_some()),
+        "corpus needs at least one minimized failure schedule"
+    );
+    assert!(
+        schedules.iter().any(|s| s.meta("topology").is_some()),
+        "corpus needs at least one discovery schedule"
+    );
+}
+
+#[test]
+fn every_corpus_schedule_replays_and_still_holds() {
+    for path in corpus_files() {
+        let name = path.display();
+        let schedule = load(&path);
+        if let Some(system) = schedule.meta("system") {
+            let clients: usize = system
+                .strip_prefix("racy:")
+                .and_then(|k| k.parse().ok())
+                .unwrap_or_else(|| panic!("{name}: bad system meta `{system}`"));
+            let mut sched = ReplayScheduler::strict(&schedule);
+            let violation = fixtures::run_racy(clients, &mut sched)
+                .expect_err("a checked-in failure schedule must still fail");
+            assert!(
+                violation.contains("highest-id client"),
+                "{name}: unexpected violation `{violation}`"
+            );
+            continue;
+        }
+        let topology = schedule
+            .meta("topology")
+            .unwrap_or_else(|| panic!("{name}: discovery schedule without topology meta"));
+        let variant = spec::parse_variant(schedule.meta("variant").expect("variant meta"))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let graph = spec::parse_topology(topology).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut d = Discovery::new(&graph, variant);
+        let outcome = d
+            .run_replay(&schedule)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            outcome.steps,
+            schedule.len() as u64,
+            "{name}: replay executed every recorded choice"
+        );
+        if let Some(steps) = schedule.meta("steps") {
+            assert_eq!(steps, outcome.steps.to_string(), "{name}: pinned step count");
+        }
+        d.check_requirements(&graph)
+            .unwrap_or_else(|e| panic!("{name}: requirements: {e}"));
+        budgets::check_all(
+            &outcome.metrics,
+            graph.len() as u64,
+            graph.edge_count() as u64,
+            variant,
+        )
+        .unwrap_or_else(|e| panic!("{name}: budgets: {e}"));
+    }
+}
+
+/// The discovery entries of the corpus: name, topology spec, variant and a
+/// scheduler constructor. Kept in one place so regeneration and review stay
+/// trivial.
+fn discovery_corpus() -> Vec<(&'static str, &'static str, &'static str, Box<dyn Scheduler>)> {
+    use asynchronous_resource_discovery::netsim::{
+        BoundedDelayScheduler, LifoScheduler, RandomScheduler,
+    };
+    vec![
+        (
+            "ring-12-adhoc-random.schedule",
+            "ring:12",
+            "adhoc",
+            Box::new(RandomScheduler::seeded(7)),
+        ),
+        (
+            "random-16-oblivious-bounded.schedule",
+            "random:n=16,extra=24,seed=2",
+            "oblivious",
+            Box::new(BoundedDelayScheduler::new(3, 5)),
+        ),
+        (
+            "components-2x5-bounded-lifo.schedule",
+            "components:count=2,per=5,extra=5,seed=1",
+            "bounded",
+            Box::new(LifoScheduler::new()),
+        ),
+        (
+            "tree-4-adhoc-random.schedule",
+            "tree:4",
+            "adhoc",
+            Box::new(RandomScheduler::seeded(23)),
+        ),
+    ]
+}
+
+/// Regenerates the discovery corpus files in place. Ignored by default:
+/// run it deliberately after an intentional engine change and review the
+/// resulting diff like any other pinned-output update.
+#[test]
+#[ignore = "writes tests/corpus; run explicitly to regenerate"]
+fn regenerate_discovery_corpus() {
+    for (file, topology, variant_name, sched) in discovery_corpus() {
+        let variant = spec::parse_variant(variant_name).unwrap();
+        let graph = spec::parse_topology(topology).unwrap();
+        let mut d = Discovery::new(&graph, variant);
+        let (result, mut schedule) = d.run_recorded(sched);
+        let outcome = result.unwrap_or_else(|e| panic!("{file}: {e}"));
+        d.check_requirements(&graph)
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        schedule.set_meta("topology", topology);
+        schedule.set_meta("steps", outcome.steps.to_string());
+        let path = corpus_dir().join(file);
+        std::fs::write(&path, schedule.to_text()).unwrap();
+        println!("wrote {} ({} choices)", path.display(), schedule.len());
+    }
+}
