@@ -3,11 +3,11 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use ard_core::{budgets, Discovery, Variant};
+use ard_core::{budgets, Discovery, FaultyDiscovery, Variant};
 use ard_lower_bounds::{tree_adversary, uf_reduction};
 use ard_netsim::explore::{explore, fixtures, ExploreConfig};
 use ard_netsim::shrink::shrink;
-use ard_netsim::{NodeId, RandomScheduler, ReplayScheduler, Schedule, Scheduler};
+use ard_netsim::{FaultPlan, NodeId, RandomScheduler, ReplayScheduler, Schedule, Scheduler};
 use ard_overlay::{bootstrap, Key};
 use ard_union_find::{alpha, OpSequence};
 
@@ -46,6 +46,11 @@ commands:
              --trace N     print the first N trace events
              --dot PATH    write the final state as Graphviz DOT
              --stats       print per-node / per-link traffic hot spots
+             --faults drop=P,dup=P,crash=N[,seed=S]
+                           run under fault injection: lossy/duplicating
+                           links and N crash/restart events, with every
+                           node wrapped in the reliable-delivery layer
+             --record PATH write the recorded fault schedule for replay
   adversary  run the Theorem 1 subtree-freezing adversary
              --levels I    tree depth (default 8)
   reduction  run the Theorem 2 union-find reduction
@@ -59,12 +64,16 @@ commands:
   explore    search interleavings for requirement/budget violations
              --topology SPEC (default random:n=16,extra=24)
              --variant oblivious|bounded|adhoc (default adhoc)
-             --system discovery|racy:K (default discovery; racy:K is a
-                           fixture with a planted race among K clients)
+             --system discovery|racy:K|fragile:K (default discovery;
+                           racy:K / fragile:K are fixtures with a planted
+                           race / fault-dependent bug among K clients)
              --budget N    schedules to try: half random walks, half
                            branch-point DFS (default 64)
              --depth D     DFS branch-point depth (default 4)
              --seed S      base seed for the random walks (default 0)
+             --faults drop=P,dup=P,crash=N[,seed=S]
+                           inject faults into every candidate schedule, so
+                           drops/dups/crashes join the search space
              --out PATH    file for the minimized failing schedule
                            (default ard-failure.schedule)
   replay     re-execute a recorded schedule file byte-for-byte
@@ -160,6 +169,19 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
     let trace_limit = flag_usize(&flags, "trace", 0)?;
     let want_stats = flags.contains_key("stats");
 
+    if let Some(fault_spec) = flags.get("faults") {
+        if trace_limit > 0 || want_stats || flags.contains_key("dot") {
+            return Err(CliError(
+                "--trace/--stats/--dot are not supported together with --faults".into(),
+            ));
+        }
+        let plan = spec::parse_faults(fault_spec, graph.len())?;
+        return discover_faulty(&flags, topology, variant, &graph, &plan, sched);
+    }
+    if flags.contains_key("record") {
+        return Err(CliError("--record needs --faults".into()));
+    }
+
     let mut d = Discovery::new(&graph, variant);
     if trace_limit > 0 || want_stats {
         d.runner_mut().enable_trace();
@@ -206,6 +228,75 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
         std::fs::write(path, d.to_dot())
             .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
         writeln!(out, "dot       : written to {path}").unwrap();
+    }
+    Ok(out)
+}
+
+/// Runs `discover` under a fault plan: lossy/duplicating links plus
+/// crash/restart churn, every node wrapped in the reliable-delivery layer.
+/// The recorded schedule (faults included as explicit choices) can be
+/// written out with `--record` and re-executed with `ard replay`.
+fn discover_faulty(
+    flags: &HashMap<String, String>,
+    topology: &str,
+    variant: Variant,
+    graph: &ard_graph::KnowledgeGraph,
+    plan: &FaultPlan,
+    sched: Box<dyn Scheduler>,
+) -> Result<String, CliError> {
+    let (result, mut schedule) = Discovery::run_faulty(graph, variant, plan, sched);
+    schedule.set_meta("topology", topology.to_string());
+    if let Some(path) = flags.get("record") {
+        std::fs::write(path, schedule.to_text())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    let outcome = result.map_err(|e| CliError(format!("faulty run failed: {e}")))?;
+    budgets::check_all_faulty(
+        &outcome.metrics,
+        graph.len() as u64,
+        graph.edge_count() as u64,
+        variant,
+    )
+    .map_err(|e| CliError(format!("faulty budgets violated: {e}")))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "topology  : {topology} ({} nodes, {} edges)",
+        graph.len(),
+        graph.edge_count()
+    )
+    .unwrap();
+    writeln!(out, "variant   : {variant}").unwrap();
+    writeln!(
+        out,
+        "faults    : {}",
+        schedule.meta("faults").unwrap_or("(vacuous)")
+    )
+    .unwrap();
+    writeln!(out, "leaders   : {:?}", outcome.leaders).unwrap();
+    writeln!(out, "steps     : {}", outcome.steps).unwrap();
+    let f = &outcome.faults;
+    writeln!(
+        out,
+        "injected  : {} drops, {} duplicates, {} crashes, {} restarts",
+        f.drops, f.duplicates, f.crashes, f.restarts
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "recovery  : {} retransmits, {} acks, {} timer ticks",
+        outcome.retransmits, outcome.acks, f.ticks
+    )
+    .unwrap();
+    writeln!(out, "requirements: satisfied (budgets checked net of overhead)").unwrap();
+    write!(out, "{}", outcome.metrics).unwrap();
+    if let Some(path) = flags.get("record") {
+        writeln!(
+            out,
+            "schedule  : written to {path} (re-run with `ard replay {path}`)"
+        )
+        .unwrap();
     }
     Ok(out)
 }
@@ -384,13 +475,21 @@ fn baseline_trial(n: usize, seed: u64) -> Result<String, CliError> {
 }
 
 /// The system an `explore`/`replay` invocation drives: the discovery
-/// protocol proper, or the planted-race demo fixture.
+/// protocol proper (bare, or reliable-wrapped for faulty runs), or one of
+/// the planted-bug demo fixtures.
 enum System {
     Discovery {
         topology: String,
         variant: Variant,
+        /// Wrap every node in the reliable-delivery layer and tolerate
+        /// injected faults (set when `--faults` is given, or when a replayed
+        /// schedule carries `faults` metadata).
+        faulty: bool,
     },
     Racy {
+        clients: usize,
+    },
+    Fragile {
         clients: usize,
     },
 }
@@ -400,7 +499,7 @@ impl System {
     /// its metadata.
     fn from_schedule(schedule: &Schedule) -> Result<Self, CliError> {
         if let Some(spec) = schedule.meta("system") {
-            return Self::parse_racy(spec);
+            return Self::parse_fixture(spec);
         }
         let topology = schedule
             .meta("topology")
@@ -413,52 +512,94 @@ impl System {
         Ok(System::Discovery {
             topology: topology.to_string(),
             variant,
+            faulty: schedule.meta("faults").is_some(),
         })
     }
 
-    fn parse_racy(spec: &str) -> Result<Self, CliError> {
-        let clients = spec
-            .strip_prefix("racy:")
-            .ok_or_else(|| CliError(format!("unknown system `{spec}` (try discovery, racy:K)")))?;
+    fn parse_fixture(spec: &str) -> Result<Self, CliError> {
+        let (kind, clients) = spec.split_once(':').ok_or_else(|| {
+            CliError(format!(
+                "unknown system `{spec}` (try discovery, racy:K, fragile:K)"
+            ))
+        })?;
         let clients = clients
             .parse::<usize>()
-            .map_err(|_| CliError(format!("racy: `{clients}` is not a client count")))?;
+            .map_err(|_| CliError(format!("{kind}: `{clients}` is not a client count")))?;
         if clients == 0 {
-            return Err(CliError("racy needs at least one client".into()));
+            return Err(CliError(format!("{kind} needs at least one client")));
         }
-        Ok(System::Racy { clients })
+        match kind {
+            "racy" => Ok(System::Racy { clients }),
+            "fragile" => Ok(System::Fragile { clients }),
+            other => Err(CliError(format!(
+                "unknown system `{other}` (try discovery, racy:K, fragile:K)"
+            ))),
+        }
+    }
+
+    /// Number of nodes in the system — the domain crash events draw from.
+    fn node_count(&self) -> Result<usize, CliError> {
+        match self {
+            System::Discovery { topology, .. } => Ok(spec::parse_topology(topology)?.len()),
+            // Both fixtures are one hub plus K clients.
+            System::Racy { clients } | System::Fragile { clients } => Ok(clients + 1),
+        }
     }
 
     /// Stamps the metadata replay needs to rebuild this system.
     fn stamp(&self, schedule: &mut Schedule) {
         match self {
-            System::Discovery { topology, variant } => {
+            System::Discovery {
+                topology, variant, ..
+            } => {
                 schedule.set_meta("topology", topology.clone());
                 schedule.set_meta("variant", variant.to_string());
             }
             System::Racy { clients } => {
                 schedule.set_meta("system", format!("racy:{clients}"));
             }
+            System::Fragile { clients } => {
+                schedule.set_meta("system", format!("fragile:{clients}"));
+            }
         }
     }
 
-    /// The property closure shared by explore and shrink: build the system
-    /// from scratch, run it under `sched`, return `Err` on any violation.
+    /// The property closure shared by explore, shrink and replay: build the
+    /// system from scratch, run it under `sched`, return `Err` on any
+    /// violation. Fault choices, if any, come from the scheduler (a
+    /// fault-wrapped explorer or a replayed schedule), never from here.
     fn run_one(&self, sched: &mut dyn Scheduler) -> Result<(), String> {
         match self {
-            System::Discovery { topology, variant } => {
+            System::Discovery {
+                topology,
+                variant,
+                faulty,
+            } => {
                 let graph = spec::parse_topology(topology).map_err(|e| e.to_string())?;
-                let mut d = Discovery::new(&graph, *variant);
-                let outcome = d.run_all(sched).map_err(|e| e.to_string())?;
-                d.check_requirements(&graph)?;
-                budgets::check_all(
-                    &outcome.metrics,
-                    graph.len() as u64,
-                    graph.edge_count() as u64,
-                    *variant,
-                )
+                if *faulty {
+                    let mut fd = FaultyDiscovery::new(&graph, *variant);
+                    let outcome = fd.run_all(sched)?;
+                    fd.check_requirements()?;
+                    budgets::check_all_faulty(
+                        &outcome.metrics,
+                        graph.len() as u64,
+                        graph.edge_count() as u64,
+                        *variant,
+                    )
+                } else {
+                    let mut d = Discovery::new(&graph, *variant);
+                    let outcome = d.run_all(sched).map_err(|e| e.to_string())?;
+                    d.check_requirements(&graph)?;
+                    budgets::check_all(
+                        &outcome.metrics,
+                        graph.len() as u64,
+                        graph.edge_count() as u64,
+                        *variant,
+                    )
+                }
             }
             System::Racy { clients } => fixtures::run_racy(*clients, sched),
+            System::Fragile { clients } => fixtures::run_fragile(*clients, sched),
         }
     }
 }
@@ -485,9 +626,14 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
             System::Discovery {
                 topology: topology.to_string(),
                 variant,
+                faulty: flags.contains_key("faults"),
             }
         }
-        Some(other) => System::parse_racy(other)?,
+        Some(other) => System::parse_fixture(other)?,
+    };
+    let fault = match flags.get("faults") {
+        Some(fault_spec) => Some(spec::parse_faults(fault_spec, system.node_count()?)?),
+        None => None,
     };
 
     let config = ExploreConfig {
@@ -495,6 +641,7 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         dfs_budget: budget - budget / 2,
         dfs_depth: depth,
         seed,
+        fault: fault.clone(),
     };
     let report = explore(&config, |sched| system.run_one(sched));
     let mut out = String::new();
@@ -504,6 +651,17 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         report.runs, report.random_walks, report.dfs_runs
     )
     .unwrap();
+    if let Some(plan) = &fault {
+        writeln!(
+            out,
+            "faults    : drop={}, dup={}, crash={} (seed {})",
+            plan.drop,
+            plan.dup,
+            plan.crashes.len(),
+            plan.seed
+        )
+        .unwrap();
+    }
     let Some(failure) = report.failure else {
         writeln!(out, "result    : no violation found").unwrap();
         return Ok(out);
@@ -527,6 +685,11 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
     .unwrap();
     let mut schedule = shrunk.schedule;
     system.stamp(&mut schedule);
+    if let (Some(spec), System::Discovery { .. }) = (flags.get("faults"), &system) {
+        // Presence of the key tells replay to rebuild the reliable-wrapped
+        // network; the recorded choices already carry the faults themselves.
+        schedule.set_meta("faults", spec.clone());
+    }
     std::fs::write(out_path, schedule.to_text())
         .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
     writeln!(out, "replay    : {out_path} (re-run with `ard replay {out_path}`)").unwrap();
@@ -706,6 +869,58 @@ mod tests {
         assert_eq!(a, run_line(&line).unwrap());
         assert!(a.contains("result    : schedule replayed cleanly"));
         assert!(a.contains("meta      : variant = ad-hoc"));
+    }
+
+    #[test]
+    fn discover_faulty_records_a_replayable_schedule() {
+        let path = std::env::temp_dir().join("ard-cli-test-faulty.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let out = run_line(&format!(
+            "discover --topology ring:10 --variant bounded --scheduler random:3 \
+             --faults drop=0.1,dup=0.05,seed=5 --record {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("faults    : drop=0.1,dup=0.05,crash=0,seed=5"));
+        assert!(out.contains("injected  :"));
+        assert!(out.contains("requirements: satisfied"));
+        let replayed = run_line(&format!("replay {path}")).unwrap();
+        assert!(replayed.contains("meta      : faults = drop=0.1,dup=0.05,crash=0,seed=5"));
+        assert!(replayed.contains("result    : schedule replayed cleanly"));
+    }
+
+    #[test]
+    fn discover_faulty_with_crashes_still_satisfies_requirements() {
+        let out = run_line(
+            "discover --topology random:n=12,extra=18,seed=2 --scheduler random:7 \
+             --faults drop=0.05,crash=2,seed=11",
+        )
+        .unwrap();
+        assert!(out.contains("2 crashes, 2 restarts"));
+        assert!(out.contains("requirements: satisfied"));
+    }
+
+    #[test]
+    fn discover_rejects_bad_fault_flags() {
+        assert!(run_line("discover --topology ring:6 --faults drop=1.5").is_err());
+        assert!(run_line("discover --topology ring:6 --faults mangle=1").is_err());
+        assert!(run_line("discover --topology ring:6 --record out.schedule").is_err());
+        assert!(run_line("discover --topology ring:6 --faults drop=0.1 --stats").is_err());
+    }
+
+    #[test]
+    fn explore_with_faults_finds_the_fragile_bug() {
+        let path = std::env::temp_dir().join("ard-cli-test-fragile.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let report = run_line(&format!(
+            "explore --system fragile:1 --budget 128 --faults drop=0.25,seed=1 --out {path}"
+        ))
+        .unwrap();
+        assert!(report.contains("faults    : drop=0.25"));
+        assert!(report.contains("violation :"), "{report}");
+        assert!(report.contains("shrunk    :"));
+        let replayed = run_line(&format!("replay {path}")).unwrap();
+        assert!(replayed.contains("meta      : system = fragile:1"));
+        assert!(replayed.contains("violation reproduced"), "{replayed}");
     }
 
     #[test]

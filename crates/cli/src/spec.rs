@@ -8,11 +8,14 @@
 //!            | components:count=C,per=P[,extra=M][,seed=S]
 //! scheduler := fifo | lifo | random[:SEED] | bounded:DELAY[,SEED]
 //! variant   := oblivious | bounded | adhoc
+//! faults    := drop=P | dup=P | crash=N | seed=S   (comma-separated)
 //! ```
 
 use ard_core::Variant;
 use ard_graph::{gen, KnowledgeGraph};
-use ard_netsim::{BoundedDelayScheduler, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler};
+use ard_netsim::{
+    BoundedDelayScheduler, FaultPlan, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler,
+};
 
 /// A parse failure, with a human-oriented message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,6 +176,59 @@ pub fn parse_variant(spec: &str) -> Result<Variant, ParseSpecError> {
     }
 }
 
+fn parse_prob(s: &str, what: &str) -> Result<f64, ParseSpecError> {
+    let p: f64 = s
+        .parse()
+        .map_err(|_| err(format!("{what}: `{s}` is not a probability")))?;
+    if !(0.0..1.0).contains(&p) {
+        return Err(err(format!(
+            "{what} probability must be in [0, 1), got `{s}`"
+        )));
+    }
+    Ok(p)
+}
+
+/// Parses a fault-plan specification such as `drop=0.05,dup=0.02,crash=2`.
+///
+/// `n` is the network size; `crash=N` spreads `N` crash/restart events
+/// evenly over the nodes and the run. Probabilities must lie in `[0, 1)`
+/// (the paper's link model: any loss rate strictly below one).
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] with the offending fragment.
+///
+/// # Example
+///
+/// ```
+/// let plan = ard_cli::spec::parse_faults("drop=0.1,crash=2,seed=7", 16).unwrap();
+/// assert_eq!(plan.crashes.len(), 2);
+/// assert!(ard_cli::spec::parse_faults("drop=1.5", 16).is_err());
+/// ```
+pub fn parse_faults(spec: &str, n: usize) -> Result<FaultPlan, ParseSpecError> {
+    let (mut drop, mut dup, mut crash, mut seed) = (0.0, 0.0, 0usize, 0u64);
+    for (k, v) in parse_kv(spec)? {
+        match k {
+            "drop" => drop = parse_prob(v, "drop")?,
+            "dup" => dup = parse_prob(v, "dup")?,
+            "crash" => crash = parse_usize(v, "crash")?,
+            "seed" => seed = parse_u64(v, "seed")?,
+            other => {
+                return Err(err(format!(
+                    "unknown fault key `{other}` (drop, dup, crash, seed)"
+                )))
+            }
+        }
+    }
+    if crash > 0 && n == 0 {
+        return Err(err("crash needs a non-empty network"));
+    }
+    Ok(FaultPlan::new(seed)
+        .with_drop(drop)
+        .with_dup(dup)
+        .with_spread_crashes(crash, n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +282,35 @@ mod tests {
         }
         assert!(parse_scheduler("bounded:0").is_err());
         assert!(parse_scheduler("warp").is_err());
+    }
+
+    #[test]
+    fn faults_parse() {
+        let plan = parse_faults("drop=0.1,dup=0.05,crash=3,seed=9", 12).unwrap();
+        assert_eq!(plan.drop, 0.1);
+        assert_eq!(plan.dup, 0.05);
+        assert_eq!(plan.crashes.len(), 3);
+        assert_eq!(plan.seed, 9);
+        assert!(parse_faults("drop=0.2", 8).unwrap().crashes.is_empty());
+        assert!(parse_faults("", 8).unwrap().is_vacuous());
+    }
+
+    #[test]
+    fn fault_errors_are_descriptive() {
+        assert!(parse_faults("drop=1.0", 8)
+            .unwrap_err()
+            .0
+            .contains("must be in [0, 1)"));
+        assert!(parse_faults("dup=-0.1", 8).is_err());
+        assert!(parse_faults("drop=x", 8)
+            .unwrap_err()
+            .0
+            .contains("not a probability"));
+        assert!(parse_faults("mangle=0.5", 8)
+            .unwrap_err()
+            .0
+            .contains("unknown fault key"));
+        assert!(parse_faults("crash=1", 0).is_err());
     }
 
     #[test]

@@ -118,8 +118,12 @@ pub fn check_lemma_5_8(metrics: &Metrics, n: u64, variant: Variant) -> Result<()
 ///
 /// Returns the measured bits on violation.
 pub fn check_lemma_5_9(metrics: &Metrics, e0: u64) -> Result<(), String> {
+    check_lemma_5_9_overhead(metrics, e0, 0)
+}
+
+fn check_lemma_5_9_overhead(metrics: &Metrics, e0: u64, extra: u64) -> Result<(), String> {
     let counts = metrics.kind("query reply");
-    let overhead_per_msg = 32 + 1 + 4; // aux bits + kind tag
+    let overhead_per_msg = 32 + 1 + 4 + extra; // aux bits + kind tag (+ envelope)
     let bound = 2 * e0 * metrics.id_bits() + counts.messages * overhead_per_msg;
     check("query reply bits (Lemma 5.9)", counts.bits, bound)
 }
@@ -131,8 +135,12 @@ pub fn check_lemma_5_9(metrics: &Metrics, e0: u64) -> Result<(), String> {
 ///
 /// Returns the measured bits on violation.
 pub fn check_lemma_5_10(metrics: &Metrics, n: u64) -> Result<(), String> {
+    check_lemma_5_10_overhead(metrics, n, 0)
+}
+
+fn check_lemma_5_10_overhead(metrics: &Metrics, n: u64, extra: u64) -> Result<(), String> {
     let counts = metrics.kind("info");
-    let overhead_per_msg = 8 + 4 * 32 + 4;
+    let overhead_per_msg = 8 + 4 * 32 + 4 + extra;
     let bound = 4 * n * metrics.id_bits() * metrics.id_bits() + counts.messages * overhead_per_msg;
     check("info bits (Lemma 5.10)", counts.bits, bound)
 }
@@ -152,6 +160,13 @@ pub fn check_theorem_5(metrics: &Metrics, n: u64) -> Result<(), String> {
         bound,
     )
 }
+
+/// Kinds emitted by the reliable-delivery envelope ([`crate::Reliable`])
+/// that are pure fault-recovery overhead: retransmissions of already-metered
+/// logical messages and acknowledgements. The faulty budget checks
+/// ([`check_all_faulty`]) subtract these before applying the paper's
+/// fault-free complexity theorems.
+pub const OVERHEAD_KINDS: [&str; 2] = ["retransmit", "rd-ack"];
 
 /// Theorem 6: the Bounded and Ad-hoc algorithms send `O(n·α(n,n))`
 /// messages. Constant: `32·n·(α+1)`.
@@ -200,6 +215,47 @@ pub fn check_all(metrics: &Metrics, n: u64, e0: u64, variant: Variant) -> Result
         Variant::Bounded | Variant::AdHoc => check_theorem_6(metrics, n)?,
     }
     check_theorem_7(metrics, n, e0)
+}
+
+/// [`check_all`] for a run under fault injection with the reliable-delivery
+/// envelope ([`crate::Reliable`]).
+///
+/// The per-kind count lemmas apply unchanged: a first transmission keeps its
+/// logical kind, while retransmissions and acks are metered under the
+/// dedicated [`OVERHEAD_KINDS`]. The bit lemmas gain 32 bits per message
+/// (the envelope's sequence number), and the total-complexity theorems are
+/// checked on the **net** totals — measured totals minus the explicitly
+/// metered retransmission/ack overhead and per-message sequence numbers.
+/// The overhead itself is unbounded in the fault rate (a drop probability
+/// close to 1 forces arbitrarily many retransmissions), which is exactly
+/// why it must be subtracted rather than absorbed into a constant.
+///
+/// # Errors
+///
+/// Propagates the first violated bound.
+pub fn check_all_faulty(metrics: &Metrics, n: u64, e0: u64, variant: Variant) -> Result<(), String> {
+    check_lemma_5_5(metrics, n)?;
+    check_lemma_5_6(metrics, n)?;
+    check_lemma_5_7(metrics, n)?;
+    check_lemma_5_8(metrics, n, variant)?;
+    check_lemma_5_9_overhead(metrics, e0, 32)?;
+    check_lemma_5_10_overhead(metrics, n, 32)?;
+    let overhead_msgs = metrics.messages_of(&OVERHEAD_KINDS);
+    let overhead_bits: u64 = OVERHEAD_KINDS.iter().map(|k| metrics.kind(k).bits).sum();
+    let net_msgs = metrics.total_messages() - overhead_msgs;
+    let msg_bound = match variant {
+        Variant::Oblivious => 24 * n * (log2_ceil(n) + 1),
+        Variant::Bounded | Variant::AdHoc => 32 * n * (alpha(n.max(1), n.max(1)) + 1),
+    };
+    check(
+        "net messages (faulty run, Theorems 5/6)",
+        net_msgs,
+        msg_bound,
+    )?;
+    let b = metrics.id_bits();
+    let net_bits = metrics.total_bits() - overhead_bits - 32 * net_msgs;
+    let bit_bound = 8 * (e0 * b + (n + 1) * b * b) + 64 * n * b + 96 * (n + 4);
+    check("net bits (faulty run, Theorem 7)", net_bits, bit_bound)
 }
 
 #[cfg(test)]

@@ -8,9 +8,9 @@
 use std::collections::BTreeSet;
 
 use ard_graph::{components, KnowledgeGraph};
-use ard_netsim::{NodeId, Runner};
+use ard_netsim::{NodeId, Protocol, Runner};
 
-use crate::node::ArdNode;
+use crate::node::AsArdNode;
 use crate::status::Status;
 use crate::Variant;
 
@@ -29,15 +29,15 @@ use crate::Variant;
 /// # Errors
 ///
 /// Returns a description of the first violation found.
-pub fn check_requirements(
-    runner: &Runner<ArdNode>,
+pub fn check_requirements<P: Protocol + AsArdNode>(
+    runner: &Runner<P>,
     graph: &KnowledgeGraph,
     variant: Variant,
 ) -> Result<(), String> {
     if !runner.links_empty() {
         return Err("messages still in flight".into());
     }
-    for node in runner.nodes() {
+    for node in runner.nodes().map(AsArdNode::ard) {
         if node.deferred_len() != 0 {
             return Err(format!("{} still has deferred messages", node.id()));
         }
@@ -54,7 +54,7 @@ pub fn check_requirements(
         let leaders: Vec<NodeId> = component
             .iter()
             .copied()
-            .filter(|&v| runner.node(v).is_leader())
+            .filter(|&v| runner.node(v).ard().is_leader())
             .collect();
         // Requirement 1: exactly one leader.
         if leaders.len() != 1 {
@@ -66,7 +66,7 @@ pub fn check_requirements(
             ));
         }
         let leader = leaders[0];
-        let lnode = runner.node(leader);
+        let lnode = runner.node(leader).ard();
         if lnode.status() != Status::Wait {
             return Err(format!(
                 "leader {leader} not idle in wait: {}",
@@ -89,7 +89,7 @@ pub fn check_requirements(
             if v == leader {
                 continue;
             }
-            let node = runner.node(v);
+            let node = runner.node(v).ard();
             // Non-leaders end inactive.
             if node.status() != Status::Inactive {
                 return Err(format!(
@@ -131,10 +131,13 @@ pub fn check_requirements(
 /// # Errors
 ///
 /// Returns an error if the chain cycles (forest invariant violated).
-pub fn resolve_leader(runner: &Runner<ArdNode>, v: NodeId) -> Result<NodeId, String> {
+pub fn resolve_leader<P: Protocol + AsArdNode>(
+    runner: &Runner<P>,
+    v: NodeId,
+) -> Result<NodeId, String> {
     let mut cur = v;
     for _ in 0..=runner.len() {
-        let next = runner.node(cur).next_pointer();
+        let next = runner.node(cur).ard().next_pointer();
         if next == cur {
             return Ok(cur);
         }
@@ -150,10 +153,13 @@ pub fn resolve_leader(runner: &Runner<ArdNode>, v: NodeId) -> Result<NodeId, Str
 /// # Errors
 ///
 /// Returns the offending component's smallest member on violation.
-pub fn check_leader_exists(runner: &Runner<ArdNode>, graph: &KnowledgeGraph) -> Result<(), String> {
+pub fn check_leader_exists<P: Protocol + AsArdNode>(
+    runner: &Runner<P>,
+    graph: &KnowledgeGraph,
+) -> Result<(), String> {
     for component in components::weakly_connected_components(graph) {
         let ok = component.iter().any(|&v| {
-            let s = runner.node(v).status();
+            let s = runner.node(v).ard().status();
             s.is_leader() || s == Status::Asleep
         });
         if !ok {
@@ -169,7 +175,7 @@ pub fn check_leader_exists(runner: &Runner<ArdNode>, graph: &KnowledgeGraph) -> 
 /// # Errors
 ///
 /// Returns the node whose chain cycles.
-pub fn check_forest(runner: &Runner<ArdNode>) -> Result<(), String> {
+pub fn check_forest<P: Protocol + AsArdNode>(runner: &Runner<P>) -> Result<(), String> {
     for v in runner.ids() {
         resolve_leader(runner, v)?;
     }
@@ -182,8 +188,8 @@ pub fn check_forest(runner: &Runner<ArdNode>) -> Result<(), String> {
 /// # Errors
 ///
 /// Returns the offending node.
-pub fn check_phase_bound(runner: &Runner<ArdNode>) -> Result<(), String> {
-    for node in runner.nodes() {
+pub fn check_phase_bound<P: Protocol + AsArdNode>(runner: &Runner<P>) -> Result<(), String> {
+    for node in runner.nodes().map(AsArdNode::ard) {
         let size = (node.more().len() + node.done().len() + node.unaware().len()) as u64;
         let bound = 1u64 << (node.phase() + 1);
         // Only meaningful while the node owns its sets (leaders and
@@ -205,14 +211,14 @@ pub fn check_phase_bound(runner: &Runner<ArdNode>) -> Result<(), String> {
 /// # Errors
 ///
 /// Returns a description of the duplicate pair on violation.
-pub fn check_leader_pairs_distinct(
-    runner: &Runner<ArdNode>,
+pub fn check_leader_pairs_distinct<P: Protocol + AsArdNode>(
+    runner: &Runner<P>,
     graph: &KnowledgeGraph,
 ) -> Result<(), String> {
     for component in components::weakly_connected_components(graph) {
         let mut pairs = BTreeSet::new();
         for &v in &component {
-            let node = runner.node(v);
+            let node = runner.node(v).ard();
             if node.is_leader() && !pairs.insert((node.phase(), node.id())) {
                 return Err(format!(
                     "duplicate leader pair ({}, {})",
@@ -230,8 +236,8 @@ pub fn check_leader_pairs_distinct(
 /// # Errors
 ///
 /// Propagates the first violation.
-pub fn check_step_invariants(
-    runner: &Runner<ArdNode>,
+pub fn check_step_invariants<P: Protocol + AsArdNode>(
+    runner: &Runner<P>,
     graph: &KnowledgeGraph,
 ) -> Result<(), String> {
     check_leader_exists(runner, graph)?;

@@ -46,12 +46,17 @@
 pub mod budgets;
 mod config;
 mod driver;
+mod faulty;
 pub mod invariants;
 mod msg;
 pub mod node;
+mod reliable;
 mod status;
 
 pub use config::{Config, Variant};
 pub use driver::{Discovery, Outcome, ProbeStatus};
+pub use faulty::{FaultyDiscovery, FaultyOutcome};
 pub use msg::{InfoPayload, Message, Verdict};
+pub use node::AsArdNode;
+pub use reliable::{Reliable, ReliableMsg};
 pub use status::{Status, Transition, EXPECTED_TRANSITIONS};

@@ -38,6 +38,23 @@ use crate::{Config, Variant};
 /// the unbalanced-queries ablation).
 const WANT_ALL: u32 = u32::MAX;
 
+/// View of a protocol node as the [`ArdNode`] it contains, possibly behind
+/// envelope layers such as [`Reliable`](crate::Reliable).
+///
+/// The requirement and invariant checkers in [`crate::invariants`] are
+/// generic over this trait, so the same checks run against plain discovery
+/// networks and against networks wrapped in the reliable-delivery layer.
+pub trait AsArdNode {
+    /// The underlying discovery node.
+    fn ard(&self) -> &ArdNode;
+}
+
+impl AsArdNode for ArdNode {
+    fn ard(&self) -> &ArdNode {
+        self
+    }
+}
+
 /// What [`ArdNode::dispatch`] did with a message.
 enum Disposition {
     /// The message was consumed by the current state.

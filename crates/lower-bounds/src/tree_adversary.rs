@@ -88,6 +88,11 @@ impl Scheduler for FreezeScheduler {
         }
     }
 
+    fn note_tick(&mut self, node: NodeId) {
+        // Ticks are local events, like wake-ups: never frozen.
+        self.enabled.push_back(Choice::Tick(node));
+    }
+
     fn choose(&mut self) -> Option<Choice> {
         loop {
             if let Some(c) = self.enabled.pop_front() {

@@ -13,11 +13,21 @@ use crate::NodeId;
 pub struct Context<'a, M> {
     me: NodeId,
     outbox: &'a mut Vec<(NodeId, M)>,
+    tick_armed: bool,
 }
 
 impl<'a, M> Context<'a, M> {
-    pub(crate) fn new(me: NodeId, outbox: &'a mut Vec<(NodeId, M)>) -> Self {
-        Context { me, outbox }
+    /// Creates a context for `me` that buffers sends into `outbox`.
+    ///
+    /// Public so that envelope protocols (e.g. the reliable-delivery layer
+    /// in `ard-core`) can run an inner protocol's handlers against a staging
+    /// outbox and post-process the sends before the runner flushes them.
+    pub fn new(me: NodeId, outbox: &'a mut Vec<(NodeId, M)>) -> Self {
+        Context {
+            me,
+            outbox,
+            tick_armed: false,
+        }
     }
 
     /// The id of the node this handler is running on.
@@ -43,6 +53,26 @@ impl<'a, M> Context<'a, M> {
     /// Number of messages queued so far in this handler call.
     pub fn queued(&self) -> usize {
         self.outbox.len()
+    }
+
+    /// Requests a timer tick: after this handler returns, the runner hands
+    /// the scheduler a [`Choice::Tick`](crate::Choice::Tick) token for this
+    /// node, to be fired at an adversary-chosen later point (virtual time).
+    ///
+    /// Ticks may arrive spuriously (e.g. re-armed across a crash/restart);
+    /// protocols must treat a tick as "some virtual time passed", not as a
+    /// precise alarm.
+    pub fn arm_tick(&mut self) {
+        self.tick_armed = true;
+    }
+
+    /// Whether this handler call armed a tick.
+    ///
+    /// Consumed by the runner after each handler; public so envelope
+    /// protocols that run an inner protocol against a staging [`Context`]
+    /// can propagate the inner protocol's tick request to the real one.
+    pub fn tick_armed(&self) -> bool {
+        self.tick_armed
     }
 }
 

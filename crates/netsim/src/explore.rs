@@ -30,6 +30,7 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{FaultPlan, FaultScheduler};
 use crate::record::{RecordingScheduler, Schedule};
 use crate::scheduler::{Choice, RandomScheduler, Scheduler, SendToken};
 use crate::NodeId;
@@ -48,6 +49,11 @@ pub struct ExploreConfig {
     pub dfs_depth: usize,
     /// Base seed for the random-walk phase.
     pub seed: u64,
+    /// Optional fault plan: every candidate schedule runs under a
+    /// [`FaultScheduler`] injecting these faults, so fault choices join
+    /// the search space (the random-walk phase re-seeds the fault RNG per
+    /// walk; the DFS phase keeps the plan's own seed).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ExploreConfig {
@@ -57,6 +63,7 @@ impl Default for ExploreConfig {
             dfs_budget: 32,
             dfs_depth: 4,
             seed: 0,
+            fault: None,
         }
     }
 }
@@ -160,6 +167,9 @@ impl Scheduler for DfsScheduler {
             dst: token.dst,
         });
     }
+    fn note_tick(&mut self, node: NodeId) {
+        self.pending.push_back(Choice::Tick(node));
+    }
     fn choose(&mut self) -> Option<Choice> {
         if self.pending.is_empty() {
             return None;
@@ -196,10 +206,18 @@ where
 {
     let mut report = ExploreReport::default();
 
-    // Phase 1: bounded random walk over seeds.
+    // Phase 1: bounded random walk over seeds. The fault wrapper is
+    // applied unconditionally (it is transparent without a plan); with a
+    // plan, each walk also re-seeds the fault RNG so the walk phase
+    // explores fault placements, not just interleavings.
     for i in 0..config.random_walks {
         let seed = config.seed.wrapping_add(i);
-        let mut sched = RecordingScheduler::new(RandomScheduler::seeded(seed));
+        let fault_seed = config.fault.as_ref().map_or(0, |p| p.seed ^ seed);
+        let mut sched = RecordingScheduler::new(FaultScheduler::seeded(
+            RandomScheduler::seeded(seed),
+            config.fault.clone(),
+            fault_seed,
+        ));
         let result = run_one(&mut sched);
         report.random_walks += 1;
         report.runs += 1;
@@ -223,11 +241,14 @@ where
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     while report.dfs_runs < config.dfs_budget {
         let Some(prefix) = stack.pop() else { break };
-        let mut sched = RecordingScheduler::new(DfsScheduler::new(prefix.clone(), config.dfs_depth));
+        let mut sched = RecordingScheduler::new(FaultScheduler::new(
+            DfsScheduler::new(prefix.clone(), config.dfs_depth),
+            config.fault.clone(),
+        ));
         let result = run_one(&mut sched);
         report.dfs_runs += 1;
         report.runs += 1;
-        let (inner, schedule) = sched.into_parts();
+        let (fault_sched, schedule) = sched.into_parts();
         if let Err(reason) = result {
             report.failure = Some(failure(
                 schedule,
@@ -237,7 +258,7 @@ where
             ));
             return report;
         }
-        let counts = inner.branch_counts();
+        let counts = fault_sched.inner().branch_counts();
         // Reverse push order so the stack pops children in lexicographic
         // (earliest-position, smallest-index) order.
         for j in (prefix.len()..counts.len()).rev() {
@@ -381,6 +402,113 @@ pub mod fixtures {
             None => Ok(()),
         }
     }
+
+    /// Messages of the *fragile* fixture: a hub's ping and a client's pong.
+    #[derive(Clone, Debug)]
+    pub enum PingPong {
+        /// Hub → client.
+        Ping,
+        /// Client → hub.
+        Pong,
+    }
+
+    impl Envelope for PingPong {
+        fn kind(&self) -> &'static str {
+            match self {
+                PingPong::Ping => "ping",
+                PingPong::Pong => "pong",
+            }
+        }
+        fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
+        fn aux_bits(&self) -> u64 {
+            1
+        }
+    }
+
+    /// One node of the planted *fault-dependent* bug network: node 0 is a
+    /// hub that pings every client once on wake-up and counts pongs;
+    /// clients pong every ping.
+    ///
+    /// The planted bug: the hub assumes the network is lossless and
+    /// crash-free — with no faults every ping begets a pong and the
+    /// invariant `pongs == clients` holds at quiescence under *any*
+    /// schedule, but a single dropped message (or a delivery discarded by
+    /// a crashed client) silences a client forever. This is the fixture
+    /// the explorer's fault search exists to break.
+    #[derive(Debug)]
+    pub enum FragileNode {
+        /// The hub: counts the pongs it has heard.
+        Hub {
+            /// Pongs received so far.
+            pongs: usize,
+            /// Clients it pinged.
+            clients: usize,
+        },
+        /// A client: pongs every ping.
+        Client,
+    }
+
+    impl Protocol for FragileNode {
+        type Message = PingPong;
+
+        fn on_wake(&mut self, ctx: &mut Context<'_, PingPong>) {
+            if let FragileNode::Hub { clients, .. } = self {
+                for c in 1..=*clients {
+                    ctx.send(NodeId::new(c), PingPong::Ping);
+                }
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: PingPong, ctx: &mut Context<'_, PingPong>) {
+            match (self, msg) {
+                (FragileNode::Client, PingPong::Ping) => ctx.send(from, PingPong::Pong),
+                (FragileNode::Hub { pongs, .. }, PingPong::Pong) => *pongs += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Builds the fragile network: one hub plus `clients` clients, with
+    /// mutual knowledge between the hub and each client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0`.
+    pub fn fragile_network(clients: usize) -> Runner<FragileNode> {
+        assert!(clients >= 1, "the fragile hub needs at least one client");
+        let mut nodes = vec![FragileNode::Hub { pongs: 0, clients }];
+        let mut knowledge = vec![(1..=clients).map(NodeId::new).collect::<Vec<_>>()];
+        for _ in 0..clients {
+            nodes.push(FragileNode::Client);
+            knowledge.push(vec![NodeId::new(0)]);
+        }
+        Runner::new(nodes, knowledge)
+    }
+
+    /// Runs the fragile fixture under `sched` and checks its (fault-naive)
+    /// invariant. A violation is only declared against a *complete* state
+    /// — hub awake, no messages in flight — so schedule shrinking cannot
+    /// fake a failure by merely truncating deliveries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation description (or a livelock report) as `Err`.
+    pub fn run_fragile(clients: usize, sched: &mut dyn Scheduler) -> Result<(), String> {
+        let mut runner = fragile_network(clients);
+        runner.enqueue_wake_all(sched);
+        runner
+            .run(sched, 10_000)
+            .map_err(|e| format!("fixture livelocked: {e}"))?;
+        if !runner.links_empty() || !runner.is_awake(NodeId::new(0)) {
+            return Ok(());
+        }
+        match runner.node(NodeId::new(0)) {
+            FragileNode::Hub { pongs, clients } if pongs < clients => Err(format!(
+                "fragile hub heard only {pongs} of {clients} pongs: a fault silenced a client"
+            )),
+            _ => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +554,7 @@ mod tests {
             dfs_budget: 0,
             dfs_depth: 0,
             seed: 0,
+            fault: None,
         };
         let report = explore(&config, |sched| fixtures::run_racy(4, sched));
         let failure = report.failure.expect("walk should find the race");
@@ -441,6 +570,7 @@ mod tests {
             dfs_budget: 128,
             dfs_depth: 4,
             seed: 0,
+            fault: None,
         };
         let report = explore(&config, |sched| fixtures::run_racy(2, sched));
         let failure = report.failure.expect("dfs should find the race");
@@ -465,6 +595,7 @@ mod tests {
             dfs_budget: 5,
             dfs_depth: 3,
             seed: 9,
+            fault: None,
         };
         let report = explore(&config, |sched| {
             // Never fails: drain the schedule against a trivial system.
@@ -480,6 +611,53 @@ mod tests {
     }
 
     #[test]
+    fn fragile_fixture_is_clean_without_faults() {
+        // Even a full exploration finds nothing: the fixture only breaks
+        // when a fault silences a client.
+        let report = explore(&ExploreConfig::default(), |sched| {
+            fixtures::run_fragile(3, sched)
+        });
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn fault_search_finds_and_shrinks_the_planted_fragile_bug() {
+        let config = ExploreConfig {
+            random_walks: 64,
+            dfs_budget: 0,
+            dfs_depth: 0,
+            seed: 0,
+            fault: Some(FaultPlan::new(1).with_drop(0.25)),
+        };
+        let report = explore(&config, |sched| fixtures::run_fragile(1, sched));
+        let failure = report.failure.expect("fault search should silence the client");
+        assert!(failure.reason.contains("pongs"));
+
+        // Strict replay without any fault machinery — the injected faults
+        // are ordinary recorded choices.
+        let mut replay = ReplayScheduler::strict(&failure.schedule);
+        let err = fixtures::run_fragile(1, &mut replay).unwrap_err();
+        assert_eq!(err, failure.reason);
+
+        // The shrinker minimizes it to the essence: the hub's wake plus the
+        // fault that silences its client (a dropped ping, or a delivered
+        // ping whose pong is dropped).
+        let result = crate::shrink::shrink(&failure.schedule, |sched| {
+            fixtures::run_fragile(1, sched)
+        });
+        assert!(
+            (2..=3).contains(&result.schedule.len()),
+            "expected a 2-3 choice witness, got:\n{}",
+            result.schedule.to_text()
+        );
+        let mut replay = ReplayScheduler::strict(&result.schedule);
+        assert_eq!(
+            fixtures::run_fragile(1, &mut replay).unwrap_err(),
+            result.reason
+        );
+    }
+
+    #[test]
     fn dfs_enumerates_distinct_interleavings() {
         // Every DFS run on a benign system produces a distinct choice
         // sequence: the prefix enumeration never repeats a decision path.
@@ -489,6 +667,7 @@ mod tests {
             dfs_budget: 40,
             dfs_depth: 3,
             seed: 0,
+            fault: None,
         };
         let report = explore(&config, |sched| {
             let mut recorder = RecordingScheduler::new(&mut *sched);

@@ -1,0 +1,549 @@
+//! Deterministic fault injection: seeded, policy-driven link loss,
+//! duplication, partitions and node crash/restart, composable with every
+//! [`Scheduler`].
+//!
+//! A [`FaultPlan`] describes *policy* (drop/duplicate probabilities, link
+//! overrides, partition windows, crash events); a [`FaultScheduler`] wraps
+//! any inner scheduler and turns that policy into explicit fault
+//! [`Choice`]s. Every injected fault flows through the normal choice
+//! stream, so a [`RecordingScheduler`](crate::record::RecordingScheduler)
+//! wrapped *around* the fault scheduler captures a complete execution:
+//! replaying the recorded schedule needs no fault machinery at all — the
+//! recorded `Drop`/`Duplicate`/`Crash`/`Restart`/`Tick` choices drive the
+//! runner directly, byte-exactly, and shrink like any other choices.
+//!
+//! # Determinism
+//!
+//! A message's fate (dropped? duplicated?) is drawn from a seeded RNG at
+//! *send* time, in send order, so the same plan over the same run prefix
+//! always faults the same sends. One documented subtlety: an injected
+//! `Drop` removes the link's *oldest* in-flight message at the moment the
+//! choice executes, which under backlog may differ from the send that drew
+//! the unlucky number — the run is still fully deterministic, the fault is
+//! simply attributed to the head of the queue.
+//!
+//! # Example
+//!
+//! ```
+//! use ard_netsim::fault::{FaultPlan, FaultScheduler};
+//! use ard_netsim::{FifoScheduler, NodeId, Scheduler};
+//!
+//! let plan = FaultPlan::new(7).with_drop(0.5);
+//! let mut sched = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+//! sched.note_wake(NodeId::new(0));
+//! assert!(sched.choose().is_some());
+//! ```
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scheduler::{Choice, Scheduler, SendToken};
+use crate::NodeId;
+
+/// Per-link override of the global drop/duplicate probabilities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Sender side of the link.
+    pub src: NodeId,
+    /// Receiver side of the link.
+    pub dst: NodeId,
+    /// Probability a message sent on this link is dropped.
+    pub drop: f64,
+    /// Probability a delivered-bound message on this link is duplicated.
+    pub dup: f64,
+}
+
+/// A network partition over a window of choice indices: while active,
+/// every message crossing the cut (exactly one endpoint in `left`) is
+/// dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the cut; everything else is the other side.
+    pub left: Vec<NodeId>,
+    /// First choice index at which the partition is active.
+    pub from: u64,
+    /// First choice index at which it is no longer active (exclusive).
+    pub until: u64,
+}
+
+/// A crash/restart pair: the node goes down at choice index `at` and comes
+/// back `restart_after` choices later.
+///
+/// Crashes always pair with a restart: a permanently-dead node plus a
+/// retransmitting sender is a livelock by construction, and the paper's
+/// requirements are only claimed for nodes that participate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Choice index at which the crash fires.
+    pub at: u64,
+    /// Choices between the crash and its restart (≥ 1).
+    pub restart_after: u64,
+}
+
+/// A seeded, declarative fault policy.
+///
+/// Built with the `with_*` combinators; executed by [`FaultScheduler`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG (independent of any scheduler seed).
+    pub seed: u64,
+    /// Global per-message drop probability (`0.0 ≤ p < 1.0`).
+    pub drop: f64,
+    /// Global per-message duplicate probability (`0.0 ≤ p < 1.0`).
+    pub dup: f64,
+    /// Per-link probability overrides (first match wins).
+    pub links: Vec<LinkFault>,
+    /// Partition windows.
+    pub partitions: Vec<Partition>,
+    /// Crash/restart events.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    fn check_prob(p: f64, what: &str) {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "{what} probability {p} must be in [0, 1): at rate 1 no message ever \
+             arrives and no retransmission strategy can terminate"
+        );
+    }
+
+    /// Sets the global drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ p < 1.0`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        Self::check_prob(p, "drop");
+        self.drop = p;
+        self
+    }
+
+    /// Sets the global duplicate probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ p < 1.0`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        Self::check_prob(p, "duplicate");
+        self.dup = p;
+        self
+    }
+
+    /// Overrides the probabilities of one directed link.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `[0, 1)`.
+    pub fn with_link(mut self, src: NodeId, dst: NodeId, drop: f64, dup: f64) -> Self {
+        Self::check_prob(drop, "drop");
+        Self::check_prob(dup, "duplicate");
+        self.links.push(LinkFault {
+            src,
+            dst,
+            drop,
+            dup,
+        });
+        self
+    }
+
+    /// Partitions `left` from the rest of the network over the choice-index
+    /// window `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn with_partition(mut self, left: Vec<NodeId>, from: u64, until: u64) -> Self {
+        assert!(from < until, "partition window [{from}, {until}) is empty");
+        self.partitions.push(Partition { left, from, until });
+        self
+    }
+
+    /// Crashes `node` at choice index `at`, restarting it `restart_after`
+    /// choices later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_after == 0` (crash and restart must be distinct
+    /// choices).
+    pub fn with_crash(mut self, node: NodeId, at: u64, restart_after: u64) -> Self {
+        assert!(restart_after >= 1, "a crash needs a later restart");
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_after,
+        });
+        self
+    }
+
+    /// Adds `count` crash/restart events spread over distinct-ish nodes of
+    /// an `n`-node network, derived deterministically from the plan seed —
+    /// the `--faults crash=N` convenience.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` and `count > 0`.
+    pub fn with_spread_crashes(mut self, count: usize, n: usize) -> Self {
+        if count > 0 {
+            assert!(n > 0, "cannot crash nodes in an empty network");
+        }
+        let mut x = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for k in 0..count {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let node = NodeId::new(((x >> 33) as usize) % n);
+            self = self.with_crash(node, 20 + 40 * k as u64, 25);
+        }
+        self
+    }
+
+    /// Whether the plan injects nothing (equivalent to no plan at all).
+    pub fn is_vacuous(&self) -> bool {
+        self.drop == 0.0
+            && self.dup == 0.0
+            && self.links.iter().all(|l| l.drop == 0.0 && l.dup == 0.0)
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// The drop/duplicate probabilities in force on `src → dst`.
+    fn probs(&self, src: NodeId, dst: NodeId) -> (f64, f64) {
+        match self.links.iter().find(|l| l.src == src && l.dst == dst) {
+            Some(l) => (l.drop, l.dup),
+            None => (self.drop, self.dup),
+        }
+    }
+
+    /// Whether an active partition window severs `src → dst` at `index`.
+    fn partitioned(&self, src: NodeId, dst: NodeId, index: u64) -> bool {
+        self.partitions.iter().any(|p| {
+            (p.from..p.until).contains(&index)
+                && (p.left.contains(&src) != p.left.contains(&dst))
+        })
+    }
+
+    /// The crash/restart events as `(choice index, choice)` pairs, sorted
+    /// by index (stable, so simultaneous events keep declaration order).
+    fn timeline(&self) -> VecDeque<(u64, Choice)> {
+        let mut events: Vec<(u64, Choice)> = Vec::with_capacity(2 * self.crashes.len());
+        for c in &self.crashes {
+            events.push((c.at, Choice::Crash(c.node)));
+            events.push((c.at + c.restart_after, Choice::Restart(c.node)));
+        }
+        events.sort_by_key(|&(at, _)| at);
+        events.into()
+    }
+}
+
+/// Wraps any scheduler and injects the faults a [`FaultPlan`] prescribes,
+/// as explicit choices in the schedule.
+///
+/// With `plan = None` the wrapper is fully transparent — same choices,
+/// same order, zero RNG draws — so callers can wrap unconditionally and
+/// keep a single code path (the explorer does exactly this).
+///
+/// Mechanics: a message's fate is drawn when its send is announced. A
+/// doomed send's token is withheld from the inner scheduler and a
+/// [`Choice::Drop`] is queued instead; a duplicated send forwards its
+/// token *and* queues a [`Choice::Duplicate`]. Queued fault choices and
+/// due crash/restart events fire before inner choices; crash events that
+/// are not yet due when the inner scheduler quiesces fire then, so every
+/// crash always gets its restart and the run still terminates.
+#[derive(Debug)]
+pub struct FaultScheduler<S> {
+    inner: S,
+    plan: Option<FaultPlan>,
+    rng: StdRng,
+    /// Fault choices injected by send fates, FIFO.
+    injected: VecDeque<Choice>,
+    /// Crash/restart timeline, sorted by choice index.
+    events: VecDeque<(u64, Choice)>,
+    /// Number of choices returned so far (the plan's time axis).
+    choice_index: u64,
+}
+
+impl<S: Scheduler> FaultScheduler<S> {
+    /// Wraps `inner` under `plan`, seeding the fault RNG from the plan.
+    pub fn new(inner: S, plan: Option<FaultPlan>) -> Self {
+        let seed = plan.as_ref().map_or(0, |p| p.seed);
+        Self::seeded(inner, plan, seed)
+    }
+
+    /// Wraps `inner` under `plan` with an explicit fault-RNG seed (the
+    /// explorer's random-walk phase varies the seed per walk while keeping
+    /// one plan).
+    pub fn seeded(inner: S, plan: Option<FaultPlan>, seed: u64) -> Self {
+        let events = plan.as_ref().map(FaultPlan::timeline).unwrap_or_default();
+        FaultScheduler {
+            inner,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            injected: VecDeque::new(),
+            events,
+            choice_index: 0,
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner scheduler.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn bump(&mut self, choice: Choice) -> Option<Choice> {
+        self.choice_index += 1;
+        Some(choice)
+    }
+}
+
+impl<S: Scheduler> Scheduler for FaultScheduler<S> {
+    fn note_wake(&mut self, node: NodeId) {
+        self.inner.note_wake(node);
+    }
+
+    fn note_send(&mut self, token: SendToken) {
+        let Some(plan) = &self.plan else {
+            self.inner.note_send(token);
+            return;
+        };
+        let (src, dst) = (token.src, token.dst);
+        if plan.partitioned(src, dst, self.choice_index) {
+            self.injected.push_back(Choice::Drop { src, dst });
+            return;
+        }
+        let (p_drop, p_dup) = plan.probs(src, dst);
+        if p_drop > 0.0 && self.rng.gen::<f64>() < p_drop {
+            self.injected.push_back(Choice::Drop { src, dst });
+            return;
+        }
+        self.inner.note_send(token);
+        // A duplicate's copy is announced via note_send again when the
+        // Duplicate choice executes, so its fate is drawn afresh: k extra
+        // copies arise with probability dup^k (geometric), never unbounded.
+        if p_dup > 0.0 && self.rng.gen::<f64>() < p_dup {
+            self.injected.push_back(Choice::Duplicate { src, dst });
+        }
+    }
+
+    fn note_tick(&mut self, node: NodeId) {
+        self.inner.note_tick(node);
+    }
+
+    fn choose(&mut self) -> Option<Choice> {
+        // Due crash/restart events fire first, then queued link faults,
+        // then the inner scheduler.
+        if let Some(&(at, choice)) = self.events.front() {
+            if at <= self.choice_index {
+                self.events.pop_front();
+                return self.bump(choice);
+            }
+        }
+        if let Some(choice) = self.injected.pop_front() {
+            return self.bump(choice);
+        }
+        if let Some(choice) = self.inner.choose() {
+            return self.bump(choice);
+        }
+        // Inner quiescence: flush not-yet-due events so every crash gets
+        // its restart (a restart may un-quiesce the network again).
+        if let Some((_, choice)) = self.events.pop_front() {
+            return self.bump(choice);
+        }
+        None
+    }
+
+    fn pending(&self) -> usize {
+        self.inner.pending() + self.injected.len() + self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FifoScheduler, SendToken};
+
+    fn token(src: usize, dst: usize, seq: u64) -> SendToken {
+        SendToken {
+            src: NodeId::new(src),
+            dst: NodeId::new(dst),
+            seq,
+            kind: "t",
+        }
+    }
+
+    #[test]
+    fn no_plan_is_fully_transparent() {
+        let run = |faulty: bool| {
+            let mut plain = FifoScheduler::new();
+            let mut wrapped = FaultScheduler::new(FifoScheduler::new(), None);
+            let feed = |s: &mut dyn Scheduler| {
+                s.note_wake(NodeId::new(0));
+                s.note_send(token(0, 1, 0));
+                s.note_tick(NodeId::new(1));
+            };
+            let drain = |s: &mut dyn Scheduler| {
+                let mut out = Vec::new();
+                while let Some(c) = s.choose() {
+                    out.push(c);
+                }
+                out
+            };
+            if faulty {
+                feed(&mut wrapped);
+                drain(&mut wrapped)
+            } else {
+                feed(&mut plain);
+                drain(&mut plain)
+            }
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drop_rate_one_half_drops_about_half() {
+        let plan = FaultPlan::new(3).with_drop(0.5);
+        let mut s = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+        for i in 0..200 {
+            s.note_send(token(0, 1, i));
+        }
+        let mut drops = 0;
+        let mut delivers = 0;
+        while let Some(c) = s.choose() {
+            match c {
+                Choice::Drop { .. } => drops += 1,
+                Choice::Deliver { .. } => delivers += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(drops + delivers, 200);
+        assert!((60..140).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn fates_are_seed_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(9).with_drop(0.3).with_dup(0.2);
+            let mut s = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+            for i in 0..50 {
+                s.note_send(token(i % 4, (i + 1) % 4, i as u64));
+            }
+            let mut out = Vec::new();
+            while let Some(c) = s.choose() {
+                out.push(c);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partition_window_drops_crossing_messages_only() {
+        let plan = FaultPlan::new(0).with_partition(vec![NodeId::new(0)], 0, 1_000);
+        let mut s = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+        s.note_send(token(0, 1, 0)); // crosses the cut → dropped
+        s.note_send(token(1, 2, 1)); // stays on the right side → delivered
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Drop {
+                src: NodeId::new(0),
+                dst: NodeId::new(1)
+            })
+        );
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Deliver {
+                src: NodeId::new(1),
+                dst: NodeId::new(2)
+            })
+        );
+        assert_eq!(s.choose(), None);
+    }
+
+    #[test]
+    fn crash_events_fire_in_order_and_flush_at_quiescence() {
+        // Crash at index 1, restart 3 later — but the network quiesces
+        // after two choices, so the restart flushes at quiescence.
+        let plan = FaultPlan::new(0).with_crash(NodeId::new(2), 1, 3);
+        let mut s = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+        s.note_wake(NodeId::new(0));
+        s.note_wake(NodeId::new(1));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
+        assert_eq!(s.choose(), Some(Choice::Crash(NodeId::new(2))));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(1))));
+        assert_eq!(s.choose(), Some(Choice::Restart(NodeId::new(2))));
+        assert_eq!(s.choose(), None);
+    }
+
+    #[test]
+    fn duplicate_choice_follows_the_forwarded_token() {
+        let plan = FaultPlan::new(1).with_dup(0.999_999);
+        let mut s = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+        s.note_send(token(0, 1, 0));
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Duplicate {
+                src: NodeId::new(0),
+                dst: NodeId::new(1)
+            })
+        );
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn link_overrides_beat_the_global_rates() {
+        let plan = FaultPlan::new(0)
+            .with_drop(0.9)
+            .with_link(NodeId::new(0), NodeId::new(1), 0.0, 0.0);
+        let mut s = FaultScheduler::new(FifoScheduler::new(), Some(plan));
+        for i in 0..50 {
+            s.note_send(token(0, 1, i));
+        }
+        let mut delivers = 0;
+        while let Some(c) = s.choose() {
+            assert!(matches!(c, Choice::Deliver { .. }));
+            delivers += 1;
+        }
+        assert_eq!(delivers, 50);
+    }
+
+    #[test]
+    fn spread_crashes_always_pair_restarts() {
+        let plan = FaultPlan::new(5).with_spread_crashes(3, 8);
+        assert_eq!(plan.crashes.len(), 3);
+        for c in &plan.crashes {
+            assert!(c.restart_after >= 1);
+            assert!(c.node.index() < 8);
+        }
+        assert!(!plan.is_vacuous());
+        assert!(FaultPlan::new(5).is_vacuous());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn full_loss_is_rejected() {
+        let _ = FaultPlan::new(0).with_drop(1.0);
+    }
+}

@@ -74,6 +74,7 @@ mod bitset;
 mod context;
 mod envelope;
 pub mod explore;
+pub mod fault;
 mod id;
 mod metrics;
 pub mod record;
@@ -86,8 +87,9 @@ pub mod trace;
 pub use bitset::BitSet;
 pub use context::Context;
 pub use envelope::Envelope;
+pub use fault::{FaultPlan, FaultScheduler};
 pub use id::NodeId;
-pub use metrics::{KindCounts, Metrics};
+pub use metrics::{FaultCounts, KindCounts, Metrics};
 pub use record::{RecordingScheduler, ReplayScheduler, Schedule, ScheduleParseError};
 pub use runner::{LivelockError, Protocol, Runner};
 pub use scheduler::{

@@ -11,6 +11,40 @@ pub struct KindCounts {
     pub max_bits: u64,
 }
 
+/// Per-fault counters of a run under fault injection.
+///
+/// All zeros for a fault-free run; [`Metrics`]' `Display` only prints the
+/// fault line when at least one counter is nonzero, so fault-free output is
+/// byte-identical to builds without fault injection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Messages dropped by an injected link fault.
+    pub drops: u64,
+    /// Messages duplicated by an injected link fault.
+    pub duplicates: u64,
+    /// Node crash events executed.
+    pub crashes: u64,
+    /// Node restart events executed.
+    pub restarts: u64,
+    /// Timer ticks fired on live nodes.
+    pub ticks: u64,
+    /// Events (deliveries, wake-ups, ticks) discarded because the target
+    /// node was crashed.
+    pub crash_discards: u64,
+}
+
+impl FaultCounts {
+    /// Whether any fault was observed.
+    pub fn any(&self) -> bool {
+        self.drops != 0
+            || self.duplicates != 0
+            || self.crashes != 0
+            || self.restarts != 0
+            || self.ticks != 0
+            || self.crash_discards != 0
+    }
+}
+
 /// Accumulated communication cost of a simulation run.
 ///
 /// Costs are charged at *send* time (the paper counts messages sent; in a
@@ -45,6 +79,7 @@ pub struct Metrics {
     wakeups: u64,
     max_causal_depth: u64,
     max_link_queue: usize,
+    faults: FaultCounts,
 }
 
 impl Metrics {
@@ -107,6 +142,35 @@ impl Metrics {
 
     pub(crate) fn observe_link_queue(&mut self, len: usize) {
         self.max_link_queue = self.max_link_queue.max(len);
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.faults.drops += 1;
+    }
+
+    pub(crate) fn record_duplicate(&mut self) {
+        self.faults.duplicates += 1;
+    }
+
+    pub(crate) fn record_crash(&mut self) {
+        self.faults.crashes += 1;
+    }
+
+    pub(crate) fn record_restart(&mut self) {
+        self.faults.restarts += 1;
+    }
+
+    pub(crate) fn record_tick(&mut self) {
+        self.faults.ticks += 1;
+    }
+
+    pub(crate) fn record_crash_discard(&mut self) {
+        self.faults.crash_discards += 1;
+    }
+
+    /// Per-fault counters (all zero on a fault-free run).
+    pub fn faults(&self) -> FaultCounts {
+        self.faults
     }
 
     /// Total messages sent, over all kinds.
@@ -183,6 +247,18 @@ impl fmt::Display for Metrics {
                 f,
                 "  {:<14} {:>10} msgs {:>14} bits",
                 kind, counts.messages, counts.bits
+            )?;
+        }
+        if self.faults.any() {
+            writeln!(
+                f,
+                "faults: {} drops, {} dups, {} crashes, {} restarts, {} ticks, {} crash-discards",
+                self.faults.drops,
+                self.faults.duplicates,
+                self.faults.crashes,
+                self.faults.restarts,
+                self.faults.ticks,
+                self.faults.crash_discards
             )?;
         }
         Ok(())

@@ -29,7 +29,18 @@
 //!   rest of the line;
 //! * `w <node>` wakes node `<node>`;
 //! * `d <src> <dst>` delivers the oldest in-flight message on the link
-//!   `src → dst` (per-link FIFO makes the token unambiguous).
+//!   `src → dst` (per-link FIFO makes the token unambiguous);
+//! * `x <src> <dst>` drops the oldest in-flight message on `src → dst`
+//!   (an injected link fault);
+//! * `u <src> <dst>` duplicates the oldest in-flight message on
+//!   `src → dst` (a copy joins the queue tail);
+//! * `c <node>` crashes node `<node>`; `r <node>` restarts it;
+//! * `t <node>` fires a timer tick node `<node>` armed.
+//!
+//! The fault directives exist so that runs under
+//! [`fault::FaultScheduler`](crate::fault::FaultScheduler) record *complete*
+//! executions: replaying a fault schedule needs no fault machinery at all —
+//! the recorded `x`/`u`/`c`/`r`/`t` choices drive the runner directly.
 //!
 //! # Example
 //!
@@ -146,6 +157,21 @@ impl Schedule {
                 Choice::Deliver { src, dst } => {
                     out.push_str(&format!("d {} {}\n", src.index(), dst.index()));
                 }
+                Choice::Drop { src, dst } => {
+                    out.push_str(&format!("x {} {}\n", src.index(), dst.index()));
+                }
+                Choice::Duplicate { src, dst } => {
+                    out.push_str(&format!("u {} {}\n", src.index(), dst.index()));
+                }
+                Choice::Crash(node) => {
+                    out.push_str(&format!("c {}\n", node.index()));
+                }
+                Choice::Restart(node) => {
+                    out.push_str(&format!("r {}\n", node.index()));
+                }
+                Choice::Tick(node) => {
+                    out.push_str(&format!("t {}\n", node.index()));
+                }
             }
         }
         out
@@ -195,36 +221,43 @@ impl Schedule {
                     };
                     schedule.meta.insert(key.to_string(), value.to_string());
                 }
-                "w" => {
+                d @ ("w" | "c" | "r" | "t") => {
                     let node = parts
                         .next()
-                        .ok_or_else(|| fail(line, "w needs a node".to_string()))?;
+                        .ok_or_else(|| fail(line, format!("{d} needs a node")))?;
                     if parts.next().is_some() {
-                        return Err(fail(line, "w takes exactly one operand".to_string()));
+                        return Err(fail(line, format!("{d} takes exactly one operand")));
                     }
-                    schedule
-                        .choices
-                        .push(Choice::Wake(parse_node(line, node, "wake node")?));
+                    let node = parse_node(line, node, "node")?;
+                    schedule.choices.push(match d {
+                        "w" => Choice::Wake(node),
+                        "c" => Choice::Crash(node),
+                        "r" => Choice::Restart(node),
+                        _ => Choice::Tick(node),
+                    });
                 }
-                "d" => {
+                d @ ("d" | "x" | "u") => {
                     let src = parts
                         .next()
-                        .ok_or_else(|| fail(line, "d needs src and dst".to_string()))?;
+                        .ok_or_else(|| fail(line, format!("{d} needs src and dst")))?;
                     let dst = parts
                         .next()
-                        .ok_or_else(|| fail(line, "d needs src and dst".to_string()))?;
+                        .ok_or_else(|| fail(line, format!("{d} needs src and dst")))?;
                     if parts.next().is_some() {
-                        return Err(fail(line, "d takes exactly two operands".to_string()));
+                        return Err(fail(line, format!("{d} takes exactly two operands")));
                     }
-                    schedule.choices.push(Choice::Deliver {
-                        src: parse_node(line, src, "deliver src")?,
-                        dst: parse_node(line, dst, "deliver dst")?,
+                    let src = parse_node(line, src, "src")?;
+                    let dst = parse_node(line, dst, "dst")?;
+                    schedule.choices.push(match d {
+                        "d" => Choice::Deliver { src, dst },
+                        "x" => Choice::Drop { src, dst },
+                        _ => Choice::Duplicate { src, dst },
                     });
                 }
                 other => {
                     return Err(fail(
                         line,
-                        format!("unknown directive `{other}` (expected meta, w or d)"),
+                        format!("unknown directive `{other}` (expected meta, w, d, x, u, c, r or t)"),
                     ))
                 }
             }
@@ -298,6 +331,9 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
     }
     fn note_send(&mut self, token: SendToken) {
         self.inner.note_send(token);
+    }
+    fn note_tick(&mut self, node: NodeId) {
+        self.inner.note_tick(node);
     }
     fn choose(&mut self) -> Option<Choice> {
         let choice = self.inner.choose();
@@ -376,8 +412,25 @@ impl ReplayScheduler {
         self.skipped
     }
 
-    fn enabled_at(&self, choice: Choice) -> Option<usize> {
-        self.pending.iter().position(|&p| p == choice)
+    /// Whether `choice` is enabled against the current token multiset, and
+    /// if so which pending entry it consumes (`None` for token-free
+    /// choices like crash/restart).
+    ///
+    /// Fault choices map onto *delivery* tokens: a recorded drop or
+    /// duplicate of `src → dst` is enabled exactly when a message is in
+    /// flight on that link. A drop consumes the token (the message is
+    /// gone); a duplicate leaves it (the runner re-announces the copy via
+    /// `note_send`, growing the multiset by one).
+    fn enabledness(&self, choice: Choice) -> Result<Option<usize>, ()> {
+        let find = |want: Choice| self.pending.iter().position(|&p| p == want).ok_or(());
+        match choice {
+            Choice::Wake(_) | Choice::Deliver { .. } | Choice::Tick(_) => {
+                find(choice).map(Some)
+            }
+            Choice::Drop { src, dst } => find(Choice::Deliver { src, dst }).map(Some),
+            Choice::Duplicate { src, dst } => find(Choice::Deliver { src, dst }).map(|_| None),
+            Choice::Crash(_) | Choice::Restart(_) => Ok(None),
+        }
     }
 }
 
@@ -391,23 +444,28 @@ impl Scheduler for ReplayScheduler {
             dst: token.dst,
         });
     }
+    fn note_tick(&mut self, node: NodeId) {
+        self.pending.push_back(Choice::Tick(node));
+    }
     fn choose(&mut self) -> Option<Choice> {
         while self.cursor < self.choices.len() {
             let choice = self.choices[self.cursor];
-            match self.enabled_at(choice) {
-                Some(i) => {
+            match self.enabledness(choice) {
+                Ok(consumes) => {
                     self.cursor += 1;
-                    self.pending.remove(i);
+                    if let Some(i) = consumes {
+                        self.pending.remove(i);
+                    }
                     return Some(choice);
                 }
-                None if self.strict => panic!(
+                Err(()) if self.strict => panic!(
                     "replay divergence at event {}: recorded choice {choice:?} is not \
                      pending ({} live tokens: {:?})",
                     self.cursor,
                     self.pending.len(),
                     self.pending.iter().take(8).collect::<Vec<_>>(),
                 ),
-                None => {
+                Err(()) => {
                     self.cursor += 1;
                     self.skipped += 1;
                 }
@@ -465,12 +523,16 @@ mod tests {
         for (text, needle) in [
             ("", "empty"),
             ("ard-schedule v2\nw 0\n", "expected header"),
-            ("ard-schedule v1\nx 0\n", "unknown directive"),
+            ("ard-schedule v1\nq 0\n", "unknown directive"),
             ("ard-schedule v1\nw\n", "needs a node"),
             ("ard-schedule v1\nw zero\n", "not a node index"),
             ("ard-schedule v1\nd 0\n", "needs src and dst"),
             ("ard-schedule v1\nd 0 1 2\n", "exactly two"),
             ("ard-schedule v1\nw 0 0\n", "exactly one"),
+            ("ard-schedule v1\nx 0\n", "needs src and dst"),
+            ("ard-schedule v1\nu 0 1 2\n", "exactly two"),
+            ("ard-schedule v1\nc\n", "needs a node"),
+            ("ard-schedule v1\nt 0 0\n", "exactly one"),
         ] {
             let err = Schedule::parse(text).unwrap_err();
             assert!(err.to_string().contains(needle), "{text:?}: {err}");

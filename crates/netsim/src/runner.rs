@@ -61,6 +61,20 @@ pub trait Protocol {
         msg: Self::Message,
         ctx: &mut Context<'_, Self::Message>,
     );
+
+    /// Called when a timer tick armed via [`Context::arm_tick`] fires.
+    ///
+    /// Ticks model scheduler-driven virtual time for timeout logic (e.g.
+    /// retransmission). They may fire spuriously; the default does nothing.
+    fn on_tick(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called when the node restarts after a crash, with its protocol state
+    /// intact (durable state model). The default does nothing.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
 }
 
 /// Error returned by [`Runner::run`] when the step budget is exhausted
@@ -109,6 +123,7 @@ pub struct Runner<P: Protocol> {
     links: Vec<LinkQueue<P::Message>>,
     awake: Vec<bool>,
     wake_enqueued: Vec<bool>,
+    crashed: Vec<bool>,
     metrics: Metrics,
     seq: u64,
     steps: u64,
@@ -159,6 +174,7 @@ impl<P: Protocol> Runner<P> {
             links: Vec::new(),
             awake: vec![false; n],
             wake_enqueued: vec![false; n],
+            crashed: vec![false; n],
             metrics: Metrics::new(id_bits),
             seq: 0,
             steps: 0,
@@ -258,12 +274,19 @@ impl<P: Protocol> Runner<P> {
         self.knowledge.push(set);
         self.awake.push(false);
         self.wake_enqueued.push(false);
+        self.crashed.push(false);
         id
     }
 
     /// Whether the node has woken up.
     pub fn is_awake(&self, id: NodeId) -> bool {
         self.awake[id.index()]
+    }
+
+    /// Whether the node is currently crashed (between a
+    /// [`Choice::Crash`] and its [`Choice::Restart`]).
+    pub fn is_crashed(&self, id: NodeId) -> bool {
+        self.crashed[id.index()]
     }
 
     /// Enqueues a wake-up event for `node`; the scheduler decides when it
@@ -304,9 +327,34 @@ impl<P: Protocol> Runner<P> {
         let mut outbox = std::mem::take(&mut self.outbox);
         let mut ctx = Context::new(node, &mut outbox);
         let r = f(&mut self.nodes[node.index()], &mut ctx);
+        let tick = ctx.tick_armed();
         self.outbox = outbox;
         self.flush(node, 1, sched);
+        if tick {
+            sched.note_tick(node);
+        }
         r
+    }
+
+    /// Runs a handler against `node` with a live [`Context`], flushes its
+    /// sends at `depth`, and forwards any armed tick to the scheduler.
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        depth: u64,
+        sched: &mut dyn Scheduler,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Message>),
+    ) {
+        debug_assert!(self.outbox.is_empty());
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut ctx = Context::new(node, &mut outbox);
+        f(&mut self.nodes[node.index()], &mut ctx);
+        let tick = ctx.tick_armed();
+        self.outbox = outbox;
+        self.flush(node, depth, sched);
+        if tick {
+            sched.note_tick(node);
+        }
     }
 
     fn wake_inner(&mut self, node: NodeId, depth: u64, sched: &mut dyn Scheduler) {
@@ -323,12 +371,7 @@ impl<P: Protocol> Runner<P> {
                 step: self.steps,
             });
         }
-        debug_assert!(self.outbox.is_empty());
-        let mut outbox = std::mem::take(&mut self.outbox);
-        let mut ctx = Context::new(node, &mut outbox);
-        self.nodes[i].on_wake(&mut ctx);
-        self.outbox = outbox;
-        self.flush(node, depth + 1, sched);
+        self.dispatch(node, depth + 1, sched, |n, ctx| n.on_wake(ctx));
     }
 
     /// Flushes the outbox of `src`: enforces the knowledge constraint,
@@ -378,6 +421,17 @@ impl<P: Protocol> Runner<P> {
         }
     }
 
+    /// Removes the oldest in-flight message on `src → dst`.
+    fn pop_link(&mut self, src: NodeId, dst: NodeId) -> (P::Message, u64) {
+        let slot = *self
+            .link_slots
+            .get(&link_key(src, dst))
+            .unwrap_or_else(|| panic!("scheduler bug: no pending messages on {src} → {dst}"));
+        self.links[slot as usize]
+            .pop_front()
+            .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"))
+    }
+
     /// Executes one scheduler-chosen event. Returns `false` when quiescent.
     ///
     /// # Panics
@@ -389,19 +443,32 @@ impl<P: Protocol> Runner<P> {
             None => false,
             Some(Choice::Wake(node)) => {
                 self.steps += 1;
+                if self.crashed[node.index()] {
+                    // A crashed node loses its pending wake-up; Restart
+                    // re-enqueues one so the node is not stranded asleep.
+                    self.wake_enqueued[node.index()] = false;
+                    self.metrics.record_crash_discard();
+                    return true;
+                }
                 self.wake_inner(node, 0, sched);
                 true
             }
             Some(Choice::Deliver { src, dst }) => {
                 self.steps += 1;
-                let (msg, depth) = {
-                    let slot = *self.link_slots.get(&link_key(src, dst)).unwrap_or_else(|| {
-                        panic!("scheduler bug: no pending messages on {src} → {dst}")
-                    });
-                    self.links[slot as usize]
-                        .pop_front()
-                        .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"))
-                };
+                let (msg, depth) = self.pop_link(src, dst);
+                if self.crashed[dst.index()] {
+                    // Delivery to a crashed node: the message is lost.
+                    self.metrics.record_crash_discard();
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent::Drop {
+                            src,
+                            dst,
+                            kind: msg.kind(),
+                            step: self.steps,
+                        });
+                    }
+                    return true;
+                }
                 self.metrics.record_delivery(depth);
                 if let Some(trace) = &mut self.trace {
                     trace.push(TraceEvent::Deliver {
@@ -424,12 +491,108 @@ impl<P: Protocol> Runner<P> {
                 if !self.awake[dst.index()] {
                     self.wake_inner(dst, depth, sched);
                 }
-                debug_assert!(self.outbox.is_empty());
-                let mut outbox = std::mem::take(&mut self.outbox);
-                let mut ctx = Context::new(dst, &mut outbox);
-                self.nodes[dst.index()].on_message(src, msg, &mut ctx);
-                self.outbox = outbox;
-                self.flush(dst, depth + 1, sched);
+                self.dispatch(dst, depth + 1, sched, |node, ctx| {
+                    node.on_message(src, msg, ctx);
+                });
+                true
+            }
+            Some(Choice::Drop { src, dst }) => {
+                self.steps += 1;
+                let (msg, _depth) = self.pop_link(src, dst);
+                self.metrics.record_drop();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Drop {
+                        src,
+                        dst,
+                        kind: msg.kind(),
+                        step: self.steps,
+                    });
+                }
+                true
+            }
+            Some(Choice::Duplicate { src, dst }) => {
+                self.steps += 1;
+                let slot = *self.link_slots.get(&link_key(src, dst)).unwrap_or_else(|| {
+                    panic!("scheduler bug: no pending messages on {src} → {dst}")
+                });
+                let queue = &mut self.links[slot as usize];
+                let (msg, depth) = queue
+                    .front()
+                    .cloned()
+                    .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"));
+                let kind = msg.kind();
+                queue.push_back((msg, depth));
+                let queue_len = queue.len();
+                self.metrics.observe_link_queue(queue_len);
+                self.metrics.record_duplicate();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Duplicate {
+                        src,
+                        dst,
+                        kind,
+                        step: self.steps,
+                    });
+                }
+                // The copy gets its own token (and thus its own delivery
+                // choice); it is metered only as a fault, not per kind.
+                let token = SendToken {
+                    src,
+                    dst,
+                    seq: self.seq,
+                    kind,
+                };
+                self.seq += 1;
+                sched.note_send(token);
+                true
+            }
+            Some(Choice::Crash(node)) => {
+                self.steps += 1;
+                self.crashed[node.index()] = true;
+                self.metrics.record_crash();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Crash {
+                        node,
+                        step: self.steps,
+                    });
+                }
+                true
+            }
+            Some(Choice::Restart(node)) => {
+                self.steps += 1;
+                let i = node.index();
+                self.crashed[i] = false;
+                self.metrics.record_restart();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Restart {
+                        node,
+                        step: self.steps,
+                    });
+                }
+                if self.awake[i] {
+                    self.dispatch(node, 1, sched, |n, ctx| n.on_restart(ctx));
+                } else if !self.wake_enqueued[i] {
+                    // The node's wake-up was discarded while it was down:
+                    // re-enqueue it so liveness survives the crash window.
+                    self.wake_enqueued[i] = true;
+                    sched.note_wake(node);
+                }
+                true
+            }
+            Some(Choice::Tick(node)) => {
+                self.steps += 1;
+                if self.crashed[node.index()] || !self.awake[node.index()] {
+                    // A tick armed before the crash fires into the void.
+                    self.metrics.record_crash_discard();
+                    return true;
+                }
+                self.metrics.record_tick();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Tick {
+                        node,
+                        step: self.steps,
+                    });
+                }
+                self.dispatch(node, 1, sched, |n, ctx| n.on_tick(ctx));
                 true
             }
         }

@@ -35,6 +35,29 @@ pub enum Choice {
         /// Receiver side of the link.
         dst: NodeId,
     },
+    /// Drop the oldest in-flight message on the link `src → dst` (fault).
+    Drop {
+        /// Sender side of the link.
+        src: NodeId,
+        /// Receiver side of the link.
+        dst: NodeId,
+    },
+    /// Duplicate the oldest in-flight message on the link `src → dst`
+    /// (fault): a copy is appended behind the current queue tail.
+    Duplicate {
+        /// Sender side of the link.
+        src: NodeId,
+        /// Receiver side of the link.
+        dst: NodeId,
+    },
+    /// Crash the given node: its in-flight deliveries, wake-ups and timer
+    /// ticks are discarded until a matching [`Choice::Restart`].
+    Crash(NodeId),
+    /// Restart a crashed node with its durable protocol state intact.
+    Restart(NodeId),
+    /// Fire the timer tick the given node armed via
+    /// [`Context::arm_tick`](crate::Context::arm_tick).
+    Tick(NodeId),
 }
 
 /// Message-delay and wake-up-order policy: the "adversary" of the
@@ -58,6 +81,8 @@ pub trait Scheduler {
     fn note_wake(&mut self, node: NodeId);
     /// Observes a message being sent.
     fn note_send(&mut self, token: SendToken);
+    /// Observes a node arming a timer tick (a local event, like a wake-up).
+    fn note_tick(&mut self, node: NodeId);
     /// Picks the next event, or `None` if the network is quiescent.
     fn choose(&mut self) -> Option<Choice>;
     /// Number of pending tokens (wake-ups plus messages).
@@ -70,6 +95,9 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     }
     fn note_send(&mut self, token: SendToken) {
         (**self).note_send(token);
+    }
+    fn note_tick(&mut self, node: NodeId) {
+        (**self).note_tick(node);
     }
     fn choose(&mut self) -> Option<Choice> {
         (**self).choose()
@@ -85,6 +113,9 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn note_send(&mut self, token: SendToken) {
         (**self).note_send(token);
+    }
+    fn note_tick(&mut self, node: NodeId) {
+        (**self).note_tick(node);
     }
     fn choose(&mut self) -> Option<Choice> {
         (**self).choose()
@@ -138,6 +169,9 @@ impl Scheduler for FifoScheduler {
     fn note_send(&mut self, token: SendToken) {
         self.queue.push_back(token_choice(token));
     }
+    fn note_tick(&mut self, node: NodeId) {
+        self.queue.push_back(Choice::Tick(node));
+    }
     fn choose(&mut self) -> Option<Choice> {
         self.queue.pop_front()
     }
@@ -168,6 +202,16 @@ impl Scheduler for LifoScheduler {
     }
     fn note_send(&mut self, token: SendToken) {
         self.stack.push(token_choice(token));
+    }
+    fn note_tick(&mut self, node: NodeId) {
+        // Timer ticks go to the *bottom* of the stack. A retransmission
+        // timer re-arms itself from its own tick handler, so pure LIFO
+        // would pop an endless tick cascade and starve every pending
+        // delivery forever — violating the Scheduler contract (an event
+        // may be starved only while other events remain). Burying ticks
+        // keeps LIFO maximally hostile to message order while staying
+        // fair to timers.
+        self.stack.insert(0, Choice::Tick(node));
     }
     fn choose(&mut self) -> Option<Choice> {
         self.stack.pop()
@@ -217,6 +261,9 @@ impl Scheduler for RandomScheduler {
     }
     fn note_send(&mut self, token: SendToken) {
         self.pool.push(token_choice(token));
+    }
+    fn note_tick(&mut self, node: NodeId) {
+        self.pool.push(Choice::Tick(node));
     }
     fn choose(&mut self) -> Option<Choice> {
         if self.pool.is_empty() {
@@ -342,6 +389,9 @@ impl Scheduler for BoundedDelayScheduler {
     fn note_send(&mut self, token: SendToken) {
         self.insert(token_choice(token));
     }
+    fn note_tick(&mut self, node: NodeId) {
+        self.insert(Choice::Tick(node));
+    }
     fn choose(&mut self) -> Option<Choice> {
         if self.live.is_empty() {
             return None;
@@ -409,6 +459,31 @@ mod tests {
         s.note_wake(NodeId::new(1));
         assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(1))));
         assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
+    }
+
+    #[test]
+    fn lifo_keeps_ticks_below_pending_events() {
+        let mut s = LifoScheduler::new();
+        s.note_send(token(0, 1, 0));
+        s.note_tick(NodeId::new(2));
+        s.note_send(token(1, 0, 1));
+        // Both deliveries (newest first) drain before the buried tick.
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Deliver {
+                src: NodeId::new(1),
+                dst: NodeId::new(0)
+            })
+        );
+        assert_eq!(
+            s.choose(),
+            Some(Choice::Deliver {
+                src: NodeId::new(0),
+                dst: NodeId::new(1)
+            })
+        );
+        assert_eq!(s.choose(), Some(Choice::Tick(NodeId::new(2))));
+        assert_eq!(s.choose(), None);
     }
 
     #[test]

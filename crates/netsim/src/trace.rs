@@ -79,6 +79,49 @@ pub enum TraceEvent {
         /// Simulation step at which it happened.
         step: u64,
     },
+    /// A message was dropped (link fault or delivery to a crashed node).
+    Drop {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind.
+        kind: &'static str,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A message was duplicated (link fault): a copy joined the queue tail.
+    Duplicate {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind.
+        kind: &'static str,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A node crashed.
+    Crash {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A crashed node restarted.
+    Restart {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A timer tick fired on a node.
+    Tick {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -102,6 +145,25 @@ impl fmt::Display for TraceEvent {
             } => {
                 write!(f, "[{step:>6}] deliver {src} → {dst}  {kind}")
             }
+            TraceEvent::Drop {
+                src,
+                dst,
+                kind,
+                step,
+            } => {
+                write!(f, "[{step:>6}] drop    {src} → {dst}  {kind}")
+            }
+            TraceEvent::Duplicate {
+                src,
+                dst,
+                kind,
+                step,
+            } => {
+                write!(f, "[{step:>6}] dup     {src} → {dst}  {kind}")
+            }
+            TraceEvent::Crash { node, step } => write!(f, "[{step:>6}] crash   {node}"),
+            TraceEvent::Restart { node, step } => write!(f, "[{step:>6}] restart {node}"),
+            TraceEvent::Tick { node, step } => write!(f, "[{step:>6}] tick    {node}"),
         }
     }
 }
@@ -135,10 +197,14 @@ impl Trace {
     /// Events involving `node` (as waker, sender or receiver).
     pub fn involving(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
         self.events.iter().filter(move |e| match e {
-            TraceEvent::Wake { node: n, .. } => *n == node,
-            TraceEvent::Send { src, dst, .. } | TraceEvent::Deliver { src, dst, .. } => {
-                *src == node || *dst == node
-            }
+            TraceEvent::Wake { node: n, .. }
+            | TraceEvent::Crash { node: n, .. }
+            | TraceEvent::Restart { node: n, .. }
+            | TraceEvent::Tick { node: n, .. } => *n == node,
+            TraceEvent::Send { src, dst, .. }
+            | TraceEvent::Deliver { src, dst, .. }
+            | TraceEvent::Drop { src, dst, .. }
+            | TraceEvent::Duplicate { src, dst, .. } => *src == node || *dst == node,
         })
     }
 
@@ -201,7 +267,12 @@ impl Trace {
         let mut stats = TraceStats::default();
         for event in &self.events {
             match *event {
-                TraceEvent::Wake { .. } => {}
+                TraceEvent::Wake { .. }
+                | TraceEvent::Drop { .. }
+                | TraceEvent::Duplicate { .. }
+                | TraceEvent::Crash { .. }
+                | TraceEvent::Restart { .. }
+                | TraceEvent::Tick { .. } => {}
                 TraceEvent::Send { src, .. } => {
                     *stats.sends_by_node.entry(src).or_default() += 1;
                 }

@@ -23,38 +23,83 @@ pub const REPLICAS: usize = 2;
 /// consecutive ring deaths for routing).
 pub const SUCCESSOR_LIST_LEN: usize = 4;
 
+/// Why [`Overlay::fail_and_stabilize`] refused a failure pattern. The
+/// overlay is left untouched when this is returned: validation runs before
+/// any node is marked failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabilizeError {
+    /// Every member was named as failed; nothing is left to repair.
+    AllMembersFailed,
+    /// A survivor's entire successor list is dead — more than
+    /// `SUCCESSOR_LIST_LEN − 1` consecutive ring deaths, beyond the
+    /// design's tolerance envelope (as in Chord).
+    SuccessorListExhausted {
+        /// The surviving member (original id) that would be stranded.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for StabilizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StabilizeError::AllMembersFailed => {
+                f.write_str("cannot fail every member of the overlay")
+            }
+            StabilizeError::SuccessorListExhausted { node } => write!(
+                f,
+                "successor list exhausted at {node}: too many consecutive ring deaths"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StabilizeError {}
+
 impl Overlay {
     /// Marks `members` as failed (they blackhole all traffic) and repairs
     /// the ring: every live node adopts its first live successor-list entry
     /// and drops failed fingers. Returns the number of nodes repaired.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a live node's entire successor list is dead (more than
-    /// `SUCCESSOR_LIST_LEN − 1` consecutive ring deaths — beyond the
-    /// design's tolerance, as in Chord) or if every member fails.
-    pub fn fail_and_stabilize(&mut self, members: &[NodeId], _sched: &mut dyn Scheduler) -> usize {
+    /// Returns [`StabilizeError`] — and leaves the overlay untouched — if
+    /// every member fails, or if a live node's entire successor list is
+    /// dead (more than `SUCCESSOR_LIST_LEN − 1` consecutive ring deaths,
+    /// beyond the design's tolerance, as in Chord).
+    pub fn fail_and_stabilize(
+        &mut self,
+        members: &[NodeId],
+        _sched: &mut dyn Scheduler,
+    ) -> Result<usize, StabilizeError> {
         let failed_dense: BTreeSet<NodeId> = members.iter().map(|&m| self.dense_id(m)).collect();
-        assert!(
-            failed_dense.len() < self.len(),
-            "cannot fail every member of the overlay"
-        );
+        if failed_dense.len() >= self.len() {
+            return Err(StabilizeError::AllMembersFailed);
+        }
+        let live: Vec<NodeId> = (0..self.len())
+            .map(NodeId::new)
+            .filter(|d| !failed_dense.contains(d))
+            .collect();
+        // Validate before mutating: if any survivor would be stranded, the
+        // whole pattern is rejected and no node is marked failed.
+        for &d in &live {
+            if !self.runner().node(d).successor_survives(&failed_dense) {
+                return Err(StabilizeError::SuccessorListExhausted {
+                    node: self.members_vec()[d.index()],
+                });
+            }
+        }
         // Mark them failed.
         for &f in &failed_dense {
             self.runner_mut().node_mut(f).mark_failed();
         }
         // Repair the survivors.
         let mut repaired = 0;
-        let live: Vec<NodeId> = (0..self.len())
-            .map(NodeId::new)
-            .filter(|d| !failed_dense.contains(d))
-            .collect();
         for d in live {
             if self.runner_mut().node_mut(d).stabilize(&failed_dense) {
                 repaired += 1;
             }
         }
-        repaired
+        Ok(repaired)
     }
 
     /// Whether the given member has been failed.
@@ -99,7 +144,7 @@ mod tests {
         }
         // Kill one owner.
         let victim = owned[0].2;
-        overlay.fail_and_stabilize(&[victim], &mut sched);
+        overlay.fail_and_stabilize(&[victim], &mut sched).unwrap();
         // Every key is still readable from a live node.
         let reader = overlay.live_members()[0];
         for (key, value, owner) in owned {
@@ -130,7 +175,7 @@ mod tests {
         // never adjacent (the design's tolerance envelope).
         let ring_order: Vec<NodeId> = overlay.ring().members().collect();
         let victims: Vec<NodeId> = ring_order.iter().copied().step_by(6).collect();
-        overlay.fail_and_stabilize(&victims, &mut sched);
+        overlay.fail_and_stabilize(&victims, &mut sched).unwrap();
         let reader = overlay.live_members()[0];
         for (key, value) in written {
             let got = overlay.get_blocking(reader, key, &mut sched).unwrap();
@@ -145,7 +190,7 @@ mod tests {
         let mut sched = FifoScheduler::new();
         let ring_order: Vec<NodeId> = overlay.ring().members().collect();
         let victims = vec![ring_order[3], ring_order[9]];
-        overlay.fail_and_stabilize(&victims, &mut sched);
+        overlay.fail_and_stabilize(&victims, &mut sched).unwrap();
         let reader = overlay.live_members()[2];
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..30 {
@@ -165,7 +210,7 @@ mod tests {
             .put_blocking(m[0], Key::new(7), 1, &mut sched)
             .unwrap();
         let victim = overlay.ring().owner(Key::new(7));
-        overlay.fail_and_stabilize(&[victim], &mut sched);
+        overlay.fail_and_stabilize(&[victim], &mut sched).unwrap();
         // Writes continue to work, landing at the new owner.
         overlay
             .put_blocking(overlay.live_members()[0], Key::new(7), 2, &mut sched)
@@ -177,16 +222,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot fail every member")]
     fn failing_everyone_is_rejected() {
         let m = members(3);
         let mut overlay = bootstrap(&m);
         let mut sched = FifoScheduler::new();
-        overlay.fail_and_stabilize(&m, &mut sched);
+        assert_eq!(
+            overlay.fail_and_stabilize(&m, &mut sched),
+            Err(StabilizeError::AllMembersFailed)
+        );
+        assert_eq!(overlay.live_members().len(), 3, "overlay left untouched");
     }
 
     #[test]
-    #[should_panic(expected = "successor list exhausted")]
     fn too_many_consecutive_deaths_are_detected() {
         let m = members(8);
         let mut overlay = bootstrap(&m);
@@ -195,7 +242,40 @@ mod tests {
         // predecessor's whole list is dead.
         let ring_order: Vec<NodeId> = overlay.ring().members().collect();
         let victims: Vec<NodeId> = ring_order[1..=SUCCESSOR_LIST_LEN].to_vec();
-        overlay.fail_and_stabilize(&victims, &mut sched);
+        let err = overlay
+            .fail_and_stabilize(&victims, &mut sched)
+            .expect_err("over-tolerance pattern must be rejected");
+        // The stranded survivor is exactly the victims' ring predecessor.
+        assert_eq!(
+            err,
+            StabilizeError::SuccessorListExhausted { node: ring_order[0] }
+        );
+        assert!(err.to_string().contains("successor list exhausted"));
+    }
+
+    #[test]
+    fn rejected_patterns_leave_the_overlay_fully_operational() {
+        let m = members(8);
+        let mut overlay = bootstrap(&m);
+        let mut sched = FifoScheduler::new();
+        overlay
+            .put_blocking(m[0], Key::new(11), 7, &mut sched)
+            .unwrap();
+        let ring_order: Vec<NodeId> = overlay.ring().members().collect();
+        let victims: Vec<NodeId> = ring_order[1..=SUCCESSOR_LIST_LEN].to_vec();
+        assert!(overlay.fail_and_stabilize(&victims, &mut sched).is_err());
+        // Validate-then-mutate: nobody was marked failed by the rejected
+        // call, and a *tolerable* pattern still succeeds afterwards.
+        assert_eq!(overlay.live_members().len(), 8);
+        assert!(victims.iter().all(|&v| !overlay.is_failed(v)));
+        let repaired = overlay
+            .fail_and_stabilize(&[ring_order[1]], &mut sched)
+            .unwrap();
+        assert!(repaired >= 1, "the predecessor must adopt a new successor");
+        let got = overlay
+            .get_blocking(overlay.live_members()[0], Key::new(11), &mut sched)
+            .unwrap();
+        assert_eq!(got.value, Some(7));
     }
 
     #[test]
@@ -205,7 +285,9 @@ mod tests {
         let mut sched = FifoScheduler::new();
         assert_eq!(overlay.live_members().len(), 10);
         let ring_order: Vec<NodeId> = overlay.ring().members().collect();
-        overlay.fail_and_stabilize(&[ring_order[0], ring_order[5]], &mut sched);
+        overlay
+            .fail_and_stabilize(&[ring_order[0], ring_order[5]], &mut sched)
+            .unwrap();
         assert_eq!(overlay.live_members().len(), 8);
         assert!(overlay.is_failed(ring_order[0]));
         assert!(!overlay.is_failed(ring_order[1]));

@@ -46,5 +46,6 @@ mod protocol;
 mod ring;
 pub mod store;
 
+pub use fault::StabilizeError;
 pub use protocol::{bootstrap, LookupResult, Overlay, OverlayMessage, OverlayNode};
 pub use ring::{key_of, Key, RingTable};

@@ -225,14 +225,23 @@ impl OverlayNode {
         self.failed = true;
     }
 
+    /// Whether this node would still have a live successor after `failed`
+    /// members die — the validation half of stabilization, run before any
+    /// state is mutated so an over-tolerance failure pattern can be
+    /// rejected wholesale (see [`StabilizeError`](crate::fault::StabilizeError)).
+    pub(crate) fn successor_survives(&self, failed: &std::collections::BTreeSet<NodeId>) -> bool {
+        !failed.contains(&self.successor)
+            || self.successor_list.iter().any(|(_, s)| !failed.contains(s))
+    }
+
     /// Repairs this node after `failed` members died: adopt the first live
     /// successor-list entry and drop dead fingers. Returns whether anything
     /// changed.
     ///
     /// # Panics
     ///
-    /// Panics if the entire successor list is dead (more consecutive ring
-    /// deaths than the design tolerates).
+    /// Panics if the entire successor list is dead; unreachable when
+    /// callers validate with [`Self::successor_survives`] first.
     pub(crate) fn stabilize(&mut self, failed: &std::collections::BTreeSet<NodeId>) -> bool {
         let mut changed = false;
         if failed.contains(&self.successor) {

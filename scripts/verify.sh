@@ -6,7 +6,11 @@
 # Runs the build + test + lint gate from ROADMAP.md, then a small bounded
 # `ard explore` run twice with a fixed budget and seed, asserting the two
 # runs are byte-identical (the explorer is deterministic) and clean (no
-# violation on a healthy build). See docs/testing.md for the tiers.
+# violation on a healthy build), then a chaos smoke: one seeded lossy
+# discovery run per variant, diffed against the pinned snapshot
+# scripts/chaos-smoke.snapshot (regenerate it with
+# scripts/verify.sh --regen-chaos after an intentional engine change and
+# review the diff). See docs/testing.md for the tiers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,4 +32,28 @@ if ! grep -q "no violation found" <<<"$a"; then
     printf '%s\n' "$a" >&2
     exit 1
 fi
-echo "verify: OK (tier-1 green, explore smoke deterministic and clean)"
+
+# Chaos smoke: one seeded lossy/crashy run per variant, byte-compared
+# against the pinned snapshot (everything is seeded, so the output is
+# deterministic down to the metrics table).
+chaos() {
+    local variant
+    for variant in oblivious bounded adhoc; do
+        echo "=== chaos $variant ==="
+        cargo run --offline --release -p ard-cli --bin ard -- \
+            discover --topology random:n=16,extra=24,seed=4 --variant "$variant" \
+            --scheduler random:11 --faults drop=0.1,dup=0.05,crash=1,seed=6
+    done
+}
+snapshot=scripts/chaos-smoke.snapshot
+if [[ "${1:-}" == "--regen-chaos" ]]; then
+    chaos > "$snapshot"
+    echo "verify: regenerated $snapshot — review the diff"
+    exit 0
+fi
+if ! diff -u "$snapshot" <(chaos); then
+    echo "verify: chaos smoke diverged from the pinned snapshot" >&2
+    echo "verify: if intentional, regenerate with scripts/verify.sh --regen-chaos" >&2
+    exit 1
+fi
+echo "verify: OK (tier-1 green, explore smoke deterministic, chaos smoke matches snapshot)"

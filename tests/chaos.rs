@@ -1,0 +1,148 @@
+//! Chaos tier: seed-pinned fault-injection matrix.
+//!
+//! Every cell runs full discovery on a random weakly-connected graph under
+//! a [`FaultPlan`] — lossy links, duplicating links, crash/restart churn —
+//! with every node wrapped in the reliable-delivery layer, and asserts the
+//! paper's §1.2 requirements at quiescence plus the §5 budgets net of the
+//! metered retransmission overhead. The matrix crosses:
+//!
+//! * fault level: drop 0.01 / 0.1 / 0.3, dup 0.05, 1–3 crash/restarts;
+//! * problem variant: Oblivious, Bounded, Ad-hoc;
+//! * inner scheduler: fifo, random, bounded-delay 5;
+//! * network size: n ∈ {8, 32}.
+//!
+//! Everything is seeded from the cell index, so a failure names its exact
+//! cell and reproduces deterministically.
+
+use asynchronous_resource_discovery::core::{budgets, Discovery, FaultyOutcome, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::netsim::{
+    BoundedDelayScheduler, FaultPlan, FifoScheduler, RandomScheduler, Schedule, Scheduler,
+};
+
+/// Fault levels of the matrix: (drop probability, crash/restart events).
+const LEVELS: [(f64, usize); 3] = [(0.01, 1), (0.1, 2), (0.3, 3)];
+const VARIANTS: [Variant; 3] = [Variant::Oblivious, Variant::Bounded, Variant::AdHoc];
+const SCHEDULERS: [&str; 3] = ["fifo", "random", "bounded"];
+
+fn make_scheduler(kind: &str, seed: u64) -> Box<dyn Scheduler> {
+    match kind {
+        "fifo" => Box::new(FifoScheduler::new()),
+        "random" => Box::new(RandomScheduler::seeded(seed)),
+        "bounded" => Box::new(BoundedDelayScheduler::new(5, seed)),
+        other => panic!("unknown scheduler kind {other}"),
+    }
+}
+
+/// Runs one matrix cell and applies the shared assertions. Returns the
+/// outcome and recorded schedule for cells that want extra checks.
+fn run_cell(
+    n: usize,
+    drop: f64,
+    crashes: usize,
+    variant: Variant,
+    sched_kind: &str,
+    cell: u64,
+) -> (FaultyOutcome, Schedule) {
+    let name = format!("n={n} drop={drop} crashes={crashes} {variant} {sched_kind} cell={cell}");
+    let graph = gen::random_weakly_connected(n, 2 * n, cell);
+    let plan = FaultPlan::new(1000 + cell)
+        .with_drop(drop)
+        .with_dup(0.05)
+        .with_spread_crashes(crashes, n);
+    let sched = make_scheduler(sched_kind, 2000 + cell);
+    let (result, schedule) = Discovery::run_faulty(&graph, variant, &plan, sched);
+    let outcome = result.unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    // Requirements already checked inside run_faulty; re-assert the shape.
+    assert_eq!(outcome.leaders.len(), 1, "{name}: single component");
+    assert_eq!(outcome.faults.crashes as usize, crashes, "{name}: crashes");
+    assert_eq!(outcome.faults.restarts as usize, crashes, "{name}: restarts");
+
+    // Budgets hold net of the explicitly metered recovery overhead.
+    budgets::check_all_faulty(
+        &outcome.metrics,
+        graph.len() as u64,
+        graph.edge_count() as u64,
+        variant,
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    // Retransmit-count sanity: recovery traffic reacts to injected loss but
+    // stays a bounded fraction of the total (drop < 1 keeps expected
+    // attempts per message O(1), and the capped backoff keeps spurious
+    // retransmissions rare).
+    if drop >= 0.1 {
+        assert!(outcome.faults.drops > 0, "{name}: plan injected no drops");
+        assert!(
+            outcome.retransmits > 0,
+            "{name}: sustained loss must force retransmissions"
+        );
+    }
+    assert!(
+        outcome.retransmits <= outcome.metrics.total_messages() / 2,
+        "{name}: {} retransmits of {} total messages",
+        outcome.retransmits,
+        outcome.metrics.total_messages()
+    );
+    (outcome, schedule)
+}
+
+fn run_matrix(n: usize) {
+    let mut cell = n as u64;
+    for (drop, crashes) in LEVELS {
+        for variant in VARIANTS {
+            for sched_kind in SCHEDULERS {
+                cell += 1;
+                run_cell(n, drop, crashes, variant, sched_kind, cell);
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_matrix_small_networks() {
+    run_matrix(8);
+}
+
+#[test]
+fn chaos_matrix_medium_networks() {
+    run_matrix(32);
+}
+
+/// The harshest cell replays byte-exactly: the recorded schedule, re-run
+/// without any fault machinery or RNG, reproduces the identical step count
+/// and metrics table.
+#[test]
+fn harshest_cell_replays_byte_exactly() {
+    let n = 32;
+    let (outcome, schedule) = run_cell(n, 0.3, 3, Variant::AdHoc, "random", 9_999);
+    let graph = gen::random_weakly_connected(n, 2 * n, 9_999);
+    let replayed = Discovery::replay_faulty(&graph, Variant::AdHoc, &schedule)
+        .expect("recorded faulty schedule replays");
+    assert_eq!(replayed.steps, outcome.steps);
+    assert_eq!(replayed.steps, schedule.len() as u64);
+    assert_eq!(replayed.leaders, outcome.leaders);
+    assert_eq!(
+        format!("{}", replayed.metrics),
+        format!("{}", outcome.metrics),
+        "metrics tables must be identical under replay"
+    );
+}
+
+/// Crash churn alone (no link faults) is survivable: messages to a crashed
+/// node are discarded by the runner, so delivery still leans on the
+/// retransmission layer even with loss-free links.
+#[test]
+fn pure_crash_churn_is_survivable() {
+    for (seed, variant) in [(1u64, Variant::Oblivious), (2, Variant::Bounded), (3, Variant::AdHoc)]
+    {
+        let graph = gen::random_weakly_connected(16, 32, seed);
+        let plan = FaultPlan::new(seed).with_spread_crashes(3, 16);
+        let (result, _) =
+            Discovery::run_faulty(&graph, variant, &plan, RandomScheduler::seeded(seed + 50));
+        let outcome = result.unwrap_or_else(|e| panic!("variant {variant}: {e}"));
+        assert_eq!(outcome.faults.crashes, 3);
+        assert_eq!(outcome.faults.drops, 0, "no link faults in this plan");
+    }
+}

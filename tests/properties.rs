@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use asynchronous_resource_discovery::core::{budgets, Discovery, Variant};
 use asynchronous_resource_discovery::graph::{components, gen, KnowledgeGraph};
 use asynchronous_resource_discovery::netsim::{
-    BoundedDelayScheduler, LifoScheduler, NodeId, RandomScheduler, Schedule, Scheduler,
+    BoundedDelayScheduler, FaultPlan, LifoScheduler, NodeId, RandomScheduler, Schedule, Scheduler,
 };
 use asynchronous_resource_discovery::union_find::{
     Compression, Op, OpSequence, UnionFind, UnionPolicy,
@@ -47,6 +47,36 @@ fn sched_strategy() -> impl Strategy<Value = SchedSpec> {
         (1u64..12, 0u64..1_000_000)
             .prop_map(|(delay, seed)| SchedSpec::Bounded { delay, seed }),
     ]
+}
+
+/// A drawn fault plan, sized to the network inside the property (crash
+/// events need the node count, which is drawn separately).
+#[derive(Clone, Debug)]
+struct FaultSpec {
+    seed: u64,
+    drop: f64,
+    dup: f64,
+    crashes: usize,
+}
+
+impl FaultSpec {
+    fn plan(&self, n: usize) -> FaultPlan {
+        FaultPlan::new(self.seed)
+            .with_drop(self.drop)
+            .with_dup(self.dup)
+            .with_spread_crashes(self.crashes, n)
+    }
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    (0u64..1_000_000, 0u32..31, 0u32..11, 0usize..3).prop_map(
+        |(seed, drop_pct, dup_pct, crashes)| FaultSpec {
+            seed,
+            drop: f64::from(drop_pct) / 100.0,
+            dup: f64::from(dup_pct) / 100.0,
+            crashes,
+        },
+    )
 }
 
 /// Writes the recorded schedule of a failing run under
@@ -230,6 +260,57 @@ proptest! {
         for op in seq.ops() {
             if let Op::Find(i) = op {
                 prop_assert!(*i < n);
+            }
+        }
+    }
+
+    /// Discovery under arbitrary drawn fault plans (lossy links, duplicate
+    /// deliveries, crash/restart churn) still satisfies the requirements
+    /// and the net-of-overhead budgets, across the whole scheduler family —
+    /// and the recorded schedule, faults included, replays byte-exactly
+    /// without any fault machinery. Failing runs land in
+    /// `target/failed-schedules/` with `faults` metadata so `ard replay`
+    /// rebuilds the reliable-wrapped network.
+    #[test]
+    fn discovery_survives_arbitrary_faults(
+        n in 2usize..28,
+        extra in 0usize..80,
+        graph_seed in 0u64..1_000_000,
+        sched in sched_strategy(),
+        variant in variant_strategy(),
+        fault in fault_strategy(),
+    ) {
+        let topology = format!("random:n={n},extra={extra},seed={graph_seed}");
+        let graph = gen::random_weakly_connected(n, extra, graph_seed);
+        let plan = fault.plan(n);
+        let (result, schedule) =
+            Discovery::run_faulty(&graph, variant, &plan, sched.build());
+        let outcome = match result.and_then(|o| {
+            budgets::check_all_faulty(
+                &o.metrics,
+                n as u64,
+                graph.edge_count() as u64,
+                variant,
+            )
+            .map(|()| o)
+        }) {
+            Ok(outcome) => outcome,
+            Err(reason) => {
+                return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+            }
+        };
+        match Discovery::replay_faulty(&graph, variant, &schedule) {
+            Err(reason) => {
+                let reason = format!("faulty replay diverged: {reason}");
+                return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+            }
+            Ok(replayed) => {
+                if replayed.steps != outcome.steps
+                    || format!("{}", replayed.metrics) != format!("{}", outcome.metrics)
+                {
+                    let reason = "faulty replay diverged from the recording";
+                    return Err(fail_with_artifact(&topology, variant, schedule, reason));
+                }
             }
         }
     }

@@ -1,20 +1,28 @@
 //! Seed-pinned regression suite: replays every checked-in schedule file
 //! under `tests/corpus/` and asserts the recorded behavior still holds.
 //!
-//! Two kinds of corpus entries, dispatched on metadata:
+//! Three kinds of corpus entries, dispatched on metadata:
 //!
 //! * **discovery schedules** (`topology` + `variant` meta) — complete
 //!   recorded runs of the discovery protocol; replay must quiesce, satisfy
 //!   the §1.2 requirements and the §5 budgets, and (when pinned) execute
 //!   exactly the recorded number of steps;
-//! * **failure schedules** (`system racy:K` meta) — minimized schedules of
-//!   the planted-race fixture, found by `ard explore` and shrunk; replay
-//!   must still reproduce the violation, proving the explorer/shrinker
-//!   pipeline's artifacts stay valid.
+//! * **fault schedules** (additionally `faults` meta) — recorded runs
+//!   under fault injection (drops, duplicates, crash/restart churn) with
+//!   every node wrapped in the reliable-delivery layer; replay is strict
+//!   and byte-exact — the fault choices are in the schedule, no fault
+//!   machinery or RNG is involved — and must satisfy the requirements and
+//!   the budgets net of the metered retransmission overhead;
+//! * **failure schedules** (`system racy:K` / `system fragile:K` meta) —
+//!   minimized schedules of the planted-bug fixtures, found by
+//!   `ard explore` and shrunk; replay must still reproduce the violation,
+//!   proving the explorer/shrinker pipeline's artifacts stay valid. The
+//!   fragile entry is a *crash-triggered* witness: its minimized choice
+//!   sequence still contains the crash that loses the planted ping.
 //!
-//! To regenerate the discovery entries after an intentional engine change:
-//! `cargo test --test replay_corpus regenerate -- --ignored`, then review
-//! the diff. The racy entry is regenerated with
+//! To regenerate the discovery and fault entries after an intentional
+//! engine change: `cargo test --test replay_corpus regenerate -- --ignored`,
+//! then review the diff. The racy entry is regenerated with
 //! `ard explore --system racy:3 --out tests/corpus/racy-minimized.schedule`.
 
 use std::path::PathBuf;
@@ -22,7 +30,7 @@ use std::path::PathBuf;
 use ard_cli::spec;
 use asynchronous_resource_discovery::core::{budgets, Discovery};
 use asynchronous_resource_discovery::netsim::explore::fixtures;
-use asynchronous_resource_discovery::netsim::{ReplayScheduler, Schedule, Scheduler};
+use asynchronous_resource_discovery::netsim::{Choice, ReplayScheduler, Schedule, Scheduler};
 
 fn corpus_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
@@ -47,7 +55,7 @@ fn load(path: &PathBuf) -> Schedule {
 fn corpus_is_present_and_mixed() {
     let files = corpus_files();
     assert!(
-        files.len() >= 4,
+        files.len() >= 7,
         "expected a seeded corpus, found {} files",
         files.len()
     );
@@ -60,6 +68,16 @@ fn corpus_is_present_and_mixed() {
         schedules.iter().any(|s| s.meta("topology").is_some()),
         "corpus needs at least one discovery schedule"
     );
+    assert!(
+        schedules.iter().any(|s| s.meta("faults").is_some()),
+        "corpus needs at least one fault schedule"
+    );
+    assert!(
+        schedules
+            .iter()
+            .any(|s| s.meta("system").is_some_and(|v| v.starts_with("fragile:"))),
+        "corpus needs the crash-triggered fragile witness"
+    );
 }
 
 #[test]
@@ -68,15 +86,37 @@ fn every_corpus_schedule_replays_and_still_holds() {
         let name = path.display();
         let schedule = load(&path);
         if let Some(system) = schedule.meta("system") {
-            let clients: usize = system
-                .strip_prefix("racy:")
-                .and_then(|k| k.parse().ok())
+            let (kind, clients) = system
+                .split_once(':')
                 .unwrap_or_else(|| panic!("{name}: bad system meta `{system}`"));
+            let clients: usize = clients
+                .parse()
+                .unwrap_or_else(|_| panic!("{name}: bad system meta `{system}`"));
             let mut sched = ReplayScheduler::strict(&schedule);
-            let violation = fixtures::run_racy(clients, &mut sched)
-                .expect_err("a checked-in failure schedule must still fail");
+            let (violation, needle) = match kind {
+                "racy" => (
+                    fixtures::run_racy(clients, &mut sched)
+                        .expect_err("a checked-in failure schedule must still fail"),
+                    "highest-id client",
+                ),
+                "fragile" => {
+                    assert!(
+                        schedule
+                            .choices()
+                            .iter()
+                            .any(|c| matches!(c, Choice::Crash(_))),
+                        "{name}: the fragile witness must stay crash-triggered"
+                    );
+                    (
+                        fixtures::run_fragile(clients, &mut sched)
+                            .expect_err("a checked-in failure schedule must still fail"),
+                        "pong",
+                    )
+                }
+                other => panic!("{name}: unknown fixture `{other}`"),
+            };
             assert!(
-                violation.contains("highest-id client"),
+                violation.contains(needle),
                 "{name}: unexpected violation `{violation}`"
             );
             continue;
@@ -87,6 +127,30 @@ fn every_corpus_schedule_replays_and_still_holds() {
         let variant = spec::parse_variant(schedule.meta("variant").expect("variant meta"))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let graph = spec::parse_topology(topology).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if schedule.meta("faults").is_some() {
+            let outcome = Discovery::replay_faulty(&graph, variant, &schedule)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                outcome.steps,
+                schedule.len() as u64,
+                "{name}: faulty replay executed every recorded choice"
+            );
+            if let Some(steps) = schedule.meta("steps") {
+                assert_eq!(steps, outcome.steps.to_string(), "{name}: pinned step count");
+            }
+            assert!(
+                outcome.faults.any(),
+                "{name}: a fault schedule should actually contain faults"
+            );
+            budgets::check_all_faulty(
+                &outcome.metrics,
+                graph.len() as u64,
+                graph.edge_count() as u64,
+                variant,
+            )
+            .unwrap_or_else(|e| panic!("{name}: faulty budgets: {e}"));
+            continue;
+        }
         let mut d = Discovery::new(&graph, variant);
         let outcome = d
             .run_replay(&schedule)
@@ -149,6 +213,61 @@ fn discovery_corpus() -> Vec<(&'static str, &'static str, &'static str, Box<dyn 
 /// Regenerates the discovery corpus files in place. Ignored by default:
 /// run it deliberately after an intentional engine change and review the
 /// resulting diff like any other pinned-output update.
+/// Regenerates the fault-schedule corpus entries in place: a complete
+/// recorded lossy/duplicating/crashy discovery run, and the minimized
+/// crash-triggered witness of the planted fragile bug (found by
+/// exploration under a crash-only fault plan, then shrunk). Ignored by
+/// default, like [`regenerate_discovery_corpus`].
+#[test]
+#[ignore = "writes tests/corpus; run explicitly to regenerate"]
+fn regenerate_fault_corpus() {
+    use asynchronous_resource_discovery::core::Variant;
+    use asynchronous_resource_discovery::netsim::explore::{explore, ExploreConfig};
+    use asynchronous_resource_discovery::netsim::shrink::shrink;
+    use asynchronous_resource_discovery::netsim::{FaultPlan, NodeId, RandomScheduler};
+
+    let topology = "random:n=12,extra=20,seed=3";
+    let graph = spec::parse_topology(topology).unwrap();
+    let plan = FaultPlan::new(9)
+        .with_drop(0.15)
+        .with_dup(0.05)
+        .with_spread_crashes(2, graph.len());
+    let (result, mut schedule) =
+        Discovery::run_faulty(&graph, Variant::AdHoc, &plan, RandomScheduler::seeded(3));
+    let outcome = result.expect("faulty corpus run must complete");
+    schedule.set_meta("topology", topology);
+    schedule.set_meta("steps", outcome.steps.to_string());
+    let path = corpus_dir().join("faulty-random-12-adhoc-random.schedule");
+    std::fs::write(&path, schedule.to_text()).unwrap();
+    println!("wrote {} ({} choices)", path.display(), schedule.len());
+
+    let plan = FaultPlan::new(1).with_crash(NodeId::new(0), 2, 2);
+    let config = ExploreConfig {
+        random_walks: 256,
+        dfs_budget: 0,
+        dfs_depth: 0,
+        seed: 0,
+        fault: Some(plan),
+    };
+    let report = explore(&config, |sched| fixtures::run_fragile(1, sched));
+    let failure = report
+        .failure
+        .expect("the planted fragile bug must be found");
+    let shrunk = shrink(&failure.schedule, |sched| fixtures::run_fragile(1, sched));
+    let mut schedule = shrunk.schedule;
+    assert!(
+        schedule
+            .choices()
+            .iter()
+            .any(|c| matches!(c, Choice::Crash(_))),
+        "witness must stay crash-triggered"
+    );
+    schedule.set_meta("system", "fragile:1");
+    let path = corpus_dir().join("fragile-crash-minimized.schedule");
+    std::fs::write(&path, schedule.to_text()).unwrap();
+    println!("wrote {} ({} choices)", path.display(), schedule.len());
+}
+
 #[test]
 #[ignore = "writes tests/corpus; run explicitly to regenerate"]
 fn regenerate_discovery_corpus() {
