@@ -1,0 +1,32 @@
+//! Criterion explorer bench: DFS schedules/sec on the pinned planted-race
+//! workload, the wall-clock companion to `BENCH_explore.json` (regenerate
+//! that with `scripts/bench.sh`).
+//!
+//! Each iteration runs one full exploration — branch-point DFS at depth 13
+//! over the violation-tolerant racy fixture — for every `(jobs,
+//! checkpoint)` cell of the scaling grid. Throughput is reported in
+//! explored schedules per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ard_bench::explorebench::{run_workload, EXPLORE_JOBS};
+
+fn bench_explore(c: &mut Criterion) {
+    let budget = 400;
+    let runs = run_workload(budget, 1, false).runs;
+    let mut group = c.benchmark_group("explore_throughput");
+    group.sample_size(10);
+    for checkpoint in [false, true] {
+        for jobs in EXPLORE_JOBS {
+            group.throughput(Throughput::Elements(runs));
+            let label = if checkpoint { "checkpoint" } else { "scratch" };
+            group.bench_with_input(BenchmarkId::new(label, jobs), &jobs, |b, &jobs| {
+                b.iter(|| std::hint::black_box(run_workload(budget, jobs, checkpoint).runs));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

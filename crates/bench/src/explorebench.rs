@@ -1,0 +1,187 @@
+//! Explorer-throughput measurement: DFS schedules/sec of the
+//! interleaving explorer on a pinned planted-race workload.
+//!
+//! The workload is the racy fixture in benchmark (violation-tolerant)
+//! mode — six clients racing a coordinator, every run 13 scheduler
+//! choices long — explored by branch-point DFS at depth 13, so the search
+//! runs to its full budget instead of stopping at the first race. Each
+//! event carries [`EXPLORE_SPIN`] rounds of deterministic per-event
+//! compute (the fixture's `spin` knob), weighting the workload like a
+//! protocol whose handlers do real work; that is what makes prefix
+//! *re-execution* the dominant cost checkpoint/fork exists to remove. The
+//! sweep crosses worker counts with checkpoint/fork prefix reuse on and
+//! off; the `(jobs = 1, checkpoint = off)` cell is the pre-parallel
+//! sequential engine and the baseline every speedup is relative to.
+//! Results are byte-identical across the whole grid (the explorer
+//! guarantees it; [`measure`] asserts it), so the grid measures pure
+//! engine cost. This is the metric `BENCH_explore.json` records;
+//! regenerate it with `scripts/bench.sh` (or `tables --bench-explore`).
+
+use std::time::Instant;
+
+use ard_netsim::explore::{explore_fork, fixtures, ExploreConfig, ExploreReport};
+
+/// Worker counts the explorer sweep covers.
+pub const EXPLORE_JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// DFS budget of the pinned workload (number of schedules executed).
+pub const EXPLORE_BUDGET: u64 = 2_000;
+
+/// Racing clients in the pinned workload: runs are `2 * 6 + 1 = 13`
+/// scheduler choices long.
+pub const EXPLORE_CLIENTS: usize = 6;
+
+/// DFS branch-point depth of the pinned workload — the full run length,
+/// so every decision of every schedule is in the search space.
+pub const EXPLORE_DEPTH: usize = 13;
+
+/// Per-event compute weight of the pinned workload (mixing rounds).
+pub const EXPLORE_SPIN: u32 = 40_000;
+
+/// One measured `(jobs, checkpoint)` cell of the explorer grid.
+#[derive(Clone, Debug)]
+pub struct ExplorePoint {
+    /// Worker threads the explorer ran with.
+    pub jobs: usize,
+    /// Whether checkpoint/fork prefix reuse was enabled.
+    pub checkpoint: bool,
+    /// Schedules executed (identical across the grid).
+    pub runs: u64,
+    /// Best wall-clock seconds over the measured repetitions.
+    pub secs: f64,
+    /// `runs / secs` for the best repetition.
+    pub runs_per_sec: f64,
+    /// Wall-clock speedup vs the `(jobs = 1, checkpoint = off)` baseline.
+    pub speedup: f64,
+}
+
+/// Runs the pinned workload once and returns its report.
+pub fn run_workload(budget: u64, jobs: usize, checkpoint: bool) -> ExploreReport {
+    run_workload_spin(budget, jobs, checkpoint, EXPLORE_SPIN)
+}
+
+/// [`run_workload`] with an explicit per-event compute weight (the unit
+/// tests use a light one so debug builds stay fast).
+pub fn run_workload_spin(budget: u64, jobs: usize, checkpoint: bool, spin: u32) -> ExploreReport {
+    let config = ExploreConfig {
+        random_walks: 0,
+        dfs_budget: budget,
+        dfs_depth: EXPLORE_DEPTH,
+        seed: 0,
+        fault: None,
+        jobs,
+        checkpoint,
+        verify_snapshots: false,
+    };
+    explore_fork(
+        &config,
+        &fixtures::RacySystem::tolerant(EXPLORE_CLIENTS).spin(spin),
+    )
+}
+
+/// Measures the full `(checkpoint, jobs)` grid at the given budget,
+/// taking the best of `reps` repetitions per cell.
+///
+/// # Panics
+///
+/// Panics if any cell's report diverges from the sequential baseline —
+/// the explorer's byte-identical-results contract failing is a bug worth
+/// stopping a benchmark run for.
+pub fn measure(budget: u64, reps: u32) -> Vec<ExplorePoint> {
+    measure_spin(budget, reps, EXPLORE_SPIN)
+}
+
+/// [`measure`] with an explicit per-event compute weight.
+///
+/// # Panics
+///
+/// Panics on result divergence, as [`measure`] does.
+pub fn measure_spin(budget: u64, reps: u32, spin: u32) -> Vec<ExplorePoint> {
+    let baseline_runs = run_workload_spin(budget, 1, false, spin).runs;
+    let mut points = Vec::new();
+    let mut baseline_secs = f64::INFINITY;
+    for checkpoint in [false, true] {
+        for jobs in EXPLORE_JOBS {
+            let mut best_secs = f64::INFINITY;
+            let mut runs = 0u64;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                let report = run_workload_spin(budget, jobs, checkpoint, spin);
+                let secs = start.elapsed().as_secs_f64();
+                assert!(
+                    report.failure.is_none() && report.runs == baseline_runs,
+                    "explorer results diverged at jobs={jobs} checkpoint={checkpoint}"
+                );
+                runs = report.runs;
+                best_secs = best_secs.min(secs);
+            }
+            if !checkpoint && jobs == 1 {
+                baseline_secs = best_secs;
+            }
+            points.push(ExplorePoint {
+                jobs,
+                checkpoint,
+                runs,
+                secs: best_secs,
+                runs_per_sec: runs as f64 / best_secs,
+                speedup: baseline_secs / best_secs,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the points as the `BENCH_explore.json` document.
+pub fn to_json(points: &[ExplorePoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"metric\": \"explore_runs_per_sec\",\n  \"workload\": \"dfs depth 13 over racy:6 (tolerant, spin 40000), baseline jobs=1 no checkpoint\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"jobs\": {}, \"checkpoint\": {}, \"runs\": {}, \"secs\": {:.6}, \"runs_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            p.jobs,
+            p.checkpoint,
+            p.runs,
+            p.secs,
+            p.runs_per_sec,
+            p.speedup,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_covers_the_grid_and_agrees_with_the_baseline() {
+        let points = measure_spin(64, 1, 10);
+        assert_eq!(points.len(), 2 * EXPLORE_JOBS.len());
+        let runs = points[0].runs;
+        for p in &points {
+            assert_eq!(p.runs, runs);
+            assert!(p.runs_per_sec > 0.0);
+            assert!(p.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = measure_spin(32, 1, 10);
+        let json = to_json(&points);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"checkpoint\"").count(), points.len());
+        assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = run_workload_spin(48, 1, false, 10);
+        let b = run_workload_spin(48, 4, true, 10);
+        assert_eq!(a.runs, b.runs);
+        assert!(a.failure.is_none() && b.failure.is_none());
+    }
+}

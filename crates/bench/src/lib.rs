@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod explorebench;
 pub mod parallel;
 mod table;
 pub mod throughput;

@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 
 use ard_core::{budgets, Discovery, FaultyDiscovery, Variant};
 use ard_lower_bounds::{tree_adversary, uf_reduction};
-use ard_netsim::explore::{explore, fixtures, ExploreConfig};
-use ard_netsim::shrink::shrink;
+use ard_netsim::explore::{explore, explore_fork, fixtures, ExploreConfig, ExploreReport};
+use ard_netsim::shrink::shrink_jobs;
 use ard_netsim::{FaultPlan, NodeId, RandomScheduler, ReplayScheduler, Schedule, Scheduler};
 use ard_overlay::{bootstrap, Key};
 use ard_union_find::{alpha, OpSequence};
@@ -51,6 +51,11 @@ commands:
                            links and N crash/restart events, with every
                            node wrapped in the reliable-delivery layer
              --record PATH write the recorded fault schedule for replay
+             --sweep T     run T independent trials (scheduler seeds S,
+                           S+1, …; needs --scheduler random[:S]), one
+                           summary line each
+             --jobs N      with --sweep: run trials on N worker threads
+                           (same output as 1)
   adversary  run the Theorem 1 subtree-freezing adversary
              --levels I    tree depth (default 8)
   reduction  run the Theorem 2 union-find reduction
@@ -76,8 +81,15 @@ commands:
                            drops/dups/crashes join the search space
              --out PATH    file for the minimized failing schedule
                            (default ard-failure.schedule)
+             --jobs N      worker threads for candidate runs; results are
+                           byte-identical at any value (default 1)
+             --check-snapshots
+                           debug: re-execute every checkpoint-resumed DFS
+                           run from scratch and panic on divergence
   replay     re-execute a recorded schedule file byte-for-byte
-             ard replay <file>
+             ard replay <file> [--shrink [--jobs N] [--out PATH]]
+             --shrink      ddmin-minimize the replayed failure and write
+                           the 1-minimal schedule (default <file>.min)
   help       print this text
 "
     .to_string()
@@ -91,7 +103,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| CliError(format!("expected --flag, got `{}`", args[i])))?;
-        if key == "adversarial" || key == "check" || key == "stats" {
+        if key == "adversarial"
+            || key == "check"
+            || key == "stats"
+            || key == "check-snapshots"
+            || key == "shrink"
+        {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -168,6 +185,24 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
     )?;
     let trace_limit = flag_usize(&flags, "trace", 0)?;
     let want_stats = flags.contains_key("stats");
+
+    if flags.contains_key("sweep") {
+        if trace_limit > 0
+            || want_stats
+            || flags.contains_key("dot")
+            || flags.contains_key("faults")
+            || flags.contains_key("record")
+        {
+            return Err(CliError(
+                "--sweep runs summary trials only: drop --trace/--stats/--dot/--faults/--record"
+                    .into(),
+            ));
+        }
+        return discover_sweep(&flags, topology, variant, &graph);
+    }
+    if flags.contains_key("jobs") {
+        return Err(CliError("--jobs needs --sweep".into()));
+    }
 
     if let Some(fault_spec) = flags.get("faults") {
         if trace_limit > 0 || want_stats || flags.contains_key("dot") {
@@ -298,6 +333,77 @@ fn discover_faulty(
         )
         .unwrap();
     }
+    Ok(out)
+}
+
+/// Runs `--sweep T` independent discovery trials over consecutive scheduler
+/// seeds, one summary line each. Trials execute on `--jobs` worker threads
+/// but are merged back in seed order, so the report is byte-identical at
+/// any job count.
+fn discover_sweep(
+    flags: &HashMap<String, String>,
+    topology: &str,
+    variant: Variant,
+    graph: &ard_graph::KnowledgeGraph,
+) -> Result<String, CliError> {
+    let trials = flag_usize(flags, "sweep", 0)?;
+    let jobs = flag_usize(flags, "jobs", 1)?;
+    if trials == 0 {
+        return Err(CliError("--sweep must be ≥ 1".into()));
+    }
+    if jobs == 0 {
+        return Err(CliError("--jobs must be ≥ 1".into()));
+    }
+    let sched_spec = flags
+        .get("scheduler")
+        .map(String::as_str)
+        .unwrap_or("random");
+    let base = match sched_spec.strip_prefix("random") {
+        Some("") => 0,
+        Some(rest) => rest
+            .strip_prefix(':')
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| {
+                CliError(format!("--sweep: bad scheduler seed in `{sched_spec}`"))
+            })?,
+        None => {
+            return Err(CliError(
+                "--sweep varies the seed, so it needs --scheduler random[:SEED]".into(),
+            ))
+        }
+    };
+
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| base.wrapping_add(i)).collect();
+    let lines = ard_netsim::par::parallel_map(jobs, seeds, |seed| -> Result<String, CliError> {
+        let mut d = Discovery::new(graph, variant);
+        let outcome = d
+            .run_all(&mut RandomScheduler::seeded(seed))
+            .map_err(|e| CliError(format!("seed {seed}: simulation failed: {e}")))?;
+        d.check_requirements(graph)
+            .map_err(|e| CliError(format!("seed {seed}: requirements violated: {e}")))?;
+        Ok(format!(
+            "seed {seed:>4}: leaders {:?}, {} steps, {} msgs, {} bits",
+            outcome.leaders,
+            outcome.steps,
+            outcome.metrics.total_messages(),
+            outcome.metrics.total_bits()
+        ))
+    });
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "topology  : {topology} ({} nodes, {} edges)",
+        graph.len(),
+        graph.edge_count()
+    )
+    .unwrap();
+    writeln!(out, "variant   : {variant}").unwrap();
+    writeln!(out, "sweep     : {trials} trials, scheduler seeds {base}..={}", base.wrapping_add(trials as u64 - 1)).unwrap();
+    for line in lines {
+        writeln!(out, "  {}", line?).unwrap();
+    }
+    writeln!(out, "requirements: satisfied in every trial").unwrap();
     Ok(out)
 }
 
@@ -602,12 +708,32 @@ impl System {
             System::Fragile { clients } => fixtures::run_fragile(*clients, sched),
         }
     }
+
+    /// Runs an exploration over this system. The fixtures go through the
+    /// checkpoint/fork path (their runs are cloneable); discovery runs
+    /// through the run-to-completion closure contract. Results are
+    /// byte-identical either way.
+    fn explore(&self, config: &ExploreConfig) -> ExploreReport {
+        match self {
+            System::Racy { clients } => explore_fork(config, &fixtures::RacySystem::new(*clients)),
+            System::Fragile { clients } => {
+                explore_fork(config, &fixtures::FragileSystem::new(*clients))
+            }
+            System::Discovery { .. } => {
+                explore(config, || |sched: &mut dyn Scheduler| self.run_one(sched))
+            }
+        }
+    }
 }
 
 fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
     let budget = flag_u64(&flags, "budget", 64)?;
     let depth = flag_usize(&flags, "depth", 4)?;
     let seed = flag_u64(&flags, "seed", 0)?;
+    let jobs = flag_usize(&flags, "jobs", 1)?;
+    if jobs == 0 {
+        return Err(CliError("--jobs must be ≥ 1".into()));
+    }
     let out_path = flags
         .get("out")
         .map(String::as_str)
@@ -642,8 +768,11 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         dfs_depth: depth,
         seed,
         fault: fault.clone(),
+        jobs,
+        verify_snapshots: flags.contains_key("check-snapshots"),
+        ..ExploreConfig::default()
     };
-    let report = explore(&config, |sched| system.run_one(sched));
+    let report = system.explore(&config);
     let mut out = String::new();
     writeln!(
         out,
@@ -674,7 +803,9 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         failure.run_index + 1
     )
     .unwrap();
-    let shrunk = shrink(&failure.schedule, |sched| system.run_one(sched));
+    let shrunk = shrink_jobs(&failure.schedule, jobs, || {
+        |sched: &mut dyn Scheduler| system.run_one(sched)
+    });
     writeln!(
         out,
         "shrunk    : {} → {} choices ({} candidate runs)",
@@ -703,7 +834,20 @@ fn replay_cmd(args: &[String]) -> Result<String, CliError> {
     if path.starts_with("--") {
         return Err(CliError("replay needs a schedule file: ard replay <file>".into()));
     }
-    parse_flags(rest)?; // no flags yet, but reject garbage loudly
+    let flags = parse_flags(rest)?;
+    for key in flags.keys() {
+        if key != "shrink" && key != "jobs" && key != "out" {
+            return Err(CliError(format!("replay does not take --{key}")));
+        }
+    }
+    let want_shrink = flags.contains_key("shrink");
+    let jobs = flag_usize(&flags, "jobs", 1)?;
+    if jobs == 0 {
+        return Err(CliError("--jobs must be ≥ 1".into()));
+    }
+    if !want_shrink && (flags.contains_key("jobs") || flags.contains_key("out")) {
+        return Err(CliError("--jobs/--out need --shrink".into()));
+    }
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
     let schedule = Schedule::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
@@ -715,15 +859,48 @@ fn replay_cmd(args: &[String]) -> Result<String, CliError> {
         writeln!(out, "meta      : {k} = {v}").unwrap();
     }
     let mut replay = ReplayScheduler::strict(&schedule);
-    match system.run_one(&mut replay) {
-        Err(reason) => writeln!(out, "result    : violation reproduced: {reason}").unwrap(),
-        Ok(()) => writeln!(out, "result    : schedule replayed cleanly (no violation)").unwrap(),
-    }
+    let reproduced = match system.run_one(&mut replay) {
+        Err(reason) => {
+            writeln!(out, "result    : violation reproduced: {reason}").unwrap();
+            true
+        }
+        Ok(()) => {
+            writeln!(out, "result    : schedule replayed cleanly (no violation)").unwrap();
+            false
+        }
+    };
     if replay.leftover() > 0 {
         writeln!(
             out,
             "note      : {} events still pending (schedule is a truncation)",
             replay.leftover()
+        )
+        .unwrap();
+    }
+    if want_shrink {
+        if !reproduced {
+            return Err(CliError(
+                "--shrink needs a failing schedule, but the replay found no violation".into(),
+            ));
+        }
+        let shrunk = shrink_jobs(&schedule, jobs, || {
+            |sched: &mut dyn Scheduler| system.run_one(sched)
+        });
+        writeln!(
+            out,
+            "shrunk    : {} → {} choices ({} candidate runs)",
+            shrunk.original_len,
+            shrunk.schedule.len(),
+            shrunk.attempts
+        )
+        .unwrap();
+        let default_out = format!("{path}.min");
+        let out_path = flags.get("out").map(String::as_str).unwrap_or(&default_out);
+        std::fs::write(out_path, shrunk.schedule.to_text())
+            .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        writeln!(
+            out,
+            "written   : {out_path} (re-run with `ard replay {out_path}`)"
         )
         .unwrap();
     }
@@ -921,6 +1098,93 @@ mod tests {
         let replayed = run_line(&format!("replay {path}")).unwrap();
         assert!(replayed.contains("meta      : system = fragile:1"));
         assert!(replayed.contains("violation reproduced"), "{replayed}");
+    }
+
+    #[test]
+    fn explore_jobs_do_not_change_output() {
+        let path = std::env::temp_dir().join("ard-cli-test-parallel.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let line = |jobs: usize| {
+            format!("explore --system racy:3 --budget 32 --jobs {jobs} --out {path}")
+        };
+        let sequential = run_line(&line(1)).unwrap();
+        for jobs in [2, 4] {
+            assert_eq!(run_line(&line(jobs)).unwrap(), sequential, "jobs={jobs}");
+        }
+        assert!(!sequential.contains("jobs"), "job count must not leak into output");
+        assert!(run_line("explore --system racy:2 --jobs 0").is_err());
+    }
+
+    #[test]
+    fn explore_check_snapshots_output_is_unchanged() {
+        let path = std::env::temp_dir().join("ard-cli-test-snap.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let plain =
+            run_line(&format!("explore --system racy:2 --budget 48 --depth 5 --out {path}"))
+                .unwrap();
+        let checked = run_line(&format!(
+            "explore --system racy:2 --budget 48 --depth 5 --check-snapshots --jobs 2 --out {path}"
+        ))
+        .unwrap();
+        assert_eq!(plain, checked);
+    }
+
+    #[test]
+    fn replay_shrink_minimizes_and_writes() {
+        use ard_netsim::explore::{explore, ExploreConfig};
+        // An *unshrunk* failing schedule, as the explorer first found it.
+        let report = explore(&ExploreConfig::default(), || {
+            |s: &mut dyn Scheduler| fixtures::run_racy(3, s)
+        });
+        let mut schedule = report.failure.expect("explorer finds the race").schedule;
+        schedule.set_meta("system", "racy:3");
+        let path = std::env::temp_dir().join("ard-cli-test-replay-shrink.schedule");
+        std::fs::write(&path, schedule.to_text()).unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        let sequential = run_line(&format!("replay {path} --shrink")).unwrap();
+        assert!(sequential.contains("violation reproduced"));
+        assert!(sequential.contains("shrunk    :"));
+        assert!(sequential.contains("written   :"));
+        assert_eq!(run_line(&format!("replay {path} --shrink --jobs 4 --out {path}.min")).unwrap(), sequential);
+        let replayed = run_line(&format!("replay {path}.min")).unwrap();
+        assert!(replayed.contains("violation reproduced"));
+        assert!(replayed.contains("meta      : shrunk-from ="));
+
+        // Flag hygiene: --jobs/--out without --shrink, unknown flags, and
+        // shrinking a passing schedule are all loud errors.
+        assert!(run_line(&format!("replay {path} --jobs 2")).is_err());
+        assert!(run_line(&format!("replay {path} --turbo 9")).is_err());
+    }
+
+    #[test]
+    fn replay_shrink_rejects_a_passing_schedule() {
+        let graph = spec::parse_topology("ring:6").unwrap();
+        let mut d = Discovery::new(&graph, Variant::AdHoc);
+        let (result, mut schedule) = d.run_recorded(RandomScheduler::seeded(2));
+        result.unwrap();
+        schedule.set_meta("topology", "ring:6");
+        let path = std::env::temp_dir().join("ard-cli-test-clean-shrink.schedule");
+        std::fs::write(&path, schedule.to_text()).unwrap();
+        let err = run_line(&format!("replay {} --shrink", path.display())).unwrap_err();
+        assert!(err.0.contains("no violation"));
+    }
+
+    #[test]
+    fn discover_sweep_jobs_do_not_change_output() {
+        let line = |jobs: usize| {
+            format!("discover --topology ring:10 --scheduler random:5 --sweep 3 --jobs {jobs}")
+        };
+        let sequential = run_line(&line(1)).unwrap();
+        assert!(sequential.contains("sweep     : 3 trials, scheduler seeds 5..=7"));
+        assert!(sequential.contains("requirements: satisfied in every trial"));
+        for jobs in [2, 4] {
+            assert_eq!(run_line(&line(jobs)).unwrap(), sequential, "jobs={jobs}");
+        }
+        assert!(run_line("discover --topology ring:6 --sweep 2 --stats").is_err());
+        assert!(run_line("discover --topology ring:6 --jobs 2").is_err());
+        assert!(run_line("discover --topology ring:6 --scheduler fifo --sweep 2").is_err());
+        assert!(run_line("discover --topology ring:6 --sweep 0").is_err());
     }
 
     #[test]

@@ -3,22 +3,38 @@
 //! The paper's guarantees are quantified over *every* asynchronous schedule
 //! (finite but unbounded delays); a handful of seeded random runs samples
 //! that space thinly. This module searches it deliberately, in the style of
-//! deterministic-simulation testing: a caller-supplied closure builds and
-//! runs the system under test against a scheduler the explorer controls and
-//! reports whether the run satisfied its properties; the explorer tries
-//! many schedules — a bounded **random walk** over seeds plus a
-//! depth-bounded **branch-point DFS** that systematically enumerates which
-//! pending event fires at each of the first few steps — and, on the first
-//! failure, hands back the exact [`Schedule`] so the failure replays
-//! forever (and can be [shrunk](crate::shrink)).
+//! deterministic-simulation testing: a caller-supplied **system factory**
+//! builds a fresh run of the system under test for each candidate schedule,
+//! drives it against a scheduler the explorer controls and reports whether
+//! the run satisfied its properties; the explorer tries many schedules — a
+//! bounded **random walk** over seeds plus a depth-bounded **branch-point
+//! DFS** that systematically enumerates which pending event fires at each
+//! of the first few steps — and, on the first failure, hands back the exact
+//! [`Schedule`] so the failure replays forever (and can be
+//! [shrunk](crate::shrink)).
+//!
+//! Two things make the search fast without changing its answers:
+//!
+//! * **Parallelism** — [`ExploreConfig::jobs`] fans candidate runs out over
+//!   `std::thread::scope` workers. Speculative results are merged back in
+//!   the exact order the sequential loop would consume them, so reports,
+//!   counters and failing schedules are byte-identical at any job count.
+//! * **Checkpoint/fork** — systems that implement [`ForkSystem`] (cloneable
+//!   state, steppable runs) let the DFS snapshot a run at each branch point
+//!   and *fork* a sibling from the deepest cached checkpoint instead of
+//!   re-executing the shared prefix from scratch. Enabled by
+//!   [`ExploreConfig::checkpoint`]; the paranoid
+//!   [`ExploreConfig::verify_snapshots`] debug flag re-executes every run
+//!   from scratch as well and panics on any divergence.
 //!
 //! # Example
 //!
 //! ```
 //! use ard_netsim::explore::{explore, ExploreConfig};
+//! use ard_netsim::Scheduler;
 //!
 //! // A "system" whose property always holds: the explorer finds nothing.
-//! let report = explore(&ExploreConfig::default(), |sched| {
+//! let report = explore(&ExploreConfig::default(), || |sched: &mut dyn Scheduler| {
 //!     let mut r = ard_netsim::explore::fixtures::racy_network(2);
 //!     r.enqueue_wake_all(sched);
 //!     r.run(sched, 1_000).map_err(|e| e.to_string())?;
@@ -28,9 +44,11 @@
 //! assert!(report.runs > 0);
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::fault::{FaultPlan, FaultScheduler};
+use crate::par;
 use crate::record::{RecordingScheduler, Schedule};
 use crate::scheduler::{Choice, RandomScheduler, Scheduler, SendToken};
 use crate::NodeId;
@@ -38,8 +56,9 @@ use crate::NodeId;
 /// Budget and shape of an exploration.
 #[derive(Clone, Debug)]
 pub struct ExploreConfig {
-    /// Number of random-walk schedules to try first (seeds `seed`,
-    /// `seed + 1`, …).
+    /// Number of random-walk schedules to try first (per-walk seeds are
+    /// derived from `seed` by splitmix-style mixing, so adjacent base
+    /// seeds never share walks).
     pub random_walks: u64,
     /// Maximum number of DFS schedules to try after the walks.
     pub dfs_budget: u64,
@@ -54,6 +73,19 @@ pub struct ExploreConfig {
     /// the search space (the random-walk phase re-seeds the fault RNG per
     /// walk; the DFS phase keeps the plan's own seed).
     pub fault: Option<FaultPlan>,
+    /// Worker threads for candidate runs. Results are byte-identical at
+    /// any value; `1` (the default) executes everything inline on the
+    /// caller's thread with no speculation.
+    pub jobs: usize,
+    /// Reuse DFS prefixes by forking checkpoints instead of re-executing
+    /// them (only effective for [`explore_fork`] systems; the closure
+    /// contract of [`explore`] always runs from scratch). On by default;
+    /// results are byte-identical either way.
+    pub checkpoint: bool,
+    /// Debug flag: additionally re-execute every checkpointed DFS run from
+    /// scratch and panic if the snapshot-resumed run diverges in result,
+    /// recorded schedule or branch counts.
+    pub verify_snapshots: bool,
 }
 
 impl Default for ExploreConfig {
@@ -64,8 +96,24 @@ impl Default for ExploreConfig {
             dfs_depth: 4,
             seed: 0,
             fault: None,
+            jobs: 1,
+            checkpoint: true,
+            verify_snapshots: false,
         }
     }
+}
+
+/// Derives the seed of walk `i` from the configured base seed.
+///
+/// The obvious `base + i` collides across adjacent user seeds (a sweep
+/// over bases 0, 1, 2… re-runs almost every walk); instead each walk takes
+/// one output of the splitmix64 stream starting at `base`, whose finalizer
+/// scatters consecutive states across the whole 64-bit space.
+fn walk_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Where a failing schedule came from.
@@ -73,7 +121,7 @@ impl Default for ExploreConfig {
 pub enum Origin {
     /// Found by the random-walk phase, under this seed.
     RandomWalk {
-        /// The seed of the failing walk.
+        /// The (mixed) seed of the failing walk.
         seed: u64,
     },
     /// Found by the DFS phase, with this branch-decision prefix.
@@ -121,6 +169,93 @@ pub struct ExploreReport {
     pub failure: Option<ExploreFailure>,
 }
 
+/// Arrival-ordered pending set with `O(log n)` order-statistic removal.
+///
+/// Choices live in an append-only slab in arrival order; a Fenwick tree
+/// over liveness bits answers "remove the `i`-th oldest live entry" by
+/// binary-lifting descent instead of the `O(n)` shift a `VecDeque::remove`
+/// pays. Removal tombstones the slot; the slab compacts (preserving
+/// arrival order) once dead slots dominate, keeping memory proportional to
+/// the live count.
+#[derive(Clone, Debug, Default)]
+struct PendingRing {
+    /// Arrival-ordered slab; `None` marks a removed entry.
+    slots: Vec<Option<Choice>>,
+    /// 1-based Fenwick tree over liveness: `fen[i-1]` counts the live
+    /// slots in `(i - lowbit(i), i]`.
+    fen: Vec<u32>,
+    live: usize,
+}
+
+impl PendingRing {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    fn push(&mut self, choice: Choice) {
+        self.slots.push(Some(choice));
+        self.live += 1;
+        // Appending node `n` to a Fenwick tree: its value is the live
+        // count over (n - lowbit(n), n], which is 1 (the new entry) plus
+        // the already-computed sums of the nodes tiling the rest of that
+        // range.
+        let n = self.slots.len();
+        let lo = n - (n & n.wrapping_neg());
+        let mut v = 1u32;
+        let mut m = n - 1;
+        while m > lo {
+            v += self.fen[m - 1];
+            m -= m & m.wrapping_neg();
+        }
+        self.fen.push(v);
+    }
+
+    /// Removes and returns the `rank`-th oldest live choice (0-based).
+    fn take(&mut self, rank: usize) -> Choice {
+        debug_assert!(rank < self.live, "rank {rank} out of {} live", self.live);
+        // Binary-lifting descent: find the largest prefix with live-count
+        // < rank + 1; the next slot is the answer.
+        let mut remaining = (rank + 1) as u32;
+        let mut pos = 0usize;
+        let mut step = 1usize << self.fen.len().ilog2();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.fen.len() && self.fen[next - 1] < remaining {
+                remaining -= self.fen[next - 1];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        let choice = self.slots[pos]
+            .take()
+            .expect("order-statistic descent lands on a live slot");
+        let mut i = pos + 1;
+        while i <= self.fen.len() {
+            self.fen[i - 1] -= 1;
+            i += i & i.wrapping_neg();
+        }
+        self.live -= 1;
+        if self.slots.len() >= 64 && self.live * 2 < self.slots.len() {
+            self.compact();
+        }
+        choice
+    }
+
+    /// Drops tombstones, preserving arrival order, and rebuilds the
+    /// (now all-live) Fenwick tree, where node `i` covers `lowbit(i)` ones.
+    fn compact(&mut self) {
+        self.slots.retain(Option::is_some);
+        self.fen.clear();
+        for i in 1..=self.slots.len() {
+            self.fen.push((i & i.wrapping_neg()) as u32);
+        }
+    }
+}
+
 /// A deterministic scheduler steered by a branch-decision prefix.
 ///
 /// Pending events are kept in arrival order. At step `i` the scheduler
@@ -129,9 +264,13 @@ pub struct ExploreReport {
 /// global FIFO. While running it records how many events were pending at
 /// each of the first `depth` steps — the branching factors the DFS driver
 /// uses to enumerate sibling schedules.
-#[derive(Debug)]
+///
+/// Cloning captures the full state (pending events, position on the
+/// decision path, branch counts) — a clone is a checkpoint the DFS can
+/// later resume with a deeper prefix via [`DfsScheduler::set_prefix`].
+#[derive(Clone, Debug)]
 pub struct DfsScheduler {
-    pending: VecDeque<Choice>,
+    pending: PendingRing,
     prefix: Vec<usize>,
     depth: usize,
     step: usize,
@@ -143,7 +282,7 @@ impl DfsScheduler {
     /// first `depth` steps.
     pub fn new(prefix: Vec<usize>, depth: usize) -> Self {
         DfsScheduler {
-            pending: VecDeque::new(),
+            pending: PendingRing::default(),
             prefix,
             depth,
             step: 0,
@@ -155,20 +294,34 @@ impl DfsScheduler {
     pub fn branch_counts(&self) -> &[usize] {
         &self.branch_counts
     }
+
+    /// Number of scheduling decisions made so far — the run's position on
+    /// its branch-decision path.
+    pub fn decisions(&self) -> usize {
+        self.step
+    }
+
+    /// Retargets the branch-decision prefix without touching any other
+    /// state. This is how a checkpoint cloned at decision `d` is pointed
+    /// at a deeper sibling prefix before resuming: the first `d` decisions
+    /// of the new prefix must match the path already taken.
+    pub fn set_prefix(&mut self, prefix: Vec<usize>) {
+        self.prefix = prefix;
+    }
 }
 
 impl Scheduler for DfsScheduler {
     fn note_wake(&mut self, node: NodeId) {
-        self.pending.push_back(Choice::Wake(node));
+        self.pending.push(Choice::Wake(node));
     }
     fn note_send(&mut self, token: SendToken) {
-        self.pending.push_back(Choice::Deliver {
+        self.pending.push(Choice::Deliver {
             src: token.src,
             dst: token.dst,
         });
     }
     fn note_tick(&mut self, node: NodeId) {
-        self.pending.push_back(Choice::Tick(node));
+        self.pending.push(Choice::Tick(node));
     }
     fn choose(&mut self) -> Option<Choice> {
         if self.pending.is_empty() {
@@ -180,56 +333,197 @@ impl Scheduler for DfsScheduler {
         let want = self.prefix.get(self.step).copied().unwrap_or(0);
         let idx = want.min(self.pending.len() - 1);
         self.step += 1;
-        self.pending.remove(idx)
+        Some(self.pending.take(idx))
     }
     fn pending(&self) -> usize {
         self.pending.len()
     }
 }
 
+/// A system under exploration that supports **checkpoint/fork** prefix
+/// reuse: instead of a run-to-completion closure, the system exposes a
+/// steppable, cloneable run, so the DFS can snapshot it at a branch point
+/// and fork siblings from the snapshot rather than re-executing the shared
+/// prefix. Protocols get this for free from their existing `Clone`able
+/// state (see [`fixtures::RacySystem`]).
+pub trait ForkSystem: Sync {
+    /// Builds a fresh run: constructs the system and enqueues its initial
+    /// events (wake-ups) into `sched`, without executing anything yet.
+    fn spawn(&self, sched: &mut dyn Scheduler) -> Box<dyn ForkRun>;
+}
+
+/// One in-flight run of a [`ForkSystem`].
+pub trait ForkRun: Send {
+    /// Deep-copies the run state — the snapshot the DFS forks from.
+    fn fork(&self) -> Box<dyn ForkRun>;
+
+    /// Executes at most one scheduler choice. `Ok(true)` means one event
+    /// executed, `Ok(false)` means the run is complete (quiescent or out
+    /// of budget with nothing pending), `Err` means it failed mid-run
+    /// (e.g. a livelock report).
+    fn step(&mut self, sched: &mut dyn Scheduler) -> Result<bool, String>;
+
+    /// The property check applied once a run completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation description as `Err`.
+    fn check(&mut self) -> Result<(), String>;
+}
+
+/// Drives a [`ForkSystem`] run to completion under `sched` and applies its
+/// property check — the run-to-completion equivalent of the `run_one`
+/// closures passed to [`explore`].
+///
+/// # Errors
+///
+/// Returns the violation description (or a mid-run failure such as a
+/// livelock report) as `Err`.
+pub fn run_fork_system(system: &dyn ForkSystem, sched: &mut dyn Scheduler) -> Result<(), String> {
+    let mut run = system.spawn(sched);
+    while run.step(sched)? {}
+    run.check()
+}
+
+/// Internal bridge between the two ways a system can be executed: as a
+/// factory-built closure (run to completion only) or as a forkable run.
+trait Exec: Sync {
+    fn run_full(&self, sched: &mut dyn Scheduler) -> Result<(), String>;
+    fn forkable(&self) -> bool;
+    fn spawn_fork(&self, sched: &mut dyn Scheduler) -> Option<Box<dyn ForkRun>>;
+}
+
+struct FactoryExec<'a, F>(&'a F);
+
+impl<F, R> Exec for FactoryExec<'_, F>
+where
+    F: Fn() -> R + Sync,
+    R: FnMut(&mut dyn Scheduler) -> Result<(), String>,
+{
+    fn run_full(&self, sched: &mut dyn Scheduler) -> Result<(), String> {
+        let mut run_one = (self.0)();
+        run_one(sched)
+    }
+    fn forkable(&self) -> bool {
+        false
+    }
+    fn spawn_fork(&self, _sched: &mut dyn Scheduler) -> Option<Box<dyn ForkRun>> {
+        None
+    }
+}
+
+struct ForkExec<'a>(&'a dyn ForkSystem);
+
+impl Exec for ForkExec<'_> {
+    fn run_full(&self, sched: &mut dyn Scheduler) -> Result<(), String> {
+        run_fork_system(self.0, sched)
+    }
+    fn forkable(&self) -> bool {
+        true
+    }
+    fn spawn_fork(&self, sched: &mut dyn Scheduler) -> Option<Box<dyn ForkRun>> {
+        Some(self.0.spawn(sched))
+    }
+}
+
 /// Searches schedules for a property violation.
 ///
-/// `run_one` is called once per candidate schedule. It must build the
-/// system under test *from scratch*, drive it with the given scheduler and
-/// return `Err(reason)` on any property violation (requirements, budgets,
-/// livelock, a fixture invariant, …). Determinism of `run_one` given the
-/// choice sequence is what makes the returned schedule replayable.
+/// `factory` builds one `run_one` closure per candidate schedule; each
+/// closure must construct the system under test *from scratch*, drive it
+/// with the given scheduler and return `Err(reason)` on any property
+/// violation (requirements, budgets, livelock, a fixture invariant, …).
+/// Determinism of the runs given the choice sequence is what makes the
+/// returned schedule replayable. The factory is shared across worker
+/// threads (hence `Sync`); with [`ExploreConfig::jobs`] `> 1` candidate
+/// runs execute speculatively in parallel, but outcomes are consumed in
+/// the exact sequential order, so the report, counters and any failing
+/// schedule are byte-identical at every job count.
 ///
 /// The search runs `config.random_walks` seeded random schedules, then up
 /// to `config.dfs_budget` DFS schedules enumerating the first
 /// `config.dfs_depth` branch points, and stops at the first failure. Every
 /// run is recorded, so the failing schedule comes back verbatim with
 /// `origin` and `reason` metadata attached.
-pub fn explore<F>(config: &ExploreConfig, mut run_one: F) -> ExploreReport
+///
+/// Systems with cloneable state can use [`explore_fork`] instead, which
+/// additionally reuses shared DFS prefixes via checkpoint/fork.
+pub fn explore<F, R>(config: &ExploreConfig, factory: F) -> ExploreReport
 where
-    F: FnMut(&mut dyn Scheduler) -> Result<(), String>,
+    F: Fn() -> R + Sync,
+    R: FnMut(&mut dyn Scheduler) -> Result<(), String>,
 {
+    explore_engine(config, &FactoryExec(&factory))
+}
+
+/// [`explore`] for [`ForkSystem`] implementors: identical search order and
+/// results, but with [`ExploreConfig::checkpoint`] enabled the DFS phase
+/// forks each run from the deepest cached branch-point snapshot instead of
+/// re-executing its shared prefix from scratch.
+pub fn explore_fork(config: &ExploreConfig, system: &dyn ForkSystem) -> ExploreReport {
+    explore_engine(config, &ForkExec(system))
+}
+
+/// Outcome of one executed candidate prefix, cached until the sequential
+/// consumption order reaches it.
+struct PrefixOutcome {
+    result: Result<(), String>,
+    schedule: Schedule,
+    branch_counts: Vec<usize>,
+}
+
+/// A branch-point snapshot: the forkable run plus its full scheduler
+/// stack, cloned immediately before the decision that completes the key's
+/// decision path.
+struct Checkpoint {
+    run: Box<dyn ForkRun>,
+    sched: RecordingScheduler<FaultScheduler<DfsScheduler>>,
+}
+
+fn explore_engine(config: &ExploreConfig, exec: &dyn Exec) -> ExploreReport {
+    let jobs = config.jobs.max(1);
     let mut report = ExploreReport::default();
 
-    // Phase 1: bounded random walk over seeds. The fault wrapper is
+    // Phase 1: bounded random walk over mixed seeds. The fault wrapper is
     // applied unconditionally (it is transparent without a plan); with a
     // plan, each walk also re-seeds the fault RNG so the walk phase
-    // explores fault placements, not just interleavings.
-    for i in 0..config.random_walks {
-        let seed = config.seed.wrapping_add(i);
-        let fault_seed = config.fault.as_ref().map_or(0, |p| p.seed ^ seed);
-        let mut sched = RecordingScheduler::new(FaultScheduler::seeded(
-            RandomScheduler::seeded(seed),
-            config.fault.clone(),
-            fault_seed,
-        ));
-        let result = run_one(&mut sched);
-        report.random_walks += 1;
-        report.runs += 1;
-        if let Err(reason) = result {
-            report.failure = Some(failure(
-                sched.into_schedule(),
-                reason,
-                report.runs - 1,
-                Origin::RandomWalk { seed },
+    // explores fault placements, not just interleavings. Walks execute in
+    // index-ordered batches: workers run them speculatively, the merge
+    // consumes them in order and stops at the first failure, exactly like
+    // the sequential loop.
+    let mut next_walk = 0u64;
+    while next_walk < config.random_walks {
+        let remaining = config.random_walks - next_walk;
+        let batch = if jobs <= 1 {
+            1
+        } else {
+            remaining.min(jobs as u64 * 4)
+        };
+        let indices: Vec<u64> = (next_walk..next_walk + batch).collect();
+        let outcomes = par::parallel_map(jobs, indices, |i| {
+            let seed = walk_seed(config.seed, i);
+            let fault_seed = config.fault.as_ref().map_or(0, |p| p.seed ^ seed);
+            let mut sched = RecordingScheduler::new(FaultScheduler::seeded(
+                RandomScheduler::seeded(seed),
+                config.fault.clone(),
+                fault_seed,
             ));
-            return report;
+            let result = exec.run_full(&mut sched);
+            (seed, result, sched.into_schedule())
+        });
+        for (seed, result, schedule) in outcomes {
+            report.random_walks += 1;
+            report.runs += 1;
+            if let Err(reason) = result {
+                report.failure = Some(failure(
+                    schedule,
+                    reason,
+                    report.runs - 1,
+                    Origin::RandomWalk { seed },
+                ));
+                return report;
+            }
         }
+        next_walk += batch;
     }
 
     // Phase 2: depth-bounded branch-point DFS. A run with prefix `p`
@@ -238,27 +532,64 @@ where
     // `p + [0]*k + [i]` (`i ≥ 1`, within the observed branching factor):
     // every decision path through the first `dfs_depth` steps is generated
     // exactly once.
+    //
+    // Parallelism never reorders the search: workers speculatively execute
+    // *waves* of prefixes already sitting on the stack (execution of a
+    // prefix is a pure function of the prefix), the outcomes land in a
+    // cache, and this loop then replays the exact sequential pop / count /
+    // push-children discipline against the cache — so the stack evolution,
+    // run counters and first failure match the sequential engine choice
+    // for choice. Speculative runs past a failure or the budget are
+    // discarded unconsumed.
+    let checkpoints: Mutex<HashMap<Vec<usize>, Checkpoint>> = Mutex::new(HashMap::new());
+    let mut cache: HashMap<Vec<usize>, PrefixOutcome> = HashMap::new();
     let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
     while report.dfs_runs < config.dfs_budget {
         let Some(prefix) = stack.pop() else { break };
-        let mut sched = RecordingScheduler::new(FaultScheduler::new(
-            DfsScheduler::new(prefix.clone(), config.dfs_depth),
-            config.fault.clone(),
-        ));
-        let result = run_one(&mut sched);
+        if !cache.contains_key(&prefix) {
+            let remaining = (config.dfs_budget - report.dfs_runs) as usize;
+            // Speculation-debt throttle: a speculated outcome is only
+            // *useful* once the sequential order consumes it, and during a
+            // deep dive freshly-pushed children keep preempting the
+            // speculated stack entries. Capping the number of cached
+            // outcomes bounds how much speculative work can sit unconsumed
+            // (and be discarded at budget exhaustion); a throttled wave
+            // degenerates to the popped prefix alone, which runs inline.
+            let headroom = (jobs * 4).saturating_sub(cache.len());
+            let wave_cap = if jobs <= 1 {
+                1
+            } else {
+                (jobs * 4).min(remaining).min(1 + headroom)
+            };
+            let mut targets: Vec<Vec<usize>> = vec![prefix.clone()];
+            for p in stack.iter().rev() {
+                if targets.len() >= wave_cap {
+                    break;
+                }
+                if !cache.contains_key(p) {
+                    targets.push(p.clone());
+                }
+            }
+            let outcomes = par::parallel_map(jobs, targets.clone(), |p| {
+                run_prefix(exec, config, &p, &checkpoints)
+            });
+            for (p, outcome) in targets.into_iter().zip(outcomes) {
+                cache.insert(p, outcome);
+            }
+        }
+        let outcome = cache.remove(&prefix).expect("wave cached the popped prefix");
         report.dfs_runs += 1;
         report.runs += 1;
-        let (fault_sched, schedule) = sched.into_parts();
-        if let Err(reason) = result {
+        if let Err(reason) = outcome.result {
             report.failure = Some(failure(
-                schedule,
+                outcome.schedule,
                 reason,
                 report.runs - 1,
                 Origin::Dfs { prefix },
             ));
             return report;
         }
-        let counts = fault_sched.inner().branch_counts();
+        let counts = &outcome.branch_counts;
         // Reverse push order so the stack pops children in lexicographic
         // (earliest-position, smallest-index) order.
         for j in (prefix.len()..counts.len()).rev() {
@@ -272,6 +603,154 @@ where
         }
     }
     report
+}
+
+/// Executes one DFS candidate prefix and returns its outcome.
+///
+/// Forkable systems resume from the deepest cached checkpoint on the
+/// prefix's decision path (when `config.checkpoint` allows); everything
+/// else runs from scratch. Either way the outcome is identical — which
+/// `config.verify_snapshots` double-checks by also running from scratch.
+fn run_prefix(
+    exec: &dyn Exec,
+    config: &ExploreConfig,
+    prefix: &[usize],
+    checkpoints: &Mutex<HashMap<Vec<usize>, Checkpoint>>,
+) -> PrefixOutcome {
+    if config.checkpoint && exec.forkable() {
+        let out = run_prefix_forked(exec, config, prefix, checkpoints, true);
+        if config.verify_snapshots {
+            let scratch = run_prefix_forked(exec, config, prefix, checkpoints, false);
+            assert!(
+                scratch.result == out.result
+                    && scratch.schedule == out.schedule
+                    && scratch.branch_counts == out.branch_counts,
+                "snapshot/replay divergence at dfs prefix {prefix:?}:\n\
+                 resumed:  {:?} / {:?} / {}\n\
+                 scratch:  {:?} / {:?} / {}",
+                out.result,
+                out.branch_counts,
+                out.schedule.to_text(),
+                scratch.result,
+                scratch.branch_counts,
+                scratch.schedule.to_text(),
+            );
+        }
+        return out;
+    }
+    let mut sched = RecordingScheduler::new(FaultScheduler::new(
+        DfsScheduler::new(prefix.to_vec(), config.dfs_depth),
+        config.fault.clone(),
+    ));
+    let result = exec.run_full(&mut sched);
+    let (fault_sched, schedule) = sched.into_parts();
+    PrefixOutcome {
+        result,
+        schedule,
+        branch_counts: fault_sched.inner().branch_counts().to_vec(),
+    }
+}
+
+/// The checkpoint/fork execution path for one DFS prefix.
+///
+/// With `reuse`, the run starts from the deepest checkpoint whose key is a
+/// proper prefix of this run's decision path, and snapshots every new
+/// branch point it passes (decision positions in `[prefix.len(), depth)`
+/// with more than one pending event — exactly the positions children fork
+/// at). Without `reuse` it executes from scratch and stores nothing (the
+/// comparison arm of the snapshot-equivalence check).
+fn run_prefix_forked(
+    exec: &dyn Exec,
+    config: &ExploreConfig,
+    prefix: &[usize],
+    checkpoints: &Mutex<HashMap<Vec<usize>, Checkpoint>>,
+    reuse: bool,
+) -> PrefixOutcome {
+    let depth = config.dfs_depth;
+    // A run with prefix `p` at decision `d ≥ p.len()` sits on decision
+    // path `p ++ [0] * (d - p.len())`: that path is the checkpoint key.
+    let key_for = |d: usize| -> Vec<usize> {
+        let mut key = prefix.to_vec();
+        key.resize(d, 0);
+        key
+    };
+
+    let mut resumed = None;
+    if reuse && !prefix.is_empty() {
+        let map = checkpoints.lock().expect("checkpoint map lock");
+        for cut in (0..prefix.len()).rev() {
+            if let Some(cp) = map.get(&prefix[..cut]) {
+                let mut sched = cp.sched.clone();
+                sched.inner_mut().inner_mut().set_prefix(prefix.to_vec());
+                resumed = Some((cp.run.fork(), sched));
+                break;
+            }
+        }
+    }
+    let (mut run, mut sched) = match resumed {
+        Some(state) => state,
+        None => {
+            let mut sched = RecordingScheduler::new(FaultScheduler::new(
+                DfsScheduler::new(prefix.to_vec(), depth),
+                config.fault.clone(),
+            ));
+            let run = exec
+                .spawn_fork(&mut sched)
+                .expect("forked execution requires a forkable system");
+            (run, sched)
+        }
+    };
+
+    let result = loop {
+        let d = sched.inner().inner().decisions();
+        // Snapshot *before* the step that would complete decision path
+        // `key_for(d)`: a sibling resuming here replays that decision
+        // under its own prefix. Only positions children can fork at
+        // (within this run's new suffix, under the depth, with an actual
+        // branch) are worth keeping, and only the first run through a
+        // given path stores it.
+        let mut snapshot = None;
+        if reuse && d >= prefix.len() && d < depth && sched.inner().inner().pending() > 1 {
+            let key = key_for(d);
+            let present = checkpoints
+                .lock()
+                .expect("checkpoint map lock")
+                .contains_key(&key);
+            if !present {
+                snapshot = Some((
+                    key,
+                    Checkpoint {
+                        run: run.fork(),
+                        sched: sched.clone(),
+                    },
+                ));
+            }
+        }
+        match run.step(&mut sched) {
+            Err(reason) => break Err(reason),
+            Ok(false) => break run.check(),
+            Ok(true) => {
+                if let Some((key, checkpoint)) = snapshot {
+                    // Only keep the snapshot if this step really consumed
+                    // a DFS decision (the choice could have been served by
+                    // the fault layer instead).
+                    if sched.inner().inner().decisions() == d + 1 {
+                        checkpoints
+                            .lock()
+                            .expect("checkpoint map lock")
+                            .entry(key)
+                            .or_insert(checkpoint);
+                    }
+                }
+            }
+        }
+    };
+    let (fault_sched, schedule) = sched.into_parts();
+    PrefixOutcome {
+        result,
+        schedule,
+        branch_counts: fault_sched.inner().branch_counts().to_vec(),
+    }
 }
 
 fn failure(mut schedule: Schedule, reason: String, run_index: u64, origin: Origin) -> ExploreFailure {
@@ -297,11 +776,52 @@ pub mod fixtures {
     //! rushes its message through does — which is exactly the kind of
     //! corner [`explore`](super::explore) exists to find and
     //! [`shrink`](crate::shrink) to minimize.
+    //!
+    //! Both fixtures are exposed two ways: as `run_one`-style closures
+    //! ([`run_racy`], [`run_fragile`]) and as checkpointable
+    //! [`ForkSystem`]s ([`RacySystem`], [`FragileSystem`]) whose runs the
+    //! explorer's DFS can snapshot and fork. The closure forms are thin
+    //! wrappers over the fork forms, so both execute identically.
 
+    use super::{ForkRun, ForkSystem};
     use crate::envelope::Envelope;
-    use crate::runner::{Protocol, Runner};
+    use crate::runner::{LivelockError, Protocol, Runner};
     use crate::scheduler::Scheduler;
     use crate::{Context, NodeId};
+
+    /// The step budget both fixtures run under before declaring a
+    /// livelock, matching the original `Runner::run(sched, 10_000)` call.
+    const FIXTURE_STEP_BUDGET: u64 = 10_000;
+
+    /// One bounded step of a fixture run: mirrors `Runner::run`'s loop —
+    /// `Ok(true)` after executing an event, `Ok(false)` at quiescence (or
+    /// at an exhausted budget with nothing pending), and the exact
+    /// livelock error `Runner::run` would produce otherwise.
+    fn fixture_step<P: Protocol>(
+        runner: &mut Runner<P>,
+        steps: &mut u64,
+        sched: &mut dyn Scheduler,
+    ) -> Result<bool, String> {
+        if *steps >= FIXTURE_STEP_BUDGET {
+            return if sched.pending() == 0 {
+                Ok(false)
+            } else {
+                Err(format!(
+                    "fixture livelocked: {}",
+                    LivelockError {
+                        steps: *steps,
+                        pending: sched.pending(),
+                    }
+                ))
+            };
+        }
+        if runner.step(sched) {
+            *steps += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
 
     /// The fixture's only message: a client's request for the lease.
     #[derive(Clone, Debug)]
@@ -325,7 +845,7 @@ pub mod fixtures {
     /// requests arrive in client-id order — so a schedule in which the
     /// highest-id client's request arrives first hands the lease to a
     /// client the coordinator's bookkeeping believes cannot hold it.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     pub enum RacyNode {
         /// The coordinator: remembers who was granted the lease.
         Coordinator {
@@ -384,6 +904,106 @@ pub mod fixtures {
         }
     }
 
+    /// The racy fixture as a checkpointable [`ForkSystem`]: exploring it
+    /// via [`explore_fork`](super::explore_fork) lets the DFS fork runs at
+    /// cached branch points instead of replaying shared prefixes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct RacySystem {
+        clients: usize,
+        tolerant: bool,
+        spin: u32,
+    }
+
+    impl RacySystem {
+        /// The standard fixture: `clients` racing clients, planted bug
+        /// armed.
+        pub fn new(clients: usize) -> Self {
+            RacySystem {
+                clients,
+                tolerant: false,
+                spin: 0,
+            }
+        }
+
+        /// Benchmark mode: identical network and schedules, but the
+        /// planted violation is ignored, so a deep exhaustive search runs
+        /// to its full budget instead of stopping at the first race.
+        pub fn tolerant(clients: usize) -> Self {
+            RacySystem {
+                clients,
+                tolerant: true,
+                spin: 0,
+            }
+        }
+
+        /// Attaches `spin` rounds of deterministic mixing work to every
+        /// executed event, modeling protocols whose handlers do real
+        /// computation (knowledge-set merges, signature checks, …). The
+        /// work feeds an accumulator carried in the run state, so it is
+        /// identical however the run is reached — from scratch or resumed
+        /// from a forked checkpoint — and the scheduler choices are
+        /// untouched. This is the knob the explorer benchmark uses to
+        /// weight prefix re-execution.
+        pub fn spin(mut self, spin: u32) -> Self {
+            self.spin = spin;
+            self
+        }
+    }
+
+    struct RacyRun {
+        runner: Runner<RacyNode>,
+        steps: u64,
+        tolerant: bool,
+        spin: u32,
+        acc: u64,
+    }
+
+    impl ForkSystem for RacySystem {
+        fn spawn(&self, sched: &mut dyn Scheduler) -> Box<dyn ForkRun> {
+            let mut runner = racy_network(self.clients);
+            runner.enqueue_wake_all(sched);
+            Box::new(RacyRun {
+                runner,
+                steps: 0,
+                tolerant: self.tolerant,
+                spin: self.spin,
+                acc: 0,
+            })
+        }
+    }
+
+    impl ForkRun for RacyRun {
+        fn fork(&self) -> Box<dyn ForkRun> {
+            Box::new(RacyRun {
+                runner: self.runner.clone(),
+                steps: self.steps,
+                tolerant: self.tolerant,
+                spin: self.spin,
+                acc: self.acc,
+            })
+        }
+        fn step(&mut self, sched: &mut dyn Scheduler) -> Result<bool, String> {
+            let stepped = fixture_step(&mut self.runner, &mut self.steps, sched)?;
+            if stepped && self.spin > 0 {
+                let mut z = self.acc ^ self.steps;
+                for _ in 0..self.spin {
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                }
+                self.acc = std::hint::black_box(z);
+            }
+            Ok(stepped)
+        }
+        fn check(&mut self) -> Result<(), String> {
+            if self.tolerant {
+                return Ok(());
+            }
+            match racy_violation(&self.runner) {
+                Some(reason) => Err(reason),
+                None => Ok(()),
+            }
+        }
+    }
+
     /// Runs the fixture under `sched` to quiescence (or a small step
     /// budget) and applies [`racy_violation`] — the `run_one` closure the
     /// explorer and shrinker tests use.
@@ -392,15 +1012,7 @@ pub mod fixtures {
     ///
     /// Returns the violation description (or a livelock report) as `Err`.
     pub fn run_racy(clients: usize, sched: &mut dyn Scheduler) -> Result<(), String> {
-        let mut runner = racy_network(clients);
-        runner.enqueue_wake_all(sched);
-        runner
-            .run(sched, 10_000)
-            .map_err(|e| format!("fixture livelocked: {e}"))?;
-        match racy_violation(&runner) {
-            Some(reason) => Err(reason),
-            None => Ok(()),
-        }
+        super::run_fork_system(&RacySystem::new(clients), sched)
     }
 
     /// Messages of the *fragile* fixture: a hub's ping and a client's pong.
@@ -435,7 +1047,7 @@ pub mod fixtures {
     /// schedule, but a single dropped message (or a delivery discarded by
     /// a crashed client) silences a client forever. This is the fixture
     /// the explorer's fault search exists to break.
-    #[derive(Debug)]
+    #[derive(Clone, Debug)]
     pub enum FragileNode {
         /// The hub: counts the pongs it has heard.
         Hub {
@@ -485,6 +1097,59 @@ pub mod fixtures {
         Runner::new(nodes, knowledge)
     }
 
+    /// The fragile fixture as a checkpointable [`ForkSystem`]; see
+    /// [`RacySystem`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FragileSystem {
+        clients: usize,
+    }
+
+    impl FragileSystem {
+        /// The fixture with `clients` clients behind the fragile hub.
+        pub fn new(clients: usize) -> Self {
+            FragileSystem { clients }
+        }
+    }
+
+    struct FragileRun {
+        runner: Runner<FragileNode>,
+        steps: u64,
+    }
+
+    impl ForkSystem for FragileSystem {
+        fn spawn(&self, sched: &mut dyn Scheduler) -> Box<dyn ForkRun> {
+            let mut runner = fragile_network(self.clients);
+            runner.enqueue_wake_all(sched);
+            Box::new(FragileRun { runner, steps: 0 })
+        }
+    }
+
+    impl ForkRun for FragileRun {
+        fn fork(&self) -> Box<dyn ForkRun> {
+            Box::new(FragileRun {
+                runner: self.runner.clone(),
+                steps: self.steps,
+            })
+        }
+        fn step(&mut self, sched: &mut dyn Scheduler) -> Result<bool, String> {
+            fixture_step(&mut self.runner, &mut self.steps, sched)
+        }
+        fn check(&mut self) -> Result<(), String> {
+            // A violation is only declared against a *complete* state —
+            // hub awake, no messages in flight — so schedule shrinking
+            // cannot fake a failure by merely truncating deliveries.
+            if !self.runner.links_empty() || !self.runner.is_awake(NodeId::new(0)) {
+                return Ok(());
+            }
+            match self.runner.node(NodeId::new(0)) {
+                FragileNode::Hub { pongs, clients } if pongs < clients => Err(format!(
+                    "fragile hub heard only {pongs} of {clients} pongs: a fault silenced a client"
+                )),
+                _ => Ok(()),
+            }
+        }
+    }
+
     /// Runs the fragile fixture under `sched` and checks its (fault-naive)
     /// invariant. A violation is only declared against a *complete* state
     /// — hub awake, no messages in flight — so schedule shrinking cannot
@@ -494,20 +1159,7 @@ pub mod fixtures {
     ///
     /// Returns the violation description (or a livelock report) as `Err`.
     pub fn run_fragile(clients: usize, sched: &mut dyn Scheduler) -> Result<(), String> {
-        let mut runner = fragile_network(clients);
-        runner.enqueue_wake_all(sched);
-        runner
-            .run(sched, 10_000)
-            .map_err(|e| format!("fixture livelocked: {e}"))?;
-        if !runner.links_empty() || !runner.is_awake(NodeId::new(0)) {
-            return Ok(());
-        }
-        match runner.node(NodeId::new(0)) {
-            FragileNode::Hub { pongs, clients } if pongs < clients => Err(format!(
-                "fragile hub heard only {pongs} of {clients} pongs: a fault silenced a client"
-            )),
-            _ => Ok(()),
-        }
+        super::run_fork_system(&FragileSystem::new(clients), sched)
     }
 }
 
@@ -516,6 +1168,7 @@ mod tests {
     use super::*;
     use crate::record::ReplayScheduler;
     use crate::FifoScheduler;
+    use std::collections::VecDeque;
 
     #[test]
     fn fixture_is_clean_under_fifo() {
@@ -547,6 +1200,92 @@ mod tests {
         assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
     }
 
+    /// The pre-ring `DfsScheduler` pending storage: a `VecDeque` removed
+    /// from by index. The ring must be observationally identical to this.
+    struct ModelDfs {
+        pending: VecDeque<Choice>,
+        prefix: Vec<usize>,
+        depth: usize,
+        step: usize,
+        branch_counts: Vec<usize>,
+    }
+
+    impl ModelDfs {
+        fn choose(&mut self) -> Option<Choice> {
+            if self.pending.is_empty() {
+                return None;
+            }
+            if self.step < self.depth {
+                self.branch_counts.push(self.pending.len());
+            }
+            let want = self.prefix.get(self.step).copied().unwrap_or(0);
+            let idx = want.min(self.pending.len() - 1);
+            self.step += 1;
+            self.pending.remove(idx)
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// Satellite: the Fenwick ring keeps the exact "i-th oldest live
+        /// event" semantics of the old `VecDeque::remove(idx)` storage,
+        /// including across compactions, for arbitrary push/choose
+        /// interleavings and prefixes.
+        #[test]
+        fn ring_matches_the_vecdeque_model(
+            prefix in proptest::collection::vec(0usize..6, 0..8),
+            depth in 0usize..8,
+            ops in proptest::collection::vec((0usize..3, 0usize..200), 1..300),
+        ) {
+            let mut ring = DfsScheduler::new(prefix.clone(), depth);
+            let mut model = ModelDfs {
+                pending: VecDeque::new(),
+                prefix,
+                depth,
+                step: 0,
+                branch_counts: Vec::new(),
+            };
+            for (op, arg) in ops {
+                if op == 0 {
+                    // A batch of pushes, ids distinct per arrival index so
+                    // ordering mistakes are visible.
+                    for k in 0..(arg % 5) + 1 {
+                        let id = NodeId::new(arg + k);
+                        ring.note_wake(id);
+                        model.pending.push_back(Choice::Wake(id));
+                    }
+                } else {
+                    proptest::prop_assert_eq!(ring.choose(), model.choose());
+                }
+            }
+            // Drain both completely.
+            loop {
+                let (a, b) = (ring.choose(), model.choose());
+                proptest::prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            proptest::prop_assert_eq!(ring.branch_counts(), model.branch_counts.as_slice());
+        }
+    }
+
+    #[test]
+    fn walk_seeds_never_collide_across_adjacent_bases() {
+        // The old `base + i` scheme made walk i of base b identical to
+        // walk i - 1 of base b + 1; mixed seeds must all be distinct.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..8u64 {
+            for i in 0..64u64 {
+                assert!(
+                    seen.insert(walk_seed(base, i)),
+                    "walk seed collision at base={base} i={i}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn random_walk_finds_the_planted_race() {
         let config = ExploreConfig {
@@ -555,8 +1294,11 @@ mod tests {
             dfs_depth: 0,
             seed: 0,
             fault: None,
+            ..ExploreConfig::default()
         };
-        let report = explore(&config, |sched| fixtures::run_racy(4, sched));
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
+            fixtures::run_racy(4, sched)
+        });
         let failure = report.failure.expect("walk should find the race");
         assert!(matches!(failure.origin, Origin::RandomWalk { .. }));
         assert!(failure.reason.contains("highest-id client"));
@@ -571,8 +1313,11 @@ mod tests {
             dfs_depth: 4,
             seed: 0,
             fault: None,
+            ..ExploreConfig::default()
         };
-        let report = explore(&config, |sched| fixtures::run_racy(2, sched));
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
+            fixtures::run_racy(2, sched)
+        });
         let failure = report.failure.expect("dfs should find the race");
         assert!(matches!(failure.origin, Origin::Dfs { .. }));
     }
@@ -580,7 +1325,9 @@ mod tests {
     #[test]
     fn found_schedules_replay_to_the_same_failure() {
         let config = ExploreConfig::default();
-        let report = explore(&config, |sched| fixtures::run_racy(4, sched));
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
+            fixtures::run_racy(4, sched)
+        });
         let failure = report.failure.expect("should find the race");
         let mut replay = ReplayScheduler::strict(&failure.schedule);
         let err = fixtures::run_racy(4, &mut replay).unwrap_err();
@@ -596,8 +1343,9 @@ mod tests {
             dfs_depth: 3,
             seed: 9,
             fault: None,
+            ..ExploreConfig::default()
         };
-        let report = explore(&config, |sched| {
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
             // Never fails: drain the schedule against a trivial system.
             let mut r = fixtures::racy_network(2);
             r.enqueue_wake_all(sched);
@@ -614,8 +1362,8 @@ mod tests {
     fn fragile_fixture_is_clean_without_faults() {
         // Even a full exploration finds nothing: the fixture only breaks
         // when a fault silences a client.
-        let report = explore(&ExploreConfig::default(), |sched| {
-            fixtures::run_fragile(3, sched)
+        let report = explore(&ExploreConfig::default(), || {
+            |sched: &mut dyn Scheduler| fixtures::run_fragile(3, sched)
         });
         assert!(report.failure.is_none());
     }
@@ -628,8 +1376,11 @@ mod tests {
             dfs_depth: 0,
             seed: 0,
             fault: Some(FaultPlan::new(1).with_drop(0.25)),
+            ..ExploreConfig::default()
         };
-        let report = explore(&config, |sched| fixtures::run_fragile(1, sched));
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
+            fixtures::run_fragile(1, sched)
+        });
         let failure = report.failure.expect("fault search should silence the client");
         assert!(failure.reason.contains("pongs"));
 
@@ -642,8 +1393,8 @@ mod tests {
         // The shrinker minimizes it to the essence: the hub's wake plus the
         // fault that silences its client (a dropped ping, or a delivered
         // ping whose pong is dropped).
-        let result = crate::shrink::shrink(&failure.schedule, |sched| {
-            fixtures::run_fragile(1, sched)
+        let result = crate::shrink::shrink(&failure.schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_fragile(1, sched)
         });
         assert!(
             (2..=3).contains(&result.schedule.len()),
@@ -661,27 +1412,129 @@ mod tests {
     fn dfs_enumerates_distinct_interleavings() {
         // Every DFS run on a benign system produces a distinct choice
         // sequence: the prefix enumeration never repeats a decision path.
-        let mut seen: Vec<Vec<Choice>> = Vec::new();
+        let seen = Mutex::new(Vec::<Vec<Choice>>::new());
         let config = ExploreConfig {
             random_walks: 0,
             dfs_budget: 40,
             dfs_depth: 3,
             seed: 0,
             fault: None,
+            ..ExploreConfig::default()
         };
-        let report = explore(&config, |sched| {
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
             let mut recorder = RecordingScheduler::new(&mut *sched);
             let mut r = fixtures::racy_network(2);
             r.enqueue_wake_all(&mut recorder);
             r.run(&mut recorder, 1_000).map_err(|e| e.to_string())?;
-            seen.push(recorder.recorded().to_vec());
+            seen.lock().expect("seen lock").push(recorder.recorded().to_vec());
             Ok(())
         });
         assert!(report.failure.is_none());
+        let seen = seen.into_inner().expect("seen lock");
         assert!(seen.len() > 5, "expected a real enumeration");
         for a in 0..seen.len() {
             for b in a + 1..seen.len() {
                 assert_ne!(seen[a], seen[b], "schedules {a} and {b} coincide");
+            }
+        }
+    }
+
+    /// Renders a report (counters + failing schedule text) for byte-level
+    /// comparison across engine configurations.
+    fn report_fingerprint(report: &ExploreReport) -> String {
+        let failure = report.failure.as_ref().map_or_else(
+            || "none".to_string(),
+            |f| {
+                format!(
+                    "run {} origin {} reason {}\n{}",
+                    f.run_index,
+                    f.origin,
+                    f.reason,
+                    f.schedule.to_text()
+                )
+            },
+        );
+        format!(
+            "runs {} walks {} dfs {} failure {}",
+            report.runs, report.random_walks, report.dfs_runs, failure
+        )
+    }
+
+    #[test]
+    fn fork_exploration_matches_the_closure_contract() {
+        // The checkpointing fork path and the plain closure path must make
+        // identical searches — same counters, same failure, same schedule.
+        for (walks, dfs, depth) in [(8, 64, 5), (0, 96, 6)] {
+            let config = ExploreConfig {
+                random_walks: walks,
+                dfs_budget: dfs,
+                dfs_depth: depth,
+                seed: 3,
+                fault: None,
+                ..ExploreConfig::default()
+            };
+            let closure = explore(&config, || |sched: &mut dyn Scheduler| {
+                fixtures::run_racy(3, sched)
+            });
+            let forked = explore_fork(&config, &fixtures::RacySystem::new(3));
+            assert_eq!(report_fingerprint(&closure), report_fingerprint(&forked));
+        }
+    }
+
+    #[test]
+    fn checkpointing_changes_nothing_and_verifies_against_scratch() {
+        let base = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 128,
+            dfs_depth: 6,
+            seed: 0,
+            fault: None,
+            ..ExploreConfig::default()
+        };
+        let scratch = explore_fork(
+            &ExploreConfig {
+                checkpoint: false,
+                ..base.clone()
+            },
+            &fixtures::RacySystem::new(3),
+        );
+        // verify_snapshots re-executes every resumed run from scratch and
+        // panics on divergence — running it is the equivalence check.
+        let checked = explore_fork(
+            &ExploreConfig {
+                verify_snapshots: true,
+                ..base
+            },
+            &fixtures::RacySystem::new(3),
+        );
+        assert_eq!(report_fingerprint(&scratch), report_fingerprint(&checked));
+    }
+
+    #[test]
+    fn parallel_jobs_leave_the_report_byte_identical() {
+        for fault in [None, Some(FaultPlan::new(1).with_drop(0.25))] {
+            let base = ExploreConfig {
+                random_walks: 24,
+                dfs_budget: 48,
+                dfs_depth: 5,
+                seed: 1,
+                fault,
+                ..ExploreConfig::default()
+            };
+            let sequential = explore_fork(&base, &fixtures::RacySystem::new(3));
+            for jobs in [2, 4, 8] {
+                let parallel = explore_fork(
+                    &ExploreConfig {
+                        jobs,
+                        ..base.clone()
+                    },
+                    &fixtures::RacySystem::new(3),
+                );
+                assert_eq!(
+                    report_fingerprint(&sequential),
+                    report_fingerprint(&parallel),
+                    "jobs={jobs}"
+                );
             }
         }
     }

@@ -262,7 +262,7 @@ impl FaultPlan {
 /// due crash/restart events fire before inner choices; crash events that
 /// are not yet due when the inner scheduler quiesces fire then, so every
 /// crash always gets its restart and the run still terminates.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FaultScheduler<S> {
     inner: S,
     plan: Option<FaultPlan>,
@@ -300,6 +300,11 @@ impl<S: Scheduler> FaultScheduler<S> {
     /// The wrapped scheduler.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped scheduler.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
     }
 
     /// Consumes the wrapper, returning the inner scheduler.

@@ -77,6 +77,7 @@ pub mod explore;
 pub mod fault;
 mod id;
 mod metrics;
+pub mod par;
 pub mod record;
 mod runner;
 mod scheduler;

@@ -293,7 +293,7 @@ impl Error for ScheduleParseError {}
 ///
 /// The wrapper is transparent: the inner scheduler sees every token and
 /// makes every decision; `RecordingScheduler` only logs what it returns.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RecordingScheduler<S> {
     inner: S,
     recorded: Vec<Choice>,
@@ -311,6 +311,17 @@ impl<S> RecordingScheduler<S> {
     /// The choices recorded so far, in execution order.
     pub fn recorded(&self) -> &[Choice] {
         &self.recorded
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped scheduler (the explorer retargets a
+    /// checkpointed scheduler stack through this before resuming it).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
     }
 
     /// Consumes the wrapper, returning the recorded [`Schedule`].

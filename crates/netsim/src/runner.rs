@@ -115,6 +115,11 @@ type LinkQueue<M> = VecDeque<(M, u64)>;
 /// dense slot on first send (so steady-state traffic reuses its queue).
 ///
 /// See the [crate-level documentation](crate) for a complete example.
+///
+/// Cloning a runner (for `P: Clone`) deep-copies the whole network state —
+/// nodes, knowledge, link queues, metrics — which is what the explorer's
+/// checkpoint/fork machinery snapshots at DFS branch points.
+#[derive(Clone)]
 pub struct Runner<P: Protocol> {
     nodes: Vec<P>,
     knowledge: Vec<BitSet>,

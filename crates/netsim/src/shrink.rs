@@ -15,7 +15,14 @@
 //! sequence of choices that *actually executed* becomes the new baseline,
 //! so the minimized schedule is always strict-replayable — what you check
 //! into a corpus replays byte-for-byte.
+//!
+//! [`shrink_jobs`] evaluates each round's candidate removals speculatively
+//! on worker threads but consumes the outcomes in the exact order the
+//! sequential loop would, accepting the same candidate it would accept —
+//! the result (schedule, reason, even the `attempts` counter) is
+//! byte-identical at any job count.
 
+use crate::par;
 use crate::record::{RecordingScheduler, ReplayScheduler, Schedule};
 use crate::scheduler::{Choice, Scheduler};
 
@@ -28,7 +35,9 @@ pub struct ShrinkResult {
     pub reason: String,
     /// Choice count of the input schedule.
     pub original_len: usize,
-    /// Number of candidate schedules executed during minimization.
+    /// Number of candidate schedules executed during minimization (counting
+    /// only candidates the sequential order consumed, so the number is
+    /// identical at any job count).
     pub attempts: u64,
 }
 
@@ -44,9 +53,10 @@ impl ShrinkResult {
 
 /// Minimizes a failing schedule to a 1-minimal subsequence that still fails.
 ///
-/// `run_one` is the same property closure the explorer takes: it builds the
-/// system from scratch, drives it with the given scheduler and returns
-/// `Err(reason)` on violation. The input `schedule` must fail under it.
+/// `factory` is the same system factory the explorer takes: each call
+/// builds a fresh `run_one` closure that constructs the system from
+/// scratch, drives it with the given scheduler and returns `Err(reason)`
+/// on violation. The input `schedule` must fail under it.
 ///
 /// The returned schedule keeps the input's metadata, with `shrunk-from`
 /// recording the original length. Runs in at most
@@ -58,22 +68,39 @@ impl ShrinkResult {
 ///
 /// Panics if `schedule` does not fail under `run_one` — a shrinker fed a
 /// passing schedule indicates a non-deterministic `run_one`.
-pub fn shrink<F>(schedule: &Schedule, mut run_one: F) -> ShrinkResult
+pub fn shrink<F, R>(schedule: &Schedule, factory: F) -> ShrinkResult
 where
-    F: FnMut(&mut dyn Scheduler) -> Result<(), String>,
+    F: Fn() -> R + Sync,
+    R: FnMut(&mut dyn Scheduler) -> Result<(), String>,
 {
-    let mut attempts: u64 = 0;
-    // `try_choices` runs a candidate leniently; on failure it returns the
-    // re-recorded (normalized) sequence plus the failure reason.
-    let mut try_choices = |choices: &[Choice], attempts: &mut u64| -> Option<(Vec<Choice>, String)> {
-        *attempts += 1;
+    shrink_jobs(schedule, 1, factory)
+}
+
+/// [`shrink`] with `jobs` worker threads evaluating each ddmin round's
+/// candidate removals speculatively. The accepted candidates, the final
+/// schedule and every counter are byte-identical to `jobs = 1`.
+///
+/// # Panics
+///
+/// Panics if `schedule` does not fail under `run_one` (see [`shrink`]).
+pub fn shrink_jobs<F, R>(schedule: &Schedule, jobs: usize, factory: F) -> ShrinkResult
+where
+    F: Fn() -> R + Sync,
+    R: FnMut(&mut dyn Scheduler) -> Result<(), String>,
+{
+    let jobs = jobs.max(1);
+    // Runs a candidate leniently; on failure returns the re-recorded
+    // (normalized) sequence plus the failure reason.
+    let try_choices = |choices: &[Choice]| -> Option<(Vec<Choice>, String)> {
+        let mut run_one = factory();
         let mut sched = RecordingScheduler::new(ReplayScheduler::lenient(choices));
         let result = run_one(&mut sched);
         let reason = result.err()?;
         Some((sched.recorded().to_vec(), reason))
     };
 
-    let (mut best, mut reason) = try_choices(schedule.choices(), &mut attempts)
+    let mut attempts: u64 = 1; // the initial validation below
+    let (mut best, mut reason) = try_choices(schedule.choices())
         .expect("shrink: input schedule does not fail under run_one");
     let original_len = schedule.len();
 
@@ -82,18 +109,43 @@ where
         let mut shrunk_this_pass = false;
         let mut start = 0;
         while start < best.len() {
-            let end = (start + chunk).min(best.len());
-            let mut candidate = Vec::with_capacity(best.len() - (end - start));
-            candidate.extend_from_slice(&best[..start]);
-            candidate.extend_from_slice(&best[end..]);
-            match try_choices(&candidate, &mut attempts) {
-                Some((normalized, r)) if normalized.len() < best.len() => {
-                    best = normalized;
-                    reason = r;
-                    shrunk_this_pass = true;
-                    // Re-test the same position: the slice shifted left.
+            // Speculative batch: the candidates the sequential loop would
+            // try next, in order — removals at start, start + chunk, … of
+            // the *current* best. Outcomes are consumed in that order; an
+            // acceptance invalidates the rest of the batch (they were cut
+            // from a stale baseline), so they are discarded unconsumed and
+            // the next batch is cut from the new best at the same start.
+            let batch_cap = if jobs <= 1 { 1 } else { jobs * 2 };
+            let mut starts = Vec::with_capacity(batch_cap);
+            let mut s = start;
+            while s < best.len() && starts.len() < batch_cap {
+                starts.push(s);
+                s += chunk;
+            }
+            let candidates: Vec<Vec<Choice>> = starts
+                .iter()
+                .map(|&s| {
+                    let end = (s + chunk).min(best.len());
+                    let mut candidate = Vec::with_capacity(best.len() - (end - s));
+                    candidate.extend_from_slice(&best[..s]);
+                    candidate.extend_from_slice(&best[end..]);
+                    candidate
+                })
+                .collect();
+            let outcomes = par::parallel_map(jobs, candidates, |c| try_choices(&c));
+            for (s, outcome) in starts.into_iter().zip(outcomes) {
+                attempts += 1;
+                match outcome {
+                    Some((normalized, r)) if normalized.len() < best.len() => {
+                        best = normalized;
+                        reason = r;
+                        shrunk_this_pass = true;
+                        // Re-test the same position: the slice shifted left.
+                        start = s;
+                        break;
+                    }
+                    _ => start = (s + chunk).min(best.len()),
                 }
-                _ => start = end,
             }
         }
         if chunk == 1 {
@@ -127,8 +179,8 @@ mod tests {
     use crate::record::ReplayScheduler;
 
     fn find_failure(clients: usize) -> Schedule {
-        let report = explore(&ExploreConfig::default(), |sched| {
-            fixtures::run_racy(clients, sched)
+        let report = explore(&ExploreConfig::default(), move || {
+            move |sched: &mut dyn Scheduler| fixtures::run_racy(clients, sched)
         });
         report.failure.expect("explorer should find the race").schedule
     }
@@ -136,7 +188,9 @@ mod tests {
     #[test]
     fn shrinks_the_planted_race_by_at_least_half() {
         let schedule = find_failure(4);
-        let result = shrink(&schedule, |sched| fixtures::run_racy(4, sched));
+        let result = shrink(&schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_racy(4, sched)
+        });
         assert!(
             result.reduction() >= 0.5,
             "only shrank {} → {} choices",
@@ -151,7 +205,9 @@ mod tests {
     #[test]
     fn minimized_schedule_strict_replays_to_the_same_failure() {
         let schedule = find_failure(3);
-        let result = shrink(&schedule, |sched| fixtures::run_racy(3, sched));
+        let result = shrink(&schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_racy(3, sched)
+        });
         let mut replay = ReplayScheduler::strict(&result.schedule);
         let err = fixtures::run_racy(3, &mut replay).unwrap_err();
         assert_eq!(err, result.reason);
@@ -162,7 +218,9 @@ mod tests {
     #[test]
     fn minimized_schedule_is_one_minimal() {
         let schedule = find_failure(3);
-        let result = shrink(&schedule, |sched| fixtures::run_racy(3, sched));
+        let result = shrink(&schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_racy(3, sched)
+        });
         let best = result.schedule.choices();
         for skip in 0..best.len() {
             let mut candidate: Vec<Choice> = best.to_vec();
@@ -179,7 +237,9 @@ mod tests {
     fn shrink_records_provenance_meta() {
         let mut schedule = find_failure(2);
         schedule.set_meta("case", "demo");
-        let result = shrink(&schedule, |sched| fixtures::run_racy(2, sched));
+        let result = shrink(&schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_racy(2, sched)
+        });
         assert_eq!(result.schedule.meta("case"), Some("demo"));
         assert_eq!(
             result.schedule.meta("shrunk-from"),
@@ -189,12 +249,30 @@ mod tests {
     }
 
     #[test]
+    fn parallel_shrink_is_byte_identical_to_sequential() {
+        let schedule = find_failure(4);
+        let sequential = shrink_jobs(&schedule, 1, || {
+            |sched: &mut dyn Scheduler| fixtures::run_racy(4, sched)
+        });
+        for jobs in [2, 4, 8] {
+            let parallel = shrink_jobs(&schedule, jobs, || {
+                |sched: &mut dyn Scheduler| fixtures::run_racy(4, sched)
+            });
+            assert_eq!(parallel.schedule, sequential.schedule, "jobs={jobs}");
+            assert_eq!(parallel.reason, sequential.reason, "jobs={jobs}");
+            assert_eq!(parallel.attempts, sequential.attempts, "jobs={jobs}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "input schedule does not fail")]
     fn passing_schedule_is_rejected() {
         // A FIFO-recorded run of the fixture passes; shrinking it is a bug.
         let mut sched = RecordingScheduler::new(crate::FifoScheduler::new());
         fixtures::run_racy(2, &mut sched).unwrap();
         let schedule = sched.into_schedule();
-        shrink(&schedule, |s| fixtures::run_racy(2, s));
+        shrink(&schedule, || {
+            |s: &mut dyn Scheduler| fixtures::run_racy(2, s)
+        });
     }
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Runs the engine-throughput bench and rewrites BENCH_throughput.json in one
-# step, from the repo root:
+# Runs the engine-throughput and explorer-scaling benches and rewrites
+# BENCH_throughput.json + BENCH_explore.json in one step, from the repo root:
 #
 #   scripts/bench.sh            # full sweep (n = 256, 1024, 4096)
 #   scripts/bench.sh --quick    # tiny sweep, for smoke-testing the harness
@@ -10,5 +10,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench --offline -p ard-bench --bench throughput
+cargo bench --offline -p ard-bench --bench explore
 cargo run --offline --release -p ard-bench --bin tables -- \
     --bench-throughput BENCH_throughput.json "$@"
+cargo run --offline --release -p ard-bench --bin tables -- \
+    --bench-explore BENCH_explore.json "$@"

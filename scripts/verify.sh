@@ -6,7 +6,9 @@
 # Runs the build + test + lint gate from ROADMAP.md, then a small bounded
 # `ard explore` run twice with a fixed budget and seed, asserting the two
 # runs are byte-identical (the explorer is deterministic) and clean (no
-# violation on a healthy build), then a chaos smoke: one seeded lossy
+# violation on a healthy build), then the same exploration at --jobs 4
+# (parallel search must be byte-identical to sequential) and a
+# checkpoint/fork snapshot-equivalence run, then a chaos smoke: one seeded lossy
 # discovery run per variant, diffed against the pinned snapshot
 # scripts/chaos-smoke.snapshot (regenerate it with
 # scripts/verify.sh --regen-chaos after an intentional engine change and
@@ -33,6 +35,22 @@ if ! grep -q "no violation found" <<<"$a"; then
     exit 1
 fi
 
+# Parallel search must leave the output byte-identical to sequential.
+p="$("${explore[@]}" --jobs 4)"
+if [[ "$a" != "$p" ]]; then
+    echo "verify: explore --jobs 4 diverged from the sequential run" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$p") >&2 || true
+    exit 1
+fi
+
+# Checkpoint/fork prefix reuse self-check: every resumed snapshot is
+# re-verified against a from-scratch replay (panics on divergence).
+snap_out="$(mktemp /tmp/ard-verify-snapshots.XXXXXX)"
+cargo run --offline --release -p ard-cli --bin ard -- \
+    explore --system racy:3 --budget 64 --depth 6 --seed 3 \
+    --jobs 4 --check-snapshots --out "$snap_out" > /dev/null
+rm -f "$snap_out"
+
 # Chaos smoke: one seeded lossy/crashy run per variant, byte-compared
 # against the pinned snapshot (everything is seeded, so the output is
 # deterministic down to the metrics table).
@@ -56,4 +74,4 @@ if ! diff -u "$snapshot" <(chaos); then
     echo "verify: if intentional, regenerate with scripts/verify.sh --regen-chaos" >&2
     exit 1
 fi
-echo "verify: OK (tier-1 green, explore smoke deterministic, chaos smoke matches snapshot)"
+echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot)"

@@ -248,12 +248,17 @@ fn regenerate_fault_corpus() {
         dfs_depth: 0,
         seed: 0,
         fault: Some(plan),
+        ..ExploreConfig::default()
     };
-    let report = explore(&config, |sched| fixtures::run_fragile(1, sched));
+    let report = explore(&config, || {
+        |sched: &mut dyn Scheduler| fixtures::run_fragile(1, sched)
+    });
     let failure = report
         .failure
         .expect("the planted fragile bug must be found");
-    let shrunk = shrink(&failure.schedule, |sched| fixtures::run_fragile(1, sched));
+    let shrunk = shrink(&failure.schedule, || {
+        |sched: &mut dyn Scheduler| fixtures::run_fragile(1, sched)
+    });
     let mut schedule = shrunk.schedule;
     assert!(
         schedule
