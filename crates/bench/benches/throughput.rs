@@ -16,7 +16,13 @@ use ard_netsim::{FifoScheduler, RandomScheduler, Scheduler};
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("events_per_sec");
     group.sample_size(10);
-    for n in ard_bench::throughput::THROUGHPUT_SIZES {
+    // The JSON sweep (`tables --bench-throughput`) covers the large tail
+    // with single repetitions; criterion's 10-sample statistics at n = 10⁶
+    // would take an hour for no extra signal.
+    for n in ard_bench::throughput::THROUGHPUT_SIZES
+        .into_iter()
+        .filter(|&n| n <= ard_bench::throughput::SINGLE_REP_ABOVE)
+    {
         let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
         for scheduler in ["fifo", "random"] {
             group.throughput(Throughput::Elements(run_events(n, scheduler)));

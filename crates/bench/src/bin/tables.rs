@@ -92,8 +92,8 @@ fn main() -> ExitCode {
         let points = ard_bench::throughput::measure(&sizes, 3);
         for p in &points {
             println!(
-                "n={:<5} {:<7} {:>9} events in {:>8.3}s  ->  {:>12.0} events/s",
-                p.n, p.scheduler, p.events, p.secs, p.events_per_sec
+                "n={:<7} {:<7} {:>9} events in {:>8.3}s  ->  {:>12.0} events/s  ({:>7.1} knowledge B/node)",
+                p.n, p.scheduler, p.events, p.secs, p.events_per_sec, p.knowledge_bytes_per_node
             );
         }
         let json = ard_bench::throughput::to_json(&points);

@@ -727,6 +727,65 @@ pub fn e14_schedule_sensitivity(quick: bool) -> Table {
     t
 }
 
+/// E15 — scale: the Theorem 5/6 message budgets re-verified at large `n`
+/// (single seed per point; a 10⁶-node run is minutes, so no repetition),
+/// plus the engine-side scale metrics the million-node engine targets:
+/// executed events and knowledge-set bytes per node under interval coding.
+pub fn e15_scale(quick: bool) -> Table {
+    let mut t = Table::new(
+        "e15",
+        "Scale — Theorem 5/6 budgets and engine memory at large n, random G(n, 3n), single seed",
+        &[
+            "variant",
+            "n",
+            "|E0|",
+            "messages",
+            "msgs/n",
+            "msgs/(n·log n)",
+            "msgs/(n·α)",
+            "events",
+            "knowledge B/node",
+        ],
+    );
+    // All sizes sit above the dense-knowledge cutoff, so every run
+    // exercises the run-coded representation.
+    let sizes: &[usize] = if quick { &[16_384] } else { &[65_536, 1_048_576] };
+    for &n in sizes {
+        for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+            let started = std::time::Instant::now();
+            let (d, graph) = run_once(n, 2 * n, variant, Config::paper(), n as u64);
+            // A 10⁶-node run is minutes of silence otherwise.
+            eprintln!(
+                "e15: {variant:?} n={n}: {} events in {:.1}s",
+                d.runner().steps_executed(),
+                started.elapsed().as_secs_f64()
+            );
+            let m = d.runner().metrics();
+            let check = match variant {
+                Variant::Oblivious => budgets::check_theorem_5(m, n as u64),
+                _ => budgets::check_theorem_6(m, n as u64),
+            };
+            check.expect("theorem bound violated at scale");
+            let msgs = m.total_messages() as f64;
+            let nf = n as f64;
+            let a = alpha(n as u64, n as u64);
+            t.push_row(vec![
+                format!("{variant:?}"),
+                n.to_string(),
+                graph.edge_count().to_string(),
+                format!("{msgs:.0}"),
+                format!("{:.2}", msgs / nf),
+                format!("{:.2}", msgs / (nf * log2f(n as u64))),
+                format!("{:.2}", msgs / (nf * a as f64)),
+                d.runner().steps_executed().to_string(),
+                format!("{:.1}", d.runner().knowledge_bytes() as f64 / nf),
+            ]);
+        }
+    }
+    t.push_note("same budget checks as E1-E3 (check_theorem_5/6), applied at the scale the interval-coded engine unlocks; knowledge B/node would be n/8 bytes (8 KiB at 65536, 128 KiB at 10^6) under dense bitsets");
+    t
+}
+
 /// F1 — Figure 1: the observed transition set equals the diagram exactly.
 pub fn f1_transition_coverage(quick: bool) -> Table {
     let mut t = Table::new(

@@ -45,6 +45,7 @@ pub fn all_tables(quick: bool) -> Vec<Table> {
         experiments::e12_overlay_pipeline,
         experiments::e13_phase_distribution,
         experiments::e14_schedule_sensitivity,
+        experiments::e15_scale,
         experiments::f1_transition_coverage,
         experiments::a1_path_compression,
         experiments::a2_balanced_queries,

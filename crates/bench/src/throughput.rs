@@ -12,8 +12,15 @@ use ard_core::{Discovery, Variant};
 use ard_graph::gen;
 use ard_netsim::{FifoScheduler, RandomScheduler, Scheduler};
 
-/// Network sizes the throughput sweep covers.
-pub const THROUGHPUT_SIZES: [usize; 3] = [256, 1024, 4096];
+/// Network sizes the throughput sweep covers. The large tail exercises the
+/// SoA node table and interval-coded knowledge (n > 8192 switches the
+/// runner to run-coded sets); `measure` drops to one repetition there.
+pub const THROUGHPUT_SIZES: [usize; 5] = [256, 1024, 4096, 65536, 1_048_576];
+
+/// Sizes above this measure with a single repetition (a full 10⁶-node
+/// discovery is ~1.5·10⁷ events; best-of-3 would triple a minutes-long
+/// sweep for noise reduction the big numbers don't need).
+pub const SINGLE_REP_ABOVE: usize = 16_384;
 
 /// One measured (n, scheduler) throughput point.
 #[derive(Clone, Debug)]
@@ -28,6 +35,9 @@ pub struct ThroughputPoint {
     pub secs: f64,
     /// `events / secs` for the best repetition.
     pub events_per_sec: f64,
+    /// Heap bytes of per-node knowledge at quiescence, divided by `n` —
+    /// the memory metric the interval-coded representation targets.
+    pub knowledge_bytes_per_node: f64,
 }
 
 fn make_scheduler(name: &'static str, seed: u64) -> Box<dyn Scheduler> {
@@ -55,16 +65,19 @@ pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
     let mut points = Vec::new();
     for &n in sizes {
         let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
+        let reps = if n > SINGLE_REP_ABOVE { 1 } else { reps.max(1) };
         for scheduler in ["fifo", "random"] {
             let mut best_secs = f64::INFINITY;
             let mut events = 0u64;
-            for _ in 0..reps.max(1) {
+            let mut knowledge_bytes = 0usize;
+            for _ in 0..reps {
                 let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
                 let mut d = Discovery::new(&graph, Variant::Oblivious);
                 let start = Instant::now();
                 d.run_all(sched.as_mut()).expect("throughput run livelocked");
                 let secs = start.elapsed().as_secs_f64();
                 events = d.runner().steps_executed();
+                knowledge_bytes = d.runner().knowledge_bytes();
                 best_secs = best_secs.min(secs);
             }
             points.push(ThroughputPoint {
@@ -73,6 +86,7 @@ pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
                 events,
                 secs: best_secs,
                 events_per_sec: events as f64 / best_secs,
+                knowledge_bytes_per_node: knowledge_bytes as f64 / n as f64,
             });
         }
     }
@@ -84,12 +98,13 @@ pub fn to_json(points: &[ThroughputPoint]) -> String {
     let mut out = String::from("{\n  \"metric\": \"events_per_sec\",\n  \"workload\": \"oblivious discovery on random G(n, 3n)\",\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"scheduler\": \"{}\", \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"n\": {}, \"scheduler\": \"{}\", \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}, \"knowledge_bytes_per_node\": {:.1}}}{}\n",
             p.n,
             p.scheduler,
             p.events,
             p.secs,
             p.events_per_sec,
+            p.knowledge_bytes_per_node,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

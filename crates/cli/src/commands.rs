@@ -43,6 +43,9 @@ commands:
              --topology SPEC (default random:n=64,extra=128)
              --variant oblivious|bounded|adhoc (default adhoc)
              --scheduler fifo|lifo|random[:SEED]|bounded:D[,SEED] (default random)
+             --shards N    execute on N worker threads (needs --scheduler
+                           fifo); output is byte-identical at any N
+             --max-steps N override the livelock step budget
              --trace N     print the first N trace events
              --dot PATH    write the final state as Graphviz DOT
              --stats       print per-node / per-link traffic hot spots
@@ -192,9 +195,11 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
             || flags.contains_key("dot")
             || flags.contains_key("faults")
             || flags.contains_key("record")
+            || flags.contains_key("shards")
+            || flags.contains_key("max-steps")
         {
             return Err(CliError(
-                "--sweep runs summary trials only: drop --trace/--stats/--dot/--faults/--record"
+                "--sweep runs summary trials only: drop --trace/--stats/--dot/--faults/--record/--shards/--max-steps"
                     .into(),
             ));
         }
@@ -202,6 +207,20 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
     }
     if flags.contains_key("jobs") {
         return Err(CliError("--jobs needs --sweep".into()));
+    }
+    let shards = flag_usize(&flags, "shards", 0)?;
+    if flags.contains_key("shards") {
+        if flags.get("scheduler").map(String::as_str) != Some("fifo") {
+            return Err(CliError("--shards needs --scheduler fifo".into()));
+        }
+        if shards == 0 {
+            return Err(CliError("--shards must be ≥ 1".into()));
+        }
+        if flags.contains_key("faults") {
+            return Err(CliError(
+                "--shards runs a fault-free network: drop --faults".into(),
+            ));
+        }
     }
 
     if let Some(fault_spec) = flags.get("faults") {
@@ -221,9 +240,24 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
     if trace_limit > 0 || want_stats {
         d.runner_mut().enable_trace();
     }
-    let outcome = d
-        .run_all(sched.as_mut())
-        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+    let budget = match flags.get("max-steps") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CliError(format!("--max-steps: `{v}` is not a number")))?,
+        None => d.default_step_budget(),
+    };
+    let result = if shards > 0 {
+        d.run_all_sharded_capped(shards, budget)
+    } else {
+        d.enqueue_wake_all(sched.as_mut());
+        let steps = d.runner_mut().run(sched.as_mut(), budget);
+        steps.map(|steps| {
+            let mut outcome = d.outcome();
+            outcome.steps = steps;
+            outcome
+        })
+    };
+    let outcome = result.map_err(|e| CliError(format!("simulation failed: {e}")))?;
     d.check_requirements(&graph)
         .map_err(|e| CliError(format!("requirements violated: {e}")))?;
 
@@ -949,6 +983,36 @@ mod tests {
         let out = run_line("discover --topology ring:8 --scheduler fifo --stats").unwrap();
         assert!(out.contains("traffic hot spots:"));
         assert!(out.contains("busiest link:"));
+    }
+
+    #[test]
+    fn discover_shards_do_not_change_output() {
+        let sequential =
+            run_line("discover --topology random:n=40,extra=80 --variant adhoc --scheduler fifo --stats")
+                .unwrap();
+        for shards in [1, 4] {
+            let sharded = run_line(&format!(
+                "discover --topology random:n=40,extra=80 --variant adhoc --scheduler fifo --stats --shards {shards}"
+            ))
+            .unwrap();
+            assert_eq!(sharded, sequential, "--shards {shards} diverged");
+        }
+    }
+
+    #[test]
+    fn discover_shards_need_fifo() {
+        let err = run_line("discover --topology ring:8 --shards 2").unwrap_err();
+        assert!(err.0.contains("--shards needs --scheduler fifo"));
+        let err = run_line("discover --topology ring:8 --scheduler fifo --shards 0").unwrap_err();
+        assert!(err.0.contains("--shards must be ≥ 1"));
+    }
+
+    #[test]
+    fn discover_max_steps_caps_the_run() {
+        let err = run_line("discover --topology ring:12 --scheduler fifo --max-steps 3").unwrap_err();
+        assert!(err.0.contains("simulation failed"), "{}", err.0);
+        let ok = run_line("discover --topology ring:12 --scheduler fifo --max-steps 100000").unwrap();
+        assert!(ok.contains("requirements: satisfied"));
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl Discovery {
     pub fn with_config(graph: &KnowledgeGraph, variant: Variant, config: Config) -> Self {
         let mut nodes: Vec<ArdNode> = graph
             .ids()
-            .map(|id| ArdNode::new(id, graph.out_edges(id).to_vec(), variant, config))
+            .map(|id| ArdNode::new(id, graph.out_edges(id).iter().copied(), variant, config))
             .collect();
         if variant == Variant::Bounded {
             let comp = components::weakly_connected_components(graph);
@@ -83,7 +83,9 @@ impl Discovery {
             }
         }
         Discovery {
-            runner: Runner::new(nodes, graph.initial_knowledge()),
+            // Borrow the adjacency lists straight out of the graph: no
+            // per-node `Vec` clones, which matters at n = 10⁶.
+            runner: Runner::with_topology(nodes, |id| graph.out_edges(id)),
             graph: graph.clone(),
             variant,
             config,
@@ -154,6 +156,57 @@ impl Discovery {
     pub fn run_all(&mut self, sched: &mut dyn Scheduler) -> Result<Outcome, LivelockError> {
         self.enqueue_wake_all(sched);
         self.run(sched)
+    }
+
+    /// Wakes every node and runs to quiescence on `shards` worker threads —
+    /// the sharded equivalent of [`run_all`](Discovery::run_all) under a
+    /// FIFO scheduler. Output (metrics, trace, knowledge, node state, step
+    /// count) is byte-identical at any shard count, including `1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LivelockError`] if the default step budget is exhausted
+    /// first, exactly when the sequential run would.
+    pub fn run_all_sharded(&mut self, shards: usize) -> Result<Outcome, LivelockError> {
+        let budget = self.default_step_budget();
+        self.run_all_sharded_capped(shards, budget)
+    }
+
+    /// Like [`run_all_sharded`](Discovery::run_all_sharded), with an
+    /// explicit step budget instead of the default one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LivelockError`] if `max_steps` events execute without
+    /// reaching quiescence.
+    pub fn run_all_sharded_capped(
+        &mut self,
+        shards: usize,
+        max_steps: u64,
+    ) -> Result<Outcome, LivelockError> {
+        let steps = self.runner.run_sharded(shards, max_steps)?;
+        let mut outcome = self.outcome();
+        outcome.steps = steps;
+        Ok(outcome)
+    }
+
+    /// Like [`run_recorded`](Discovery::run_recorded) under a FIFO
+    /// scheduler, but executed on `shards` worker threads: the returned
+    /// [`Schedule`] is byte-identical to a sequential FIFO recording.
+    pub fn run_sharded_recorded(
+        &mut self,
+        shards: usize,
+    ) -> (Result<Outcome, LivelockError>, Schedule) {
+        let budget = self.default_step_budget();
+        let (result, mut schedule) = self.runner.run_sharded_recorded(shards, budget);
+        schedule.set_meta("nodes", self.runner.len().to_string());
+        schedule.set_meta("variant", self.variant.to_string());
+        let result = result.map(|steps| {
+            let mut outcome = self.outcome();
+            outcome.steps = steps;
+            outcome
+        });
+        (result, schedule)
     }
 
     /// Like [`run_all`](Discovery::run_all), but records the exact choice

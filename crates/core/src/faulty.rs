@@ -62,7 +62,7 @@ impl FaultyDiscovery {
         let config = Config::paper();
         let mut nodes: Vec<ArdNode> = graph
             .ids()
-            .map(|id| ArdNode::new(id, graph.out_edges(id).to_vec(), variant, config))
+            .map(|id| ArdNode::new(id, graph.out_edges(id).iter().copied(), variant, config))
             .collect();
         if variant == Variant::Bounded {
             for component in components::weakly_connected_components(graph) {
@@ -72,9 +72,9 @@ impl FaultyDiscovery {
             }
         }
         FaultyDiscovery {
-            runner: Runner::new(
+            runner: Runner::with_topology(
                 nodes.into_iter().map(Reliable::new).collect(),
-                graph.initial_knowledge(),
+                |id| graph.out_edges(id),
             ),
             graph: graph.clone(),
             variant,

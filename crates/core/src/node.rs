@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use ard_netsim::{Context, NodeId, Protocol};
+use ard_netsim::{Context, MessageArena, NodeId, Protocol};
 
 use crate::msg::{InfoPayload, Message, Verdict};
 use crate::status::{Status, Transition};
@@ -108,12 +108,21 @@ pub struct ArdNode {
     transitions: Vec<Transition>,
     probe_results: Vec<Vec<NodeId>>,
     probes_outstanding: usize,
+
+    /// Recycled id-list buffers for outgoing payloads (query replies, info
+    /// handovers); consumed payloads are returned here.
+    arena: MessageArena<NodeId>,
 }
 
 impl ArdNode {
     /// Creates a sleeping node that initially knows the ids in `local`
     /// (its out-edges in `E₀`; must not include `id` itself).
-    pub fn new(id: NodeId, local: Vec<NodeId>, variant: Variant, config: Config) -> Self {
+    pub fn new(
+        id: NodeId,
+        local: impl IntoIterator<Item = NodeId>,
+        variant: Variant,
+        config: Config,
+    ) -> Self {
         let local: BTreeSet<NodeId> = local.into_iter().collect();
         assert!(
             !local.contains(&id),
@@ -141,6 +150,7 @@ impl ArdNode {
             transitions: Vec::new(),
             probe_results: Vec::new(),
             probes_outstanding: 0,
+            arena: MessageArena::new(),
         }
     }
 
@@ -278,7 +288,8 @@ impl ArdNode {
         match self.status {
             Status::Explore | Status::Wait | Status::Passive => {
                 // We are our own (possibly provisional) leader.
-                self.probe_results.push(self.snapshot());
+                let snap = self.snapshot();
+                self.probe_results.push(snap);
             }
             Status::Inactive => {
                 self.probes_outstanding += 1;
@@ -427,24 +438,27 @@ impl ArdNode {
         } else {
             (want as usize).min(self.local.len())
         };
-        let ids: Vec<NodeId> = self.local.iter().take(take).copied().collect();
+        let mut ids = self.arena.alloc();
+        ids.extend(self.local.iter().take(take).copied());
         for v in &ids {
             self.local.remove(v);
         }
         (ids, self.local.is_empty())
     }
 
-    /// Leader-side bookkeeping for a query reply from `w`.
-    fn absorb_query_reply(&mut self, w: NodeId, ids: Vec<NodeId>, exhausted: bool) {
+    /// Leader-side bookkeeping for a query reply from `w`. The consumed id
+    /// buffer is recycled into this node's arena.
+    fn absorb_query_reply(&mut self, w: NodeId, mut ids: Vec<NodeId>, exhausted: bool) {
         if exhausted {
             self.more.remove(&w);
             self.done.insert(w);
         }
-        for v in ids {
+        for v in ids.drain(..) {
             if v != self.id && !self.in_cluster(v) {
                 self.unexplored.insert(v);
             }
         }
+        self.arena.recycle(ids);
     }
 
     /// Bounded variant: check `|done| = n` and, if reached, broadcast the
@@ -491,10 +505,27 @@ impl ArdNode {
 
     /// Re-attempts deferred messages after a state change, preserving their
     /// FIFO order, until a full pass makes no progress.
+    /// Whether the current state can consume deferred messages at all. The
+    /// busy states defer every `search`/`probe` [D1], so pumping them would
+    /// re-defer the entire queue without progress — and the Bounded/Ad-hoc
+    /// endgame leader sits in `Explore` with an O(n) queue while absorbing
+    /// O(n) query replies, so those no-op scans are a hidden quadratic.
+    /// Skipping them is exact: re-deferral has no side effects and the
+    /// scan preserves queue order, so the schedule is unchanged.
+    fn can_consume_deferred(&self) -> bool {
+        matches!(
+            self.status,
+            Status::Wait | Status::Passive | Status::Inactive
+        )
+    }
+
     fn pump_deferred(&mut self, ctx: &mut Context<'_, Message>) {
         loop {
             let mut progressed = false;
             for _ in 0..self.deferred.len() {
+                if !self.can_consume_deferred() {
+                    return;
+                }
                 let (from, msg) = self.deferred.pop_front().expect("len checked");
                 match self.dispatch(from, msg, ctx) {
                     Disposition::Consumed => progressed = true,
@@ -647,13 +678,14 @@ impl ArdNode {
             Message::Probe { origin } => {
                 // Leaders (and provisional passive ex-leaders) answer with
                 // their current snapshot; path compression happens en route.
+                let ids = self.snapshot();
                 ctx.send(
                     from,
                     Message::ProbeReply {
                         leader: self.id,
                         leader_phase: self.phase,
                         dest: origin,
-                        ids: self.snapshot(),
+                        ids,
                     },
                 );
                 Disposition::Consumed
@@ -674,13 +706,16 @@ impl ArdNode {
     }
 
     /// The ids this (possibly provisional) leader knows of its component.
-    fn snapshot(&self) -> Vec<NodeId> {
-        self.more
-            .iter()
-            .chain(self.done.iter())
-            .chain(self.unaware.iter())
-            .copied()
-            .collect()
+    fn snapshot(&mut self) -> Vec<NodeId> {
+        let mut ids = self.arena.alloc();
+        ids.extend(
+            self.more
+                .iter()
+                .chain(self.done.iter())
+                .chain(self.unaware.iter())
+                .copied(),
+        );
+        ids
     }
 
     // --- Conquered (paper Figure 6, top). --------------------------------
@@ -712,14 +747,22 @@ impl ArdNode {
             }
             Message::MergeAccept => {
                 self.next = from;
+                let mut more = self.arena.alloc();
+                more.extend(self.more.iter().copied());
+                let mut done = self.arena.alloc();
+                done.extend(self.done.iter().copied());
+                let mut unaware = self.arena.alloc();
+                unaware.extend(self.unaware.iter().copied());
+                let mut unexplored = self.arena.alloc();
+                unexplored.extend(self.unexplored.iter().copied());
                 ctx.send(
                     from,
                     Message::Info(Box::new(InfoPayload {
                         phase: self.phase,
-                        more: self.more.iter().copied().collect(),
-                        done: self.done.iter().copied().collect(),
-                        unaware: self.unaware.iter().copied().collect(),
-                        unexplored: self.unexplored.iter().copied().collect(),
+                        more,
+                        done,
+                        unaware,
+                        unexplored,
                     })),
                 );
                 // Ownership of the sets transfers with the info.
@@ -784,7 +827,7 @@ impl ArdNode {
         l_more: Vec<NodeId>,
         l_done: Vec<NodeId>,
         l_unaware: Vec<NodeId>,
-        l_unexplored: Vec<NodeId>,
+        mut l_unexplored: Vec<NodeId>,
         ctx: &mut Context<'_, Message>,
     ) {
         debug_assert!(
@@ -799,29 +842,38 @@ impl ArdNode {
             self.unaware.extend(l_unaware.iter().copied());
         } else {
             // Variants (§4.5): set unions, no broadcast.
+            //
+            // `more` and `done` are disjoint before the merge (every other
+            // mutation moves a member between them atomically), so only the
+            // shipped ids can collide with the other set. A member may
+            // arrive in `done` while we hold it in `more` (or vice versa)
+            // across epochs; `more` ("may have more ids") wins. Resolving
+            // against the payload instead of scanning `self.more` keeps a
+            // merge O(shipped log n) — the conqueror's own sets are O(n) in
+            // the endgame, and an O(n) scan per merge is quadratic overall.
+            debug_assert!(self.more.is_disjoint(&self.done));
             self.more.extend(l_more.iter().copied());
             self.done.extend(l_done.iter().copied());
-            // A member may arrive in `done` while we hold it in `more` (or
-            // vice versa) across epochs; `more` ("may have more ids") wins.
-            for v in &self.more {
-                self.done.remove(v);
+            for v in l_more.iter().chain(&l_done) {
+                if self.more.contains(v) {
+                    self.done.remove(v);
+                }
             }
         }
-        for v in l_unexplored {
+        for v in l_unexplored.drain(..) {
             if v != self.id && !self.in_cluster(v) {
                 self.unexplored.insert(v);
             }
         }
         // [D4] newly acquired members must leave `unexplored`.
-        let acquired: Vec<NodeId> = l_more
-            .iter()
-            .chain(&l_done)
-            .chain(&l_unaware)
-            .copied()
-            .collect();
-        for v in &acquired {
+        for v in l_more.iter().chain(&l_done).chain(&l_unaware) {
             self.unexplored.remove(v);
         }
+        // The shipped buffers are consumed; keep them for future payloads.
+        self.arena.recycle(l_more);
+        self.arena.recycle(l_done);
+        self.arena.recycle(l_unaware);
+        self.arena.recycle(l_unexplored);
         // Phase advance (doubling rule, Lemma 5.10's invariant).
         if self.phase == l_phase || self.cluster_size() as u64 >= 1u64 << (self.phase + 1) {
             self.phase += 1;
@@ -1038,7 +1090,7 @@ mod tests {
     fn node(id: usize, local: &[usize]) -> ArdNode {
         ArdNode::new(
             NodeId::new(id),
-            local.iter().map(|&i| NodeId::new(i)).collect(),
+            local.iter().map(|&i| NodeId::new(i)),
             Variant::Oblivious,
             Config::paper(),
         )

@@ -70,26 +70,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod bitset;
 mod context;
 mod envelope;
 pub mod explore;
 pub mod fault;
 mod id;
+mod intset;
 mod metrics;
 pub mod par;
 pub mod record;
 mod runner;
 mod scheduler;
+pub mod shard;
 pub mod shrink;
 pub mod sync;
+mod table;
 pub mod trace;
 
+pub use arena::MessageArena;
 pub use bitset::BitSet;
 pub use context::Context;
 pub use envelope::Envelope;
 pub use fault::{FaultPlan, FaultScheduler};
 pub use id::NodeId;
+pub use intset::IntervalSet;
 pub use metrics::{FaultCounts, KindCounts, Metrics};
 pub use record::{RecordingScheduler, ReplayScheduler, Schedule, ScheduleParseError};
 pub use runner::{LivelockError, Protocol, Runner};

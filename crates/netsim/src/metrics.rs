@@ -68,7 +68,7 @@ impl FaultCounts {
 /// // 2*10+5+4 plus 1*10+5+4
 /// assert_eq!(m.total_bits(), 29 + 19);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Metrics {
     id_bits: u64,
     // Few kinds (one per message variant), recorded once per send: a short

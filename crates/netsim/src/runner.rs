@@ -3,9 +3,10 @@ use std::error::Error;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use crate::bitset::BitSet;
 use crate::envelope::Envelope;
 use crate::scheduler::{Choice, Scheduler, SendToken};
+use crate::intset::IntervalSet;
+use crate::table::{Knowledge, NodeTable};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Context, Metrics, NodeId};
 
@@ -16,7 +17,7 @@ use crate::{Context, Metrics, NodeId};
 /// deterministic simulation state, so a two-instruction mix is used
 /// instead.
 #[derive(Clone, Copy, Default)]
-struct LinkHasher(u64);
+pub(crate) struct LinkHasher(u64);
 
 impl Hasher for LinkHasher {
     fn finish(&self) -> u64 {
@@ -34,9 +35,100 @@ impl Hasher for LinkHasher {
     }
 }
 
+
 /// Packs a directed link into the slot map's key.
-fn link_key(src: NodeId, dst: NodeId) -> u64 {
+pub(crate) fn link_key(src: NodeId, dst: NodeId) -> u64 {
     ((src.index() as u64) << 32) | dst.index() as u64
+}
+
+/// Compressed-sparse-row adjacency over the *initial* knowledge graph
+/// `E₀ ∪ reverse(E₀)`, with a lazily interned link-slot per entry.
+///
+/// Most of a run's traffic flows over links both ends knew from the start,
+/// so resolving `(src, dst)` to its queue slot is a binary search in a
+/// short sorted row instead of a hash probe. Links learned at runtime (and
+/// links of dynamically added nodes) miss the CSR and fall back to the
+/// `link_slots` hash map.
+#[derive(Clone, Default)]
+struct Csr {
+    /// Row boundaries: node `i`'s neighbors live in
+    /// `targets[offsets[i]..offsets[i + 1]]`. Empty for networks built
+    /// without up-front topology.
+    offsets: Vec<u32>,
+    /// Sorted, deduplicated neighbor indices per row.
+    targets: Vec<u32>,
+    /// Link slot per `targets` entry; `u32::MAX` until the first send
+    /// interns a queue for the link.
+    slots: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the bidirectional adjacency from each node's initial
+    /// out-edges. Rows are sorted and deduplicated — a duplicate entry
+    /// would intern two queues for one link and silently break per-link
+    /// FIFO.
+    fn build<'a>(n: usize, neighbors: &impl Fn(NodeId) -> &'a [NodeId]) -> Csr {
+        u32::try_from(n).expect("node count fits u32");
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            for &v in neighbors(NodeId::new(i)) {
+                offsets[i + 1] += 1;
+                offsets[v.index() + 1] += 1;
+            }
+        }
+        for k in 1..=n {
+            offsets[k] = offsets[k]
+                .checked_add(offsets[k - 1])
+                .expect("CSR entry count fits u32");
+        }
+        let total = offsets[n] as usize;
+        let mut raw = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for i in 0..n {
+            for &v in neighbors(NodeId::new(i)) {
+                raw[cursor[i] as usize] = v.index() as u32;
+                cursor[i] += 1;
+                raw[cursor[v.index()] as usize] = i as u32;
+                cursor[v.index()] += 1;
+            }
+        }
+        let mut targets = Vec::with_capacity(total);
+        let mut compact = vec![0u32; n + 1];
+        for i in 0..n {
+            let row = &mut raw[offsets[i] as usize..offsets[i + 1] as usize];
+            row.sort_unstable();
+            let mut prev = u32::MAX;
+            for &t in row.iter() {
+                if t != prev {
+                    targets.push(t);
+                    prev = t;
+                }
+            }
+            compact[i + 1] = targets.len() as u32;
+        }
+        let slots = vec![u32::MAX; targets.len()];
+        Csr {
+            offsets: compact,
+            targets,
+            slots,
+        }
+    }
+
+    /// Position of `(src, dst)` in `targets`/`slots`, if the link is part
+    /// of the initial topology.
+    #[inline]
+    fn find(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        let i = src.index();
+        if i + 1 >= self.offsets.len() {
+            return None;
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        self.targets[lo..hi]
+            .binary_search(&(dst.index() as u32))
+            .ok()
+            .map(|p| lo + p)
+    }
 }
 
 /// Behaviour of one node in the simulated network.
@@ -109,10 +201,13 @@ type LinkQueue<M> = VecDeque<(M, u64)>;
 /// [`Scheduler`]; the runner guarantees per-link FIFO delivery regardless of
 /// the scheduler's choices.
 ///
-/// Internally the engine is allocation-free per event: knowledge sets are
-/// [`BitSet`]s over dense node indices, metering uses the non-allocating
+/// Internally the engine is allocation-free per event: knowledge sets live
+/// in a struct-of-arrays [`NodeTable`] (dense bitsets below ~8 K nodes,
+/// interval-coded runs above), metering uses the non-allocating
 /// [`Envelope`] visitor, and each directed link's queue is interned into a
-/// dense slot on first send (so steady-state traffic reuses its queue).
+/// dense slot on first send (so steady-state traffic reuses its queue) —
+/// resolved through a CSR adjacency when the topology was known up front,
+/// with a hash-map fallback for links learned at runtime.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
 ///
@@ -121,19 +216,24 @@ type LinkQueue<M> = VecDeque<(M, u64)>;
 /// checkpoint/fork machinery snapshots at DFS branch points.
 #[derive(Clone)]
 pub struct Runner<P: Protocol> {
-    nodes: Vec<P>,
-    knowledge: Vec<BitSet>,
-    /// First-send-only interning of `(src, dst)` to a dense slot in `links`.
+    pub(crate) nodes: Vec<P>,
+    /// Packed flags + knowledge sets, struct-of-arrays over node index.
+    pub(crate) table: NodeTable,
+    /// Initial-topology fast path for link-slot resolution.
+    csr: Csr,
+    /// Fallback interning of `(src, dst)` to a dense slot in `links`, for
+    /// links outside the initial topology.
     link_slots: HashMap<u64, u32, BuildHasherDefault<LinkHasher>>,
     links: Vec<LinkQueue<P::Message>>,
-    awake: Vec<bool>,
-    wake_enqueued: Vec<bool>,
-    crashed: Vec<bool>,
-    metrics: Metrics,
-    seq: u64,
-    steps: u64,
-    trace: Option<Trace>,
+    pub(crate) metrics: Metrics,
+    pub(crate) seq: u64,
+    pub(crate) steps: u64,
+    pub(crate) trace: Option<Trace>,
     outbox: Vec<(NodeId, P::Message)>,
+    /// Reusable staging set for one delivery's carried ids (run-coded
+    /// knowledge absorbs them as a single merge, see
+    /// [`Knowledge::absorb_scratch`]).
+    scratch: IntervalSet,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -142,6 +242,10 @@ impl<P: Protocol> Runner<P> {
     ///
     /// The id bit-width for metering defaults to `⌈log₂ n⌉` (minimum 1), as
     /// in the paper's model where ids have `O(log n)` bits.
+    ///
+    /// Prefer [`with_topology`](Runner::with_topology) when the edge lists
+    /// already live somewhere borrowable — this convenience wrapper costs
+    /// one temporary `Vec` per node.
     ///
     /// # Panics
     ///
@@ -153,38 +257,54 @@ impl<P: Protocol> Runner<P> {
             initial_knowledge.len(),
             "one knowledge set per node required"
         );
+        Self::with_topology(nodes, |id| &initial_knowledge[id.index()][..])
+    }
+
+    /// Creates a network of `nodes` whose initial knowledge graph `E₀` is
+    /// given by borrowed edge slices: node `id` initially knows
+    /// `neighbors(id)`.
+    ///
+    /// This is the allocation-light constructor for large networks: no
+    /// per-node temporary `Vec`s, knowledge sets pre-sized (and
+    /// representation-selected) for `n`, and the CSR link-slot index built
+    /// in the same pass. [`Runner::new`] delegates here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initial edge points outside the node table.
+    pub fn with_topology<'a>(
+        nodes: Vec<P>,
+        neighbors: impl Fn(NodeId) -> &'a [NodeId],
+    ) -> Self {
         let n = nodes.len();
         let id_bits = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1) as u64;
-        let knowledge = initial_knowledge
-            .into_iter()
-            .enumerate()
-            .map(|(i, known)| {
-                let me = NodeId::new(i);
-                let mut set = BitSet::with_capacity(n);
-                for v in known {
-                    assert!(
-                        v.index() < n,
-                        "initial edge {me} → {v} points outside the network"
-                    );
-                    set.insert(v.index());
-                }
-                set.insert(me.index());
-                set
-            })
-            .collect();
+        let mut table = NodeTable::new(n);
+        for i in 0..n {
+            let me = NodeId::new(i);
+            let mut set = Knowledge::for_network(n);
+            for &v in neighbors(me) {
+                assert!(
+                    v.index() < n,
+                    "initial edge {me} → {v} points outside the network"
+                );
+                set.insert(v.index());
+            }
+            set.insert(i);
+            table.knowledge.push(set);
+        }
+        let csr = Csr::build(n, &neighbors);
         Runner {
             nodes,
-            knowledge,
+            table,
+            csr,
             link_slots: HashMap::default(),
             links: Vec::new(),
-            awake: vec![false; n],
-            wake_enqueued: vec![false; n],
-            crashed: vec![false; n],
             metrics: Metrics::new(id_bits),
             seq: 0,
             steps: 0,
             trace: None,
             outbox: Vec::new(),
+            scratch: IntervalSet::new(),
         }
     }
 
@@ -246,7 +366,13 @@ impl<P: Protocol> Runner<P> {
 
     /// Whether node `u` has learned `v`'s id (knowledge-graph edge `u → v`).
     pub fn knows(&self, u: NodeId, v: NodeId) -> bool {
-        self.knowledge[u.index()].contains(v.index())
+        self.table.knowledge[u.index()].contains(v.index())
+    }
+
+    /// Sum of heap bytes currently backing the per-node knowledge sets —
+    /// the scale benchmarks report this as bytes/node.
+    pub fn knowledge_bytes(&self) -> usize {
+        self.table.knowledge_bytes()
     }
 
     /// Teaches node `u` the id of `v` out of band.
@@ -256,7 +382,7 @@ impl<P: Protocol> Runner<P> {
     /// happens automatically on message delivery.
     pub fn add_link(&mut self, u: NodeId, v: NodeId) {
         assert!(v.index() < self.len(), "link target {v} does not exist");
-        self.knowledge[u.index()].insert(v.index());
+        self.table.knowledge[u.index()].insert(v.index());
     }
 
     /// Adds a new node that initially knows `known`, returning its id.
@@ -266,7 +392,7 @@ impl<P: Protocol> Runner<P> {
     /// wakes up at that time" — wake the returned id to bring it online.
     pub fn add_node(&mut self, node: P, known: Vec<NodeId>) -> NodeId {
         let id = NodeId::new(self.len());
-        let mut set = BitSet::with_capacity(self.len() + 1);
+        let mut set = Knowledge::for_network(self.len() + 1);
         for v in known {
             assert!(
                 v.index() < self.len(),
@@ -276,22 +402,19 @@ impl<P: Protocol> Runner<P> {
         }
         set.insert(id.index());
         self.nodes.push(node);
-        self.knowledge.push(set);
-        self.awake.push(false);
-        self.wake_enqueued.push(false);
-        self.crashed.push(false);
+        self.table.push(set);
         id
     }
 
     /// Whether the node has woken up.
     pub fn is_awake(&self, id: NodeId) -> bool {
-        self.awake[id.index()]
+        self.table.awake(id.index())
     }
 
     /// Whether the node is currently crashed (between a
     /// [`Choice::Crash`] and its [`Choice::Restart`]).
     pub fn is_crashed(&self, id: NodeId) -> bool {
-        self.crashed[id.index()]
+        self.table.crashed(id.index())
     }
 
     /// Enqueues a wake-up event for `node`; the scheduler decides when it
@@ -299,8 +422,8 @@ impl<P: Protocol> Runner<P> {
     /// already awake or already enqueued.
     pub fn enqueue_wake(&mut self, node: NodeId, sched: &mut dyn Scheduler) {
         let i = node.index();
-        if !self.awake[i] && !self.wake_enqueued[i] {
-            self.wake_enqueued[i] = true;
+        if !self.table.awake(i) && !self.table.wake_enqueued(i) {
+            self.table.set_wake_enqueued(i, true);
             sched.note_wake(node);
         }
     }
@@ -364,11 +487,11 @@ impl<P: Protocol> Runner<P> {
 
     fn wake_inner(&mut self, node: NodeId, depth: u64, sched: &mut dyn Scheduler) {
         let i = node.index();
-        self.wake_enqueued[i] = false;
-        if self.awake[i] {
+        self.table.set_wake_enqueued(i, false);
+        if self.table.awake(i) {
             return;
         }
-        self.awake[i] = true;
+        self.table.set_awake(i, true);
         self.metrics.record_wakeup();
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent::Wake {
@@ -387,9 +510,10 @@ impl<P: Protocol> Runner<P> {
     /// *delivery* time in [`step`](Runner::step) via the visitor. Neither
     /// side materialises an id `Vec`.
     fn flush(&mut self, src: NodeId, depth: u64, sched: &mut dyn Scheduler) {
-        for (dst, msg) in self.outbox.drain(..) {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for (dst, msg) in outbox.drain(..) {
             assert!(
-                self.knowledge[src.index()].contains(dst.index()),
+                self.table.knowledge[src.index()].contains(dst.index()),
                 "knowledge violation: {src} sent a {:?} to {dst} without knowing its id",
                 msg.kind()
             );
@@ -411,14 +535,7 @@ impl<P: Protocol> Runner<P> {
                 kind: msg.kind(),
             };
             self.seq += 1;
-            let slot = match self.link_slots.entry(link_key(src, dst)) {
-                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    let slot = u32::try_from(self.links.len()).expect("link slots overflow u32");
-                    self.links.push(LinkQueue::new());
-                    *e.insert(slot)
-                }
-            };
+            let slot = self.intern_link_slot(src, dst);
             let queue = &mut self.links[slot as usize];
             queue.push_back((msg, depth));
             self.metrics.observe_link_queue(queue.len());
@@ -426,11 +543,44 @@ impl<P: Protocol> Runner<P> {
         }
     }
 
+    /// Resolves `(src, dst)` to its queue slot, interning a fresh queue on
+    /// the link's first send. Initial-topology links resolve through the
+    /// CSR row (binary search, no hashing); runtime-learned links fall back
+    /// to the hash map.
+    fn intern_link_slot(&mut self, src: NodeId, dst: NodeId) -> u32 {
+        if let Some(pos) = self.csr.find(src, dst) {
+            let slot = self.csr.slots[pos];
+            if slot != u32::MAX {
+                return slot;
+            }
+            let slot = u32::try_from(self.links.len()).expect("link slots overflow u32");
+            self.links.push(LinkQueue::new());
+            self.csr.slots[pos] = slot;
+            return slot;
+        }
+        match self.link_slots.entry(link_key(src, dst)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = u32::try_from(self.links.len()).expect("link slots overflow u32");
+                self.links.push(LinkQueue::new());
+                *e.insert(slot)
+            }
+        }
+    }
+
+    /// Slot of a link that has already sent at least once, if any.
+    fn existing_link_slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        if let Some(pos) = self.csr.find(src, dst) {
+            let slot = self.csr.slots[pos];
+            return (slot != u32::MAX).then_some(slot);
+        }
+        self.link_slots.get(&link_key(src, dst)).copied()
+    }
+
     /// Removes the oldest in-flight message on `src → dst`.
     fn pop_link(&mut self, src: NodeId, dst: NodeId) -> (P::Message, u64) {
-        let slot = *self
-            .link_slots
-            .get(&link_key(src, dst))
+        let slot = self
+            .existing_link_slot(src, dst)
             .unwrap_or_else(|| panic!("scheduler bug: no pending messages on {src} → {dst}"));
         self.links[slot as usize]
             .pop_front()
@@ -448,10 +598,10 @@ impl<P: Protocol> Runner<P> {
             None => false,
             Some(Choice::Wake(node)) => {
                 self.steps += 1;
-                if self.crashed[node.index()] {
+                if self.table.crashed(node.index()) {
                     // A crashed node loses its pending wake-up; Restart
                     // re-enqueues one so the node is not stranded asleep.
-                    self.wake_enqueued[node.index()] = false;
+                    self.table.set_wake_enqueued(node.index(), false);
                     self.metrics.record_crash_discard();
                     return true;
                 }
@@ -461,7 +611,7 @@ impl<P: Protocol> Runner<P> {
             Some(Choice::Deliver { src, dst }) => {
                 self.steps += 1;
                 let (msg, depth) = self.pop_link(src, dst);
-                if self.crashed[dst.index()] {
+                if self.table.crashed(dst.index()) {
                     // Delivery to a crashed node: the message is lost.
                     self.metrics.record_crash_discard();
                     if let Some(trace) = &mut self.trace {
@@ -484,16 +634,28 @@ impl<P: Protocol> Runner<P> {
                     });
                 }
                 // Knowledge-graph growth: the receiver learns the sender and
-                // every id in the payload (visited, not collected).
+                // every id in the payload (visited, not collected; run-coded
+                // sets stage the batch and absorb it as one merge).
                 let n = self.nodes.len();
-                let know = &mut self.knowledge[dst.index()];
-                know.insert(src.index());
-                msg.for_each_carried_id(&mut |id| {
-                    debug_assert!(id.index() < n);
-                    know.insert(id.index());
-                });
+                let know = &mut self.table.knowledge[dst.index()];
+                if let Knowledge::Dense(bits) = know {
+                    bits.insert(src.index());
+                    msg.for_each_carried_id(&mut |id| {
+                        debug_assert!(id.index() < n);
+                        bits.insert(id.index());
+                    });
+                } else {
+                    let scratch = &mut self.scratch;
+                    scratch.clear();
+                    scratch.push(src.index());
+                    msg.for_each_carried_id(&mut |id| {
+                        debug_assert!(id.index() < n);
+                        scratch.push(id.index());
+                    });
+                    know.absorb_scratch(scratch);
+                }
                 // A message wakes a sleeping receiver.
-                if !self.awake[dst.index()] {
+                if !self.table.awake(dst.index()) {
                     self.wake_inner(dst, depth, sched);
                 }
                 self.dispatch(dst, depth + 1, sched, |node, ctx| {
@@ -517,7 +679,7 @@ impl<P: Protocol> Runner<P> {
             }
             Some(Choice::Duplicate { src, dst }) => {
                 self.steps += 1;
-                let slot = *self.link_slots.get(&link_key(src, dst)).unwrap_or_else(|| {
+                let slot = self.existing_link_slot(src, dst).unwrap_or_else(|| {
                     panic!("scheduler bug: no pending messages on {src} → {dst}")
                 });
                 let queue = &mut self.links[slot as usize];
@@ -552,7 +714,7 @@ impl<P: Protocol> Runner<P> {
             }
             Some(Choice::Crash(node)) => {
                 self.steps += 1;
-                self.crashed[node.index()] = true;
+                self.table.set_crashed(node.index(), true);
                 self.metrics.record_crash();
                 if let Some(trace) = &mut self.trace {
                     trace.push(TraceEvent::Crash {
@@ -565,7 +727,7 @@ impl<P: Protocol> Runner<P> {
             Some(Choice::Restart(node)) => {
                 self.steps += 1;
                 let i = node.index();
-                self.crashed[i] = false;
+                self.table.set_crashed(i, false);
                 self.metrics.record_restart();
                 if let Some(trace) = &mut self.trace {
                     trace.push(TraceEvent::Restart {
@@ -573,19 +735,19 @@ impl<P: Protocol> Runner<P> {
                         step: self.steps,
                     });
                 }
-                if self.awake[i] {
+                if self.table.awake(i) {
                     self.dispatch(node, 1, sched, |n, ctx| n.on_restart(ctx));
-                } else if !self.wake_enqueued[i] {
+                } else if !self.table.wake_enqueued(i) {
                     // The node's wake-up was discarded while it was down:
                     // re-enqueue it so liveness survives the crash window.
-                    self.wake_enqueued[i] = true;
+                    self.table.set_wake_enqueued(i, true);
                     sched.note_wake(node);
                 }
                 true
             }
             Some(Choice::Tick(node)) => {
                 self.steps += 1;
-                if self.crashed[node.index()] || !self.awake[node.index()] {
+                if self.table.crashed(node.index()) || !self.table.awake(node.index()) {
                     // A tick armed before the crash fires into the void.
                     self.metrics.record_crash_discard();
                     return true;

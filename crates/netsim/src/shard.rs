@@ -1,0 +1,678 @@
+//! Sharded deterministic FIFO event loop.
+//!
+//! [`Runner::run`] under a [`FifoScheduler`](crate::FifoScheduler)
+//! processes one global queue: every event of causal generation `g` runs
+//! before any event of generation `g + 1`, so the execution is a sequence
+//! of *rounds* — exactly a bulk-synchronous schedule. This module exploits
+//! that: [`Runner::run_sharded`] partitions each round's events across
+//! worker threads by destination shard (contiguous node ranges), lets the
+//! workers mutate their own nodes' state independently, and then merges
+//! the per-event outputs **in the original round order** on the
+//! coordinating thread.
+//!
+//! Because the merge walks events in the exact order the sequential
+//! engine would execute them — assigning `seq` numbers, step counts,
+//! metrics updates, trace entries and (optionally) recorded
+//! [`Schedule`] choices at merge time — the output is **byte-identical at
+//! any shard count**: same [`Metrics`] (including `max_link_queue`, which
+//! the merge re-derives from per-link pending counts in global order),
+//! same [`Trace`](crate::trace::Trace), same recorded schedule, same final
+//! node and knowledge state. This is the same determinism contract the
+//! explorer's `--jobs` flag keeps (see [`par`](crate::par)), extended from
+//! *independent runs merged in input order* to *one run's events merged in
+//! round order*.
+//!
+//! Scope: the sharded loop implements the reliable FIFO semantics only —
+//! wake-ups, deliveries and timer ticks. Fault injection (drops,
+//! duplicates, crashes, restarts) and adversarial schedulers remain the
+//! sequential engine's job; determinism there is already covered by
+//! record/replay.
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+use std::sync::mpsc;
+
+use crate::envelope::Envelope;
+use crate::record::Schedule;
+use crate::runner::{link_key, LinkHasher, LivelockError, Protocol, Runner};
+use crate::scheduler::Choice;
+use crate::intset::IntervalSet;
+use crate::table::Knowledge;
+use crate::trace::TraceEvent;
+use crate::{Context, NodeId};
+
+/// One event of the current round, carrying its message payload (the
+/// sharded loop needs no link queues: FIFO order *is* emission order).
+enum Ev<M> {
+    /// Explicit wake-up of a sleeping node.
+    Wake(NodeId),
+    /// Delivery of `msg` on `src → dst`, sent at causal depth `depth`.
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        msg: M,
+        depth: u64,
+    },
+    /// A timer tick armed by `node`.
+    Tick(NodeId),
+}
+
+impl<M> Ev<M> {
+    /// The node whose shard executes this event.
+    fn target(&self) -> NodeId {
+        match *self {
+            Ev::Wake(node) | Ev::Tick(node) => node,
+            Ev::Deliver { dst, .. } => dst,
+        }
+    }
+}
+
+/// Merge-side descriptor of a dispatched event (the payload went to the
+/// worker; the merge still needs identity, kind and depth).
+enum EvMeta {
+    Wake(NodeId),
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        kind: &'static str,
+        depth: u64,
+    },
+    Tick(NodeId),
+}
+
+/// What one event did, in execution order (parallel to the round's emit
+/// stream: each event's emissions are the next `emits` entries).
+struct EvOut {
+    /// Whether the event woke a sleeping node.
+    woke: bool,
+    /// Number of emissions ([`Emit`]s) the event produced.
+    emits: u32,
+}
+
+/// One side effect emitted while executing an event; the source node is
+/// implicitly the event's target.
+enum Emit<M> {
+    /// A message send, pre-metered by the worker (id count via the
+    /// [`Envelope`] visitor, walked in parallel).
+    Send {
+        dst: NodeId,
+        msg: M,
+        ids: usize,
+        aux_bits: u64,
+        kind: &'static str,
+    },
+    /// A timer tick armed during the event.
+    Tick,
+}
+
+/// One worker's checked-out slice of the network: its nodes, their
+/// knowledge sets and awake flags, for the contiguous index range
+/// `base..base + nodes.len()`.
+struct Shard<P: Protocol> {
+    base: usize,
+    /// Total network size (for the carried-id debug assert).
+    network: usize,
+    nodes: Vec<P>,
+    knowledge: Vec<Knowledge>,
+    awake: Vec<bool>,
+    outbox: Vec<(NodeId, P::Message)>,
+    /// Reusable staging set for one delivery's carried ids (mirrors the
+    /// sequential engine's batch absorption).
+    scratch: IntervalSet,
+}
+
+impl<P: Protocol> Shard<P> {
+    /// Executes this shard's slice of one round, appending one [`EvOut`]
+    /// per event and its emissions to `emits`.
+    fn exec_round(
+        &mut self,
+        events: Vec<Ev<P::Message>>,
+        outs: &mut Vec<EvOut>,
+        emits: &mut Vec<Emit<P::Message>>,
+    ) {
+        for ev in events {
+            let before = emits.len();
+            let mut woke = false;
+            match ev {
+                Ev::Wake(node) => {
+                    let i = node.index() - self.base;
+                    if !self.awake[i] {
+                        self.awake[i] = true;
+                        woke = true;
+                        self.dispatch(node, emits, |n, ctx| n.on_wake(ctx));
+                    }
+                }
+                Ev::Deliver { src, dst, msg, .. } => {
+                    let i = dst.index() - self.base;
+                    let network = self.network;
+                    let know = &mut self.knowledge[i];
+                    if let Knowledge::Dense(bits) = know {
+                        bits.insert(src.index());
+                        msg.for_each_carried_id(&mut |id| {
+                            debug_assert!(id.index() < network);
+                            bits.insert(id.index());
+                        });
+                    } else {
+                        let scratch = &mut self.scratch;
+                        scratch.clear();
+                        scratch.push(src.index());
+                        msg.for_each_carried_id(&mut |id| {
+                            debug_assert!(id.index() < network);
+                            scratch.push(id.index());
+                        });
+                        know.absorb_scratch(scratch);
+                    }
+                    if !self.awake[i] {
+                        self.awake[i] = true;
+                        woke = true;
+                        self.dispatch(dst, emits, |n, ctx| n.on_wake(ctx));
+                    }
+                    self.dispatch(dst, emits, |n, ctx| n.on_message(src, msg, ctx));
+                }
+                Ev::Tick(node) => {
+                    self.dispatch(node, emits, |n, ctx| n.on_tick(ctx));
+                }
+            }
+            outs.push(EvOut {
+                woke,
+                emits: u32::try_from(emits.len() - before).expect("emissions per event fit u32"),
+            });
+        }
+    }
+
+    /// Runs a handler with a live [`Context`] and converts its sends (and
+    /// any armed tick, after them — matching the sequential flush order)
+    /// into [`Emit`]s, enforcing the knowledge constraint sender-side.
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        emits: &mut Vec<Emit<P::Message>>,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Message>),
+    ) {
+        debug_assert!(self.outbox.is_empty());
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut ctx = Context::new(node, &mut outbox);
+        f(&mut self.nodes[node.index() - self.base], &mut ctx);
+        let tick = ctx.tick_armed();
+        self.outbox = outbox;
+        for (dst, msg) in self.outbox.drain(..) {
+            assert!(
+                self.knowledge[node.index() - self.base].contains(dst.index()),
+                "knowledge violation: {node} sent a {:?} to {dst} without knowing its id",
+                msg.kind()
+            );
+            emits.push(Emit::Send {
+                dst,
+                ids: msg.carried_id_count(),
+                aux_bits: msg.aux_bits(),
+                kind: msg.kind(),
+                msg,
+            });
+        }
+        if tick {
+            emits.push(Emit::Tick);
+        }
+    }
+}
+
+impl<P> Runner<P>
+where
+    P: Protocol + Send,
+    P::Message: Send,
+{
+    /// Wakes every node (in id order) and runs the network to quiescence
+    /// on `shards` worker threads, with output byte-identical to
+    /// [`enqueue_wake_all`](Runner::enqueue_wake_all) +
+    /// [`run`](Runner::run) under a
+    /// [`FifoScheduler`](crate::FifoScheduler) at *any* shard count —
+    /// metrics, trace, knowledge, node state and step count all match.
+    ///
+    /// Call on a freshly built network (no messages in flight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LivelockError`] if `max_steps` events execute without
+    /// reaching quiescence, exactly when the sequential run would. Unlike
+    /// the sequential engine, the still-pending messages are discarded
+    /// rather than left queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are already in flight, or (like the sequential
+    /// engine) if a handler violates the knowledge constraint.
+    pub fn run_sharded(&mut self, shards: usize, max_steps: u64) -> Result<u64, LivelockError> {
+        self.run_sharded_impl(shards, max_steps, None)
+    }
+
+    /// Like [`run_sharded`](Runner::run_sharded), but also returns the
+    /// [`Schedule`] of the equivalent sequential execution — byte-identical
+    /// to what a `RecordingScheduler`-wrapped FIFO run records (the merge
+    /// appends one [`Choice`] per event in global order).
+    pub fn run_sharded_recorded(
+        &mut self,
+        shards: usize,
+        max_steps: u64,
+    ) -> (Result<u64, LivelockError>, Schedule) {
+        let mut choices = Vec::new();
+        let result = self.run_sharded_impl(shards, max_steps, Some(&mut choices));
+        (result, Schedule::new(choices))
+    }
+
+    fn run_sharded_impl(
+        &mut self,
+        shards: usize,
+        max_steps: u64,
+        mut record: Option<&mut Vec<Choice>>,
+    ) -> Result<u64, LivelockError> {
+        assert!(
+            self.links_empty(),
+            "run_sharded needs a quiescent network (no messages in flight)"
+        );
+        let n = self.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let shards = shards.clamp(1, n);
+        let chunk = n.div_ceil(shards);
+
+        // Check the per-node state out into per-shard owners.
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut knowledge = std::mem::take(&mut self.table.knowledge);
+        let mut shard_states: Vec<Shard<P>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let base = s * chunk;
+            let take = chunk.min(nodes.len());
+            let rest_nodes = nodes.split_off(take);
+            let rest_knowledge = knowledge.split_off(take);
+            let awake = (base..base + take).map(|i| self.table.awake(i)).collect();
+            shard_states.push(Shard {
+                base,
+                network: n,
+                nodes,
+                knowledge,
+                awake,
+                outbox: Vec::new(),
+                scratch: IntervalSet::new(),
+            });
+            nodes = rest_nodes;
+            knowledge = rest_knowledge;
+        }
+        debug_assert!(nodes.is_empty() && knowledge.is_empty());
+
+        // Round 0: wake every sleeping node, in id order.
+        let mut round: Vec<Ev<P::Message>> = (0..n)
+            .map(NodeId::new)
+            .filter(|id| !self.table.awake(id.index()))
+            .map(Ev::Wake)
+            .collect();
+        for ev in &round {
+            self.table.set_wake_enqueued(ev.target().index(), false);
+        }
+
+        let mut executed: u64 = 0;
+        let mut link_pending: HashMap<u64, usize, BuildHasherDefault<LinkHasher>> =
+            HashMap::default();
+
+        let result = std::thread::scope(|scope| {
+            let mut to_workers = Vec::with_capacity(shards);
+            let mut from_workers = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for shard in shard_states.drain(..) {
+                let (tx_ev, rx_ev) = mpsc::channel::<Vec<Ev<P::Message>>>();
+                let (tx_out, rx_out) = mpsc::channel();
+                to_workers.push(tx_ev);
+                from_workers.push(rx_out);
+                handles.push(scope.spawn(move || {
+                    let mut shard = shard;
+                    while let Ok(events) = rx_ev.recv() {
+                        let mut outs = Vec::with_capacity(events.len());
+                        let mut emits = Vec::new();
+                        shard.exec_round(events, &mut outs, &mut emits);
+                        if tx_out.send((outs, emits)).is_err() {
+                            break;
+                        }
+                    }
+                    shard
+                }));
+            }
+
+            let outcome = loop {
+                if round.is_empty() {
+                    break Ok(executed);
+                }
+                let remaining =
+                    usize::try_from(max_steps - executed).unwrap_or(usize::MAX);
+                if remaining == 0 {
+                    break Err(LivelockError {
+                        steps: executed,
+                        pending: round.len(),
+                    });
+                }
+                // Budget-capped prefix of this round; the rest stays
+                // pending, exactly like the sequential loop's cutoff.
+                let leftover = if round.len() > remaining {
+                    round.split_off(remaining)
+                } else {
+                    Vec::new()
+                };
+
+                // Partition the prefix by destination shard (order within a
+                // shard is preserved, so per-link FIFO holds).
+                let mut metas = Vec::with_capacity(round.len());
+                let mut per_shard: Vec<Vec<Ev<P::Message>>> =
+                    (0..shards).map(|_| Vec::new()).collect();
+                for ev in round.drain(..) {
+                    metas.push(match ev {
+                        Ev::Wake(node) => EvMeta::Wake(node),
+                        Ev::Deliver {
+                            src,
+                            dst,
+                            ref msg,
+                            depth,
+                        } => EvMeta::Deliver {
+                            src,
+                            dst,
+                            kind: msg.kind(),
+                            depth,
+                        },
+                        Ev::Tick(node) => EvMeta::Tick(node),
+                    });
+                    per_shard[ev.target().index() / chunk].push(ev);
+                }
+                for (tx, events) in to_workers.iter().zip(per_shard) {
+                    tx.send(events).expect("shard worker alive");
+                }
+                let mut outs = Vec::with_capacity(shards);
+                let mut got_all = true;
+                for rx in &from_workers {
+                    match rx.recv() {
+                        Ok(out) => outs.push(out),
+                        Err(_) => {
+                            got_all = false;
+                            break;
+                        }
+                    }
+                }
+                if !got_all {
+                    // A worker died mid-round (protocol panic); surface it
+                    // below by joining.
+                    break Err(LivelockError {
+                        steps: executed,
+                        pending: metas.len(),
+                    });
+                }
+                let mut out_iters: Vec<_> = outs
+                    .into_iter()
+                    .map(|(o, e)| (o.into_iter(), e.into_iter()))
+                    .collect();
+
+                // Deterministic merge: walk the round in its original
+                // order, replaying each event's bookkeeping exactly as the
+                // sequential engine interleaves it.
+                let mut next_round = Vec::new();
+                for meta in metas {
+                    executed += 1;
+                    self.steps += 1;
+                    let (shard_of, next_depth) = match meta {
+                        EvMeta::Wake(node) | EvMeta::Tick(node) => (node.index() / chunk, 1),
+                        EvMeta::Deliver { dst, depth, .. } => (dst.index() / chunk, depth + 1),
+                    };
+                    let (ref mut out_it, ref mut emit_it) = out_iters[shard_of];
+                    let out = out_it.next().expect("one output per dispatched event");
+                    let src_node = match meta {
+                        EvMeta::Wake(node) => {
+                            if let Some(choices) = record.as_deref_mut() {
+                                choices.push(Choice::Wake(node));
+                            }
+                            if out.woke {
+                                self.metrics.record_wakeup();
+                                if let Some(trace) = &mut self.trace {
+                                    trace.push(TraceEvent::Wake {
+                                        node,
+                                        step: self.steps,
+                                    });
+                                }
+                            }
+                            node
+                        }
+                        EvMeta::Deliver {
+                            src, dst, kind, depth,
+                        } => {
+                            if let Some(choices) = record.as_deref_mut() {
+                                choices.push(Choice::Deliver { src, dst });
+                            }
+                            let pending = link_pending
+                                .get_mut(&link_key(src, dst))
+                                .expect("delivery on a link with pending messages");
+                            *pending -= 1;
+                            self.metrics.record_delivery(depth);
+                            if let Some(trace) = &mut self.trace {
+                                trace.push(TraceEvent::Deliver {
+                                    src,
+                                    dst,
+                                    kind,
+                                    step: self.steps,
+                                });
+                            }
+                            if out.woke {
+                                self.metrics.record_wakeup();
+                                if let Some(trace) = &mut self.trace {
+                                    trace.push(TraceEvent::Wake {
+                                        node: dst,
+                                        step: self.steps,
+                                    });
+                                }
+                            }
+                            dst
+                        }
+                        EvMeta::Tick(node) => {
+                            if let Some(choices) = record.as_deref_mut() {
+                                choices.push(Choice::Tick(node));
+                            }
+                            self.metrics.record_tick();
+                            if let Some(trace) = &mut self.trace {
+                                trace.push(TraceEvent::Tick {
+                                    node,
+                                    step: self.steps,
+                                });
+                            }
+                            node
+                        }
+                    };
+                    for _ in 0..out.emits {
+                        match emit_it.next().expect("one entry per emission") {
+                            Emit::Send {
+                                dst,
+                                msg,
+                                ids,
+                                aux_bits,
+                                kind,
+                            } => {
+                                self.metrics.record(kind, ids, aux_bits);
+                                if let Some(trace) = &mut self.trace {
+                                    trace.push(TraceEvent::Send {
+                                        src: src_node,
+                                        dst,
+                                        kind,
+                                        seq: self.seq,
+                                        step: self.steps,
+                                    });
+                                }
+                                self.seq += 1;
+                                let pending =
+                                    link_pending.entry(link_key(src_node, dst)).or_insert(0);
+                                *pending += 1;
+                                self.metrics.observe_link_queue(*pending);
+                                next_round.push(Ev::Deliver {
+                                    src: src_node,
+                                    dst,
+                                    msg,
+                                    depth: next_depth,
+                                });
+                            }
+                            Emit::Tick => next_round.push(Ev::Tick(src_node)),
+                        }
+                    }
+                }
+
+                // Budget leftovers were enqueued before this round's
+                // emissions, so they come first in the next queue.
+                round = leftover;
+                round.append(&mut next_round);
+            };
+
+            // Check the per-node state back in (joining surfaces any
+            // worker panic with its original message).
+            drop(to_workers);
+            for handle in handles {
+                match handle.join() {
+                    Ok(shard) => {
+                        for (j, awake) in shard.awake.iter().enumerate() {
+                            self.table.set_awake(shard.base + j, *awake);
+                        }
+                        self.nodes.extend(shard.nodes);
+                        self.table.knowledge.extend(shard.knowledge);
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            outcome
+        });
+        debug_assert_eq!(self.nodes.len(), n);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FifoScheduler, Runner};
+
+    /// Flood protocol (as in the runner tests): forward a token to all
+    /// initially-known peers on wake.
+    #[derive(Debug)]
+    struct Flood {
+        peers: Vec<NodeId>,
+        seen: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Tok;
+
+    impl Envelope for Tok {
+        fn kind(&self) -> &'static str {
+            "tok"
+        }
+        fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
+        fn aux_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    impl Protocol for Flood {
+        type Message = Tok;
+        fn on_wake(&mut self, ctx: &mut Context<'_, Tok>) {
+            if !self.seen {
+                self.seen = true;
+                for &p in &self.peers {
+                    ctx.send(p, Tok);
+                }
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: Tok, _ctx: &mut Context<'_, Tok>) {}
+    }
+
+    fn ring(n: usize) -> Runner<Flood> {
+        let nodes = (0..n)
+            .map(|i| Flood {
+                peers: vec![NodeId::new((i + 1) % n)],
+                seen: false,
+            })
+            .collect();
+        let knowledge = (0..n).map(|i| vec![NodeId::new((i + 1) % n)]).collect();
+        Runner::new(nodes, knowledge)
+    }
+
+    fn sequential(n: usize, max_steps: u64) -> (Result<u64, LivelockError>, Runner<Flood>) {
+        let mut r = ring(n);
+        r.enable_trace();
+        let mut s = FifoScheduler::new();
+        r.enqueue_wake_all(&mut s);
+        let result = r.run(&mut s, max_steps);
+        (result, r)
+    }
+
+    #[test]
+    fn sharded_matches_sequential_at_any_shard_count() {
+        let (seq_result, seq) = sequential(25, 10_000);
+        seq_result.unwrap();
+        for shards in [1, 2, 3, 4, 8, 25, 64] {
+            let mut r = ring(25);
+            r.enable_trace();
+            let steps = r.run_sharded(shards, 10_000).unwrap();
+            assert_eq!(steps, seq.steps_executed(), "shards={shards}");
+            assert_eq!(r.metrics(), seq.metrics(), "shards={shards}");
+            assert_eq!(
+                r.trace().unwrap().events(),
+                seq.trace().unwrap().events(),
+                "shards={shards}"
+            );
+            for id in r.ids().collect::<Vec<_>>() {
+                assert_eq!(r.is_awake(id), seq.is_awake(id));
+                for other in r.ids().collect::<Vec<_>>() {
+                    assert_eq!(r.knows(id, other), seq.knows(id, other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_livelock_matches_sequential_cutoff() {
+        let budget = 13;
+        let (seq_result, seq) = sequential(25, budget);
+        let seq_err = seq_result.unwrap_err();
+        for shards in [1, 3, 8] {
+            let mut r = ring(25);
+            r.enable_trace();
+            let err = r.run_sharded(shards, budget).unwrap_err();
+            assert_eq!(err, seq_err, "shards={shards}");
+            assert_eq!(r.metrics(), seq.metrics(), "shards={shards}");
+            assert_eq!(r.trace().unwrap().events(), seq.trace().unwrap().events());
+        }
+    }
+
+    #[test]
+    fn sharded_recording_matches_sequential_recording() {
+        let mut seq = ring(9);
+        let mut sched = crate::RecordingScheduler::new(FifoScheduler::new());
+        seq.enqueue_wake_all(&mut sched);
+        seq.run(&mut sched, 10_000).unwrap();
+        let want = sched.into_schedule();
+
+        let mut r = ring(9);
+        let (result, got) = r.run_sharded_recorded(4, 10_000);
+        result.unwrap();
+        assert_eq!(got.to_text(), want.to_text());
+    }
+
+    #[test]
+    fn empty_network_is_trivially_quiescent() {
+        let mut r: Runner<Flood> = Runner::new(Vec::new(), Vec::new());
+        assert_eq!(r.run_sharded(4, 100), Ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "knowledge violation")]
+    fn knowledge_violation_panics_through_the_shard_boundary() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Message = Tok;
+            fn on_wake(&mut self, ctx: &mut Context<'_, Tok>) {
+                ctx.send(NodeId::new(1), Tok);
+            }
+            fn on_message(&mut self, _: NodeId, _: Tok, _: &mut Context<'_, Tok>) {}
+        }
+        let mut r = Runner::new(vec![Bad, Bad], vec![vec![], vec![]]);
+        let _ = r.run_sharded(2, 100);
+    }
+}

@@ -1,0 +1,328 @@
+//! Struct-of-arrays per-node simulator state.
+//!
+//! [`Runner`](crate::Runner) used to keep three parallel `Vec<bool>`s
+//! (awake / wake-enqueued / crashed) plus a `Vec<BitSet>` of knowledge
+//! sets. At n = 10⁶ that layout wastes 7/8 of every flag byte and pays a
+//! dense bitset word array per node. [`NodeTable`] packs each flag plane
+//! into `u64` words (one cache line covers 512 nodes) and stores knowledge
+//! behind [`Knowledge`], which switches to interval coding above
+//! [`DENSE_KNOWLEDGE_MAX`] nodes.
+
+use crate::bitset::BitSet;
+use crate::intset::IntervalSet;
+
+/// Largest network size for which knowledge sets stay dense bitsets.
+///
+/// Below this, a knowledge set costs at most 1 KiB of words and dense
+/// operations are fastest; above it, per-node O(n) bits stops scaling
+/// (n = 10⁶ would need ~125 GB) and runs win.
+pub(crate) const DENSE_KNOWLEDGE_MAX: usize = 8192;
+
+/// One packed plane of per-node boolean flags.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Flags {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Flags {
+    /// An all-false plane for `n` nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        Flags {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Reads flag `i`.
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Writes flag `i`.
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Appends one flag (dynamic node addition).
+    pub(crate) fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        let i = self.len;
+        self.len += 1;
+        self.set(i, value);
+    }
+}
+
+/// A node's knowledge set — the ids it may address.
+///
+/// Representation is chosen once per network size: dense [`BitSet`] up to
+/// [`DENSE_KNOWLEDGE_MAX`] nodes, interval-coded [`RunsKnowledge`] beyond.
+/// Both answer the same queries, so the engine treats them uniformly.
+#[derive(Clone, Debug)]
+pub(crate) enum Knowledge {
+    /// Dense bit words — O(1) everything, O(n) bits per node.
+    Dense(BitSet),
+    /// Sorted runs plus a small unsorted overflow — O(1) amortized insert,
+    /// memory ≈ runs, O(runs) union.
+    Runs(RunsKnowledge),
+}
+
+/// Once the overflow buffer reaches this many ids it is sorted and merged
+/// into the run vector as one union. Batching turns the per-id cost of a
+/// scattered insert stream from O(runs) (a tail-memmove per new interior
+/// run) into O(runs / PENDING_MAX + 1) amortized, while keeping lookups
+/// cheap: a miss scans at most this many extra words.
+const PENDING_MAX: usize = 64;
+
+/// Interval-coded knowledge with insert batching: `set` holds the merged
+/// runs, `pending` buffers up to [`PENDING_MAX`] recently learned ids that
+/// are not yet worth a run-vector rebuild. `contains` consults both, so
+/// the buffered ids are observable immediately.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RunsKnowledge {
+    set: IntervalSet,
+    pending: Vec<u32>,
+}
+
+impl RunsKnowledge {
+    /// Inserts `index`; `true` if it was not already present.
+    #[inline]
+    pub(crate) fn insert(&mut self, index: usize) -> bool {
+        if self.contains(index) {
+            return false;
+        }
+        let i = u32::try_from(index).expect("knowledge index fits u32");
+        self.pending.push(i);
+        if self.pending.len() >= PENDING_MAX {
+            self.flush();
+        }
+        true
+    }
+
+    /// Whether `index` is present (merged or still buffered).
+    #[inline]
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        self.set.contains(index)
+            || u32::try_from(index).is_ok_and(|i| self.pending.contains(&i))
+    }
+
+    /// Merges the overflow buffer into the run vector.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_unstable();
+        let mut batch = IntervalSet::new();
+        for &i in &self.pending {
+            batch.push(i as usize);
+        }
+        self.set.union_with(&batch);
+        self.pending.clear();
+    }
+
+    /// Unions a staged batch in one merge (the buffer is flushed first so
+    /// the run vector is rebuilt once, not twice).
+    fn union_with(&mut self, batch: &IntervalSet) {
+        self.flush();
+        self.set.union_with(batch);
+    }
+
+    /// Heap bytes backing the set.
+    fn heap_bytes(&self) -> usize {
+        self.set.heap_bytes() + self.pending.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl Knowledge {
+    /// An empty set sized (and representation-selected) for an `n`-node
+    /// network.
+    pub(crate) fn for_network(n: usize) -> Self {
+        if n > DENSE_KNOWLEDGE_MAX {
+            Knowledge::Runs(RunsKnowledge::default())
+        } else {
+            Knowledge::Dense(BitSet::with_capacity(n))
+        }
+    }
+
+    /// Inserts `index`; `true` if it was not already present.
+    #[inline]
+    pub(crate) fn insert(&mut self, index: usize) -> bool {
+        match self {
+            Knowledge::Dense(s) => s.insert(index),
+            Knowledge::Runs(s) => s.insert(index),
+        }
+    }
+
+    /// Whether `index` is present.
+    #[inline]
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        match self {
+            Knowledge::Dense(s) => s.contains(index),
+            Knowledge::Runs(s) => s.contains(index),
+        }
+    }
+
+    /// Heap bytes backing the set.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Knowledge::Dense(s) => s.heap_bytes(),
+            Knowledge::Runs(s) => s.heap_bytes(),
+        }
+    }
+
+    /// Absorbs one delivery's worth of ids — the sender plus every carried
+    /// id, staged in `scratch` by the caller via [`IntervalSet::push`].
+    ///
+    /// Dense sets never take this path (their inserts are O(1) words);
+    /// run-coded sets union large batches in one O(runs) merge instead of
+    /// paying a tail-memmove per newly created run, which is what makes
+    /// absorbing an O(cluster)-id handover linear rather than quadratic.
+    pub(crate) fn absorb_scratch(&mut self, scratch: &IntervalSet) {
+        /// Batches at or below this insert directly (through the overflow
+        /// buffer): a whole-set merge rebuilds the run vector, which only
+        /// pays off once the batch would flush the buffer several times.
+        const DIRECT_INSERT_MAX: usize = 16;
+        match self {
+            Knowledge::Dense(s) => {
+                for i in scratch.iter() {
+                    s.insert(i);
+                }
+            }
+            Knowledge::Runs(s) => {
+                if scratch.len() <= DIRECT_INSERT_MAX {
+                    for i in scratch.iter() {
+                        s.insert(i);
+                    }
+                } else {
+                    s.union_with(scratch);
+                }
+            }
+        }
+    }
+}
+
+/// Struct-of-arrays state for every node: three packed flag planes plus the
+/// knowledge sets, indexed by dense node index.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NodeTable {
+    awake: Flags,
+    wake_enqueued: Flags,
+    crashed: Flags,
+    pub(crate) knowledge: Vec<Knowledge>,
+}
+
+impl NodeTable {
+    /// A table for `n` sleeping, uncrashed, empty-knowledge nodes.
+    pub(crate) fn new(n: usize) -> Self {
+        NodeTable {
+            awake: Flags::new(n),
+            wake_enqueued: Flags::new(n),
+            crashed: Flags::new(n),
+            knowledge: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn awake(&self, i: usize) -> bool {
+        self.awake.get(i)
+    }
+
+    #[inline]
+    pub(crate) fn set_awake(&mut self, i: usize, value: bool) {
+        self.awake.set(i, value);
+    }
+
+    #[inline]
+    pub(crate) fn wake_enqueued(&self, i: usize) -> bool {
+        self.wake_enqueued.get(i)
+    }
+
+    #[inline]
+    pub(crate) fn set_wake_enqueued(&mut self, i: usize, value: bool) {
+        self.wake_enqueued.set(i, value);
+    }
+
+    #[inline]
+    pub(crate) fn crashed(&self, i: usize) -> bool {
+        self.crashed.get(i)
+    }
+
+    #[inline]
+    pub(crate) fn set_crashed(&mut self, i: usize, value: bool) {
+        self.crashed.set(i, value);
+    }
+
+    /// Appends one sleeping node with the given knowledge (dynamic node
+    /// addition).
+    pub(crate) fn push(&mut self, knowledge: Knowledge) {
+        self.awake.push(false);
+        self.wake_enqueued.push(false);
+        self.crashed.push(false);
+        self.knowledge.push(knowledge);
+    }
+
+    /// Sum of heap bytes across all knowledge sets.
+    pub(crate) fn knowledge_bytes(&self) -> usize {
+        self.knowledge.iter().map(Knowledge::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_pack_and_roundtrip() {
+        let mut f = Flags::new(130);
+        assert!(!(0..130).any(|i| f.get(i)));
+        f.set(0, true);
+        f.set(63, true);
+        f.set(64, true);
+        f.set(129, true);
+        for i in [0, 63, 64, 129] {
+            assert!(f.get(i), "missing {i}");
+        }
+        f.set(64, false);
+        assert!(!f.get(64));
+        f.push(true);
+        assert!(f.get(130));
+    }
+
+    #[test]
+    fn flags_push_from_empty_grows_words() {
+        let mut f = Flags::new(0);
+        for i in 0..100 {
+            f.push(i % 3 == 0);
+        }
+        assert!((0..100).all(|i| f.get(i) == (i % 3 == 0)));
+    }
+
+    #[test]
+    fn knowledge_representation_follows_network_size() {
+        assert!(matches!(
+            Knowledge::for_network(DENSE_KNOWLEDGE_MAX),
+            Knowledge::Dense(_)
+        ));
+        assert!(matches!(
+            Knowledge::for_network(DENSE_KNOWLEDGE_MAX + 1),
+            Knowledge::Runs(_)
+        ));
+        let mut k = Knowledge::for_network(1 << 20);
+        assert!(k.insert(7));
+        assert!(!k.insert(7));
+        assert!(k.contains(7));
+        assert!(!k.contains(8));
+        assert!(k.heap_bytes() < 1024, "interval coding stays tiny");
+    }
+}

@@ -1,0 +1,88 @@
+//! Equivalence of the two knowledge-set representations.
+//!
+//! Above `DENSE_KNOWLEDGE_MAX` nodes the runner swaps its dense `BitSet`
+//! knowledge for the interval-coded `IntervalSet`; the swap is only sound
+//! if the two structures are observationally identical. These properties
+//! drive both through the same operation sequences — scattered singletons,
+//! run-heavy interval fills, and interleaved unions — and require equal
+//! answers from `insert` (including its "was new" return), `contains`,
+//! `len` and in-order iteration.
+
+use proptest::prelude::*;
+
+use ard_netsim::{BitSet, IntervalSet};
+
+const UNIVERSE: usize = 4096;
+
+/// Asserts every observable of the pair matches.
+fn assert_equivalent(dense: &BitSet, runs: &IntervalSet) {
+    assert_eq!(dense.len(), runs.len(), "len diverged");
+    assert_eq!(dense.is_empty(), runs.is_empty());
+    let dense_ids: Vec<usize> = dense.iter().collect();
+    let run_ids: Vec<usize> = runs.iter().collect();
+    assert_eq!(dense_ids, run_ids, "iteration order diverged");
+    for probe in [0, 1, 63, 64, UNIVERSE / 2, UNIVERSE - 1] {
+        assert_eq!(dense.contains(probe), runs.contains(probe), "contains({probe})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scattered single-id inserts: the adversarial case for a run coder.
+    #[test]
+    fn scattered_inserts_are_equivalent(ids in proptest::collection::vec(0..UNIVERSE, 0..300)) {
+        let mut dense = BitSet::with_capacity(UNIVERSE);
+        let mut runs = IntervalSet::new();
+        for id in ids {
+            prop_assert_eq!(dense.insert(id), runs.insert(id), "insert({}) newness", id);
+        }
+        assert_equivalent(&dense, &runs);
+    }
+
+    /// Interval fills in random order: the representative ARD workload
+    /// (nodes learn whole contiguous clusters), which should coalesce runs.
+    #[test]
+    fn run_heavy_inserts_are_equivalent(
+        intervals in proptest::collection::vec((0..UNIVERSE, 1..64usize), 0..20),
+    ) {
+        let mut dense = BitSet::with_capacity(UNIVERSE);
+        let mut runs = IntervalSet::new();
+        for (start, len) in intervals {
+            for id in start..(start + len).min(UNIVERSE) {
+                prop_assert_eq!(dense.insert(id), runs.insert(id));
+            }
+        }
+        assert_equivalent(&dense, &runs);
+        // Coalescing sanity: half-open runs must stay sorted, disjoint and
+        // non-adjacent (touching runs must have merged).
+        for w in runs.runs().windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "runs {:?} should have coalesced", w);
+        }
+    }
+
+    /// Unions against the same mixed workloads.
+    #[test]
+    fn unions_are_equivalent(
+        left in proptest::collection::vec(0..UNIVERSE, 0..200),
+        right in proptest::collection::vec((0..UNIVERSE, 1..32usize), 0..12),
+    ) {
+        let mut dense_l = BitSet::with_capacity(UNIVERSE);
+        let mut runs_l = IntervalSet::new();
+        for id in left {
+            dense_l.insert(id);
+            runs_l.insert(id);
+        }
+        let mut dense_r = BitSet::with_capacity(UNIVERSE);
+        let mut runs_r = IntervalSet::new();
+        for (start, len) in right {
+            for id in start..(start + len).min(UNIVERSE) {
+                dense_r.insert(id);
+                runs_r.insert(id);
+            }
+        }
+        dense_l.union_with(&dense_r);
+        runs_l.union_with(&runs_r);
+        assert_equivalent(&dense_l, &runs_l);
+    }
+}

@@ -2,7 +2,8 @@
 # Runs the engine-throughput and explorer-scaling benches and rewrites
 # BENCH_throughput.json + BENCH_explore.json in one step, from the repo root:
 #
-#   scripts/bench.sh            # full sweep (n = 256, 1024, 4096)
+#   scripts/bench.sh            # full sweep (n = 256 ... 1048576; criterion
+#                               # covers the small sizes, the JSON the full tail)
 #   scripts/bench.sh --quick    # tiny sweep, for smoke-testing the harness
 #
 # Extra flags are passed through to the tables binary (e.g. --jobs N).

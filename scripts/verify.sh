@@ -74,4 +74,23 @@ if ! diff -u "$snapshot" <(chaos); then
     echo "verify: if intentional, regenerate with scripts/verify.sh --regen-chaos" >&2
     exit 1
 fi
-echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot)"
+
+# Large-n smoke: a 10⁵-node discovery must complete inside a capped step
+# budget, and the sharded engine must produce byte-identical output.
+bign=(cargo run --offline --release -p ard-cli --bin ard -- \
+    discover --topology random:n=100000,extra=200000,seed=1 \
+    --variant oblivious --scheduler fifo --max-steps 4000000)
+big_seq="$("${bign[@]}")"
+big_shd="$("${bign[@]}" --shards 4)"
+if [[ "$big_seq" != "$big_shd" ]]; then
+    echo "verify: discover --shards 4 diverged from the sequential run at n=100000" >&2
+    diff <(printf '%s\n' "$big_seq") <(printf '%s\n' "$big_shd") >&2 || true
+    exit 1
+fi
+if ! grep -q "requirements: satisfied" <<<"$big_seq"; then
+    echo "verify: large-n smoke run failed:" >&2
+    printf '%s\n' "$big_seq" >&2
+    exit 1
+fi
+
+echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, n=100000 sharded smoke byte-identical)"

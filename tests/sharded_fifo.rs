@@ -1,0 +1,129 @@
+//! Determinism contract of the sharded event loop.
+//!
+//! `Discovery::run_all_sharded` (and the CLI's `--shards`) must never
+//! change *what* a FIFO run produces — only which threads execute it.
+//! These tests pin the contract end to end against the real protocol:
+//! for `shards ∈ {1, 2, 4, 8}` the metrics (value and `Display` text),
+//! trace events, final knowledge, outcome, and recorded schedule must be
+//! byte-identical to the sequential FIFO run, on every variant — and a
+//! capped run must livelock at exactly the same step on both engines.
+
+use asynchronous_resource_discovery::core::{Discovery, Variant};
+use asynchronous_resource_discovery::graph::gen;
+use asynchronous_resource_discovery::netsim::trace::TraceEvent;
+use asynchronous_resource_discovery::netsim::FifoScheduler;
+
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs discovery sequentially and sharded and asserts every observable
+/// matches.
+fn assert_sharded_matches(n: usize, extra: usize, seed: u64, variant: Variant) {
+    let graph = gen::random_weakly_connected(n, extra, seed);
+
+    let mut seq = Discovery::new(&graph, variant);
+    seq.runner_mut().enable_trace();
+    let seq_outcome = seq.run_all(&mut FifoScheduler::new()).unwrap();
+    let seq_trace: Vec<TraceEvent> = seq.runner().trace().unwrap().events().to_vec();
+    seq.check_requirements(&graph).unwrap();
+
+    for shards in SHARD_COUNTS {
+        let mut shd = Discovery::new(&graph, variant);
+        shd.runner_mut().enable_trace();
+        let shd_outcome = shd.run_all_sharded(shards).unwrap();
+
+        assert_eq!(shd_outcome.steps, seq_outcome.steps, "steps at --shards {shards}");
+        assert_eq!(shd_outcome.leaders, seq_outcome.leaders, "leaders at --shards {shards}");
+        assert_eq!(shd_outcome.leader_of, seq_outcome.leader_of);
+        assert_eq!(shd_outcome.metrics, seq_outcome.metrics, "metrics at --shards {shards}");
+        assert_eq!(
+            shd_outcome.metrics.to_string(),
+            seq_outcome.metrics.to_string(),
+            "metrics text at --shards {shards}"
+        );
+        assert_eq!(
+            shd.runner().trace().unwrap().events(),
+            &seq_trace[..],
+            "trace at --shards {shards}"
+        );
+        shd.check_requirements(&graph).unwrap();
+    }
+}
+
+#[test]
+fn sharded_discovery_is_byte_identical_across_variants() {
+    for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
+        assert_sharded_matches(48, 96, 7, variant);
+    }
+}
+
+#[test]
+fn sharded_recording_matches_sequential_recording() {
+    let graph = gen::random_weakly_connected(32, 64, 3);
+
+    let mut seq = Discovery::new(&graph, Variant::AdHoc);
+    let (seq_result, seq_schedule) = seq.run_recorded(FifoScheduler::new());
+    let seq_outcome = seq_result.unwrap();
+
+    for shards in SHARD_COUNTS {
+        let mut shd = Discovery::new(&graph, Variant::AdHoc);
+        let (shd_result, shd_schedule) = shd.run_sharded_recorded(shards);
+        let shd_outcome = shd_result.unwrap();
+        assert_eq!(shd_outcome.steps, seq_outcome.steps);
+        assert_eq!(shd_outcome.metrics, seq_outcome.metrics);
+        assert_eq!(
+            shd_schedule.to_text(),
+            seq_schedule.to_text(),
+            "recorded schedule diverged at --shards {shards}"
+        );
+    }
+}
+
+#[test]
+fn sharded_replay_of_a_sharded_recording_reproduces_the_run() {
+    let graph = gen::random_weakly_connected(24, 48, 11);
+    let mut rec = Discovery::new(&graph, Variant::Oblivious);
+    let (result, schedule) = rec.run_sharded_recorded(4);
+    let recorded = result.unwrap();
+
+    let mut rep = Discovery::new(&graph, Variant::Oblivious);
+    let replayed = rep.run_replay(&schedule).unwrap();
+    assert_eq!(replayed.steps, recorded.steps);
+    assert_eq!(replayed.metrics, recorded.metrics);
+}
+
+#[test]
+fn sharded_livelock_cuts_off_at_the_same_step() {
+    let graph = gen::random_weakly_connected(32, 64, 5);
+
+    let mut seq = Discovery::new(&graph, Variant::Oblivious);
+    let mut sched = FifoScheduler::new();
+    seq.enqueue_wake_all(&mut sched);
+    let seq_err = seq.runner_mut().run(&mut sched, 40).unwrap_err();
+
+    for shards in SHARD_COUNTS {
+        let mut shd = Discovery::new(&graph, Variant::Oblivious);
+        let shd_err = shd.run_all_sharded_capped(shards, 40).unwrap_err();
+        assert_eq!(shd_err.steps, seq_err.steps, "cutoff at --shards {shards}");
+        assert_eq!(
+            shd.runner().metrics(),
+            seq.runner().metrics(),
+            "partial metrics at --shards {shards}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random topologies and sizes: the contract is not shape-specific.
+    #[test]
+    fn sharded_runs_match_on_random_topologies(
+        n in 2usize..40,
+        extra_per_node in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        assert_sharded_matches(n, n * extra_per_node, seed, Variant::AdHoc);
+    }
+}
