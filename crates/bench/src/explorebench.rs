@@ -69,6 +69,8 @@ pub fn run_workload_spin(budget: u64, jobs: usize, checkpoint: bool, spin: u32) 
         dfs_depth: EXPLORE_DEPTH,
         seed: 0,
         fault: None,
+        byzantine: None,
+        churn: None,
         jobs,
         checkpoint,
         verify_snapshots: false,

@@ -1,13 +1,18 @@
 //! Subcommand implementations.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 
-use ard_core::{budgets, Discovery, FaultyDiscovery, Variant};
+use ard_core::{
+    budgets, byzantine_meta, churn_meta, ByzantineDiscovery, Discovery, FaultyDiscovery, Variant,
+};
 use ard_lower_bounds::{tree_adversary, uf_reduction};
 use ard_netsim::explore::{explore, explore_fork, fixtures, ExploreConfig, ExploreReport};
 use ard_netsim::shrink::shrink_jobs;
-use ard_netsim::{FaultPlan, NodeId, RandomScheduler, ReplayScheduler, Schedule, Scheduler};
+use ard_netsim::{
+    ByzantinePlan, ChurnPlan, FaultPlan, NodeId, RandomScheduler, ReplayScheduler, Schedule,
+    Scheduler,
+};
 use ard_overlay::{bootstrap, Key};
 use ard_union_find::{alpha, OpSequence};
 
@@ -53,6 +58,14 @@ commands:
                            run under fault injection: lossy/duplicating
                            links and N crash/restart events, with every
                            node wrapped in the reliable-delivery layer
+             --byzantine f=K[,seed=S][,class=C]
+                           run with K seeded Byzantine nodes (classes:
+                           equivocate, fabricate, silence, stale-restart;
+                           default all) and report which guarantees
+                           survive instead of asserting them
+             --churn rate=R[,seed=S]
+                           withhold ⌈R·n⌉ initial wake-ups and replay them
+                           as scheduled joins, with as many departures
              --record PATH write the recorded fault schedule for replay
              --sweep T     run T independent trials (scheduler seeds S,
                            S+1, …; needs --scheduler random[:S]), one
@@ -72,9 +85,10 @@ commands:
   explore    search interleavings for requirement/budget violations
              --topology SPEC (default random:n=16,extra=24)
              --variant oblivious|bounded|adhoc (default adhoc)
-             --system discovery|racy:K|fragile:K (default discovery;
-                           racy:K / fragile:K are fixtures with a planted
-                           race / fault-dependent bug among K clients)
+             --system discovery|racy:K|fragile:K|equiv:K (default
+                           discovery; racy:K / fragile:K / equiv:K are
+                           fixtures with a planted race / fault-dependent
+                           / equivocation-dependent bug among K clients)
              --budget N    schedules to try: half random walks, half
                            branch-point DFS (default 64)
              --depth D     DFS branch-point depth (default 4)
@@ -82,6 +96,13 @@ commands:
              --faults drop=P,dup=P,crash=N[,seed=S]
                            inject faults into every candidate schedule, so
                            drops/dups/crashes join the search space
+             --byzantine f=K[,seed=S][,class=C]
+                           attach a Byzantine plan to every candidate
+                           schedule, so forgeries/silence/stale restarts
+                           join the search space
+             --churn rate=R[,seed=S]
+                           attach join/leave churn to every candidate
+                           schedule
              --out PATH    file for the minimized failing schedule
                            (default ard-failure.schedule)
              --jobs N      worker threads for candidate runs; results are
@@ -188,6 +209,33 @@ fn discover(flags: HashMap<String, String>) -> Result<String, CliError> {
     )?;
     let trace_limit = flag_usize(&flags, "trace", 0)?;
     let want_stats = flags.contains_key("stats");
+
+    if flags.contains_key("byzantine") || flags.contains_key("churn") {
+        for incompatible in [
+            "faults", "sweep", "shards", "trace", "stats", "dot", "max-steps", "jobs",
+        ] {
+            if flags.contains_key(incompatible) {
+                return Err(CliError(format!(
+                    "--byzantine/--churn run the bare protocol and report guarantee \
+                     survival: drop --{incompatible}"
+                )));
+            }
+        }
+        let byz = flags
+            .get("byzantine")
+            .map(|s| spec::parse_byzantine(s))
+            .transpose()?;
+        let churn = flags.get("churn").map(|s| spec::parse_churn(s)).transpose()?;
+        return discover_byzantine(
+            &flags,
+            topology,
+            variant,
+            &graph,
+            byz.as_ref(),
+            churn.as_ref(),
+            sched,
+        );
+    }
 
     if flags.contains_key("sweep") {
         if trace_limit > 0
@@ -359,6 +407,93 @@ fn discover_faulty(
     )
     .unwrap();
     writeln!(out, "requirements: satisfied (budgets checked net of overhead)").unwrap();
+    write!(out, "{}", outcome.metrics).unwrap();
+    if let Some(path) = flags.get("record") {
+        writeln!(
+            out,
+            "schedule  : written to {path} (re-run with `ard replay {path}`)"
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// Renders a guarantee verdict: `survives` or the failure it degraded to.
+fn verdict(check: &Result<(), String>) -> String {
+    match check {
+        Ok(()) => "survives".to_string(),
+        Err(reason) => format!("FAILS: {reason}"),
+    }
+}
+
+/// Runs `discover` under a Byzantine and/or churn plan: the bare protocol
+/// (no reliable-delivery wrapper — reliability cannot defend forged
+/// content) with forgeries, selective silence, stale restarts and
+/// join/leave churn injected by the scheduler. Unlike the honest and
+/// faulty paths, guarantee violations are *reported*, not asserted: the
+/// output says which of the paper's requirements survive this adversary.
+fn discover_byzantine(
+    flags: &HashMap<String, String>,
+    topology: &str,
+    variant: Variant,
+    graph: &ard_graph::KnowledgeGraph,
+    byz: Option<&ByzantinePlan>,
+    churn: Option<&ChurnPlan>,
+    sched: Box<dyn Scheduler>,
+) -> Result<String, CliError> {
+    let (result, mut schedule) = Discovery::run_byzantine(graph, variant, byz, churn, sched);
+    schedule.set_meta("topology", topology.to_string());
+    if let Some(path) = flags.get("record") {
+        std::fs::write(path, schedule.to_text())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    let outcome = result.map_err(|e| CliError(format!("byzantine run failed: {e}")))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "topology  : {topology} ({} nodes, {} edges)",
+        graph.len(),
+        graph.edge_count()
+    )
+    .unwrap();
+    writeln!(out, "variant   : {variant}").unwrap();
+    writeln!(
+        out,
+        "byzantine : {}",
+        schedule.meta("byzantine").unwrap_or("(none)")
+    )
+    .unwrap();
+    writeln!(out, "churn     : {}", schedule.meta("churn").unwrap_or("(none)")).unwrap();
+    if !outcome.byzantine_nodes.is_empty() {
+        writeln!(out, "traitors  : {:?}", outcome.byzantine_nodes).unwrap();
+    }
+    if !outcome.joined.is_empty() || !outcome.left.is_empty() {
+        writeln!(
+            out,
+            "membership: {:?} joined, {:?} left",
+            outcome.joined, outcome.left
+        )
+        .unwrap();
+    }
+    writeln!(out, "leaders   : {:?}", outcome.leaders).unwrap();
+    writeln!(out, "steps     : {}", outcome.steps).unwrap();
+    let b = &outcome.byzantine;
+    writeln!(
+        out,
+        "injected  : {} forgeries ({} no-op), {} silenced sends, {} stale restarts",
+        b.forged, b.forge_noops, b.silenced, b.stale_restarts
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "churned   : {} joins, {} leaves, {} events discarded after leave",
+        b.joins, b.leaves, b.leave_discards
+    )
+    .unwrap();
+    writeln!(out, "single leader   : {}", verdict(&outcome.single_leader)).unwrap();
+    writeln!(out, "leader knows all: {}", verdict(&outcome.leader_knows_all)).unwrap();
+    writeln!(out, "budget lemmas   : {}", verdict(&outcome.budgets)).unwrap();
     write!(out, "{}", outcome.metrics).unwrap();
     if let Some(path) = flags.get("record") {
         writeln!(
@@ -625,12 +760,23 @@ enum System {
         /// injected faults (set when `--faults` is given, or when a replayed
         /// schedule carries `faults` metadata).
         faulty: bool,
+        /// Run the Byzantine-tolerant bare protocol and check the
+        /// survivor-restricted guarantees instead of the honest ones (set
+        /// when `--byzantine`/`--churn` is given, or when a replayed
+        /// schedule carries the matching metadata).
+        byzantine: Option<ByzantinePlan>,
+        /// Join/leave churn: the plan's joiners get no initial wake-up —
+        /// their recorded `Join` choices wake them instead.
+        churn: Option<ChurnPlan>,
     },
     Racy {
         clients: usize,
     },
     Fragile {
         clients: usize,
+    },
+    Equiv {
+        candidates: usize,
     },
 }
 
@@ -649,17 +795,27 @@ impl System {
                 .meta("variant")
                 .ok_or_else(|| CliError("schedule has no `variant` meta".into()))?,
         )?;
+        let byzantine = match schedule.meta("byzantine") {
+            Some(meta) => Some(spec::parse_byzantine(meta)?),
+            None => None,
+        };
+        let churn = match schedule.meta("churn") {
+            Some(meta) => Some(spec::parse_churn(meta)?),
+            None => None,
+        };
         Ok(System::Discovery {
             topology: topology.to_string(),
             variant,
             faulty: schedule.meta("faults").is_some(),
+            byzantine,
+            churn,
         })
     }
 
     fn parse_fixture(spec: &str) -> Result<Self, CliError> {
         let (kind, clients) = spec.split_once(':').ok_or_else(|| {
             CliError(format!(
-                "unknown system `{spec}` (try discovery, racy:K, fragile:K)"
+                "unknown system `{spec}` (try discovery, racy:K, fragile:K, equiv:K)"
             ))
         })?;
         let clients = clients
@@ -671,8 +827,16 @@ impl System {
         match kind {
             "racy" => Ok(System::Racy { clients }),
             "fragile" => Ok(System::Fragile { clients }),
+            "equiv" => {
+                if clients < 2 {
+                    return Err(CliError(
+                        "equiv needs at least two candidates (a second leader needs a second candidate)".into(),
+                    ));
+                }
+                Ok(System::Equiv { candidates: clients })
+            }
             other => Err(CliError(format!(
-                "unknown system `{other}` (try discovery, racy:K, fragile:K)"
+                "unknown system `{other}` (try discovery, racy:K, fragile:K, equiv:K)"
             ))),
         }
     }
@@ -681,8 +845,9 @@ impl System {
     fn node_count(&self) -> Result<usize, CliError> {
         match self {
             System::Discovery { topology, .. } => Ok(spec::parse_topology(topology)?.len()),
-            // Both fixtures are one hub plus K clients.
+            // The fixtures are one hub/coordinator/voter plus K clients.
             System::Racy { clients } | System::Fragile { clients } => Ok(clients + 1),
+            System::Equiv { candidates } => Ok(candidates + 1),
         }
     }
 
@@ -690,16 +855,29 @@ impl System {
     fn stamp(&self, schedule: &mut Schedule) {
         match self {
             System::Discovery {
-                topology, variant, ..
+                topology,
+                variant,
+                byzantine,
+                churn,
+                ..
             } => {
                 schedule.set_meta("topology", topology.clone());
                 schedule.set_meta("variant", variant.to_string());
+                if let Some(plan) = byzantine {
+                    schedule.set_meta("byzantine", byzantine_meta(plan));
+                }
+                if let Some(plan) = churn {
+                    schedule.set_meta("churn", churn_meta(plan));
+                }
             }
             System::Racy { clients } => {
                 schedule.set_meta("system", format!("racy:{clients}"));
             }
             System::Fragile { clients } => {
                 schedule.set_meta("system", format!("fragile:{clients}"));
+            }
+            System::Equiv { candidates } => {
+                schedule.set_meta("system", format!("equiv:{candidates}"));
             }
         }
     }
@@ -714,8 +892,24 @@ impl System {
                 topology,
                 variant,
                 faulty,
+                byzantine,
+                churn,
             } => {
                 let graph = spec::parse_topology(topology).map_err(|e| e.to_string())?;
+                if byzantine.is_some() || churn.is_some() {
+                    // The survivor-restricted guarantees: any that fail
+                    // under this schedule count as the violation.
+                    let mut bd = ByzantineDiscovery::new(&graph, *variant);
+                    let withheld: BTreeSet<NodeId> = churn
+                        .as_ref()
+                        .map(|c| c.joiners(graph.len()).into_iter().collect())
+                        .unwrap_or_default();
+                    let steps = bd.run_all(sched, &withheld)?;
+                    let outcome = bd.outcome(steps, byzantine.as_ref(), churn.as_ref());
+                    outcome.single_leader.clone()?;
+                    outcome.leader_knows_all.clone()?;
+                    return outcome.budgets.clone();
+                }
                 if *faulty {
                     let mut fd = FaultyDiscovery::new(&graph, *variant);
                     let outcome = fd.run_all(sched)?;
@@ -740,6 +934,7 @@ impl System {
             }
             System::Racy { clients } => fixtures::run_racy(*clients, sched),
             System::Fragile { clients } => fixtures::run_fragile(*clients, sched),
+            System::Equiv { candidates } => fixtures::run_equiv(*candidates, sched),
         }
     }
 
@@ -752,6 +947,9 @@ impl System {
             System::Racy { clients } => explore_fork(config, &fixtures::RacySystem::new(*clients)),
             System::Fragile { clients } => {
                 explore_fork(config, &fixtures::FragileSystem::new(*clients))
+            }
+            System::Equiv { candidates } => {
+                explore_fork(config, &fixtures::EquivSystem::new(*candidates))
             }
             System::Discovery { .. } => {
                 explore(config, || |sched: &mut dyn Scheduler| self.run_one(sched))
@@ -772,6 +970,18 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         .get("out")
         .map(String::as_str)
         .unwrap_or("ard-failure.schedule");
+    let byzantine = flags
+        .get("byzantine")
+        .map(|s| spec::parse_byzantine(s))
+        .transpose()?;
+    let churn = flags.get("churn").map(|s| spec::parse_churn(s)).transpose()?;
+    if (byzantine.is_some() || churn.is_some()) && flags.contains_key("faults") {
+        return Err(CliError(
+            "--byzantine/--churn run the bare protocol (no reliable-delivery layer), \
+             which cannot absorb link faults: drop --faults"
+                .into(),
+        ));
+    }
     let system = match flags.get("system").map(String::as_str) {
         None | Some("discovery") => {
             let topology = flags
@@ -787,12 +997,15 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
                 topology: topology.to_string(),
                 variant,
                 faulty: flags.contains_key("faults"),
+                byzantine: byzantine.clone(),
+                churn: churn.clone(),
             }
         }
         Some(other) => System::parse_fixture(other)?,
     };
+    let n = system.node_count()?;
     let fault = match flags.get("faults") {
-        Some(fault_spec) => Some(spec::parse_faults(fault_spec, system.node_count()?)?),
+        Some(fault_spec) => Some(spec::parse_faults(fault_spec, n)?),
         None => None,
     };
 
@@ -802,6 +1015,8 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         dfs_depth: depth,
         seed,
         fault: fault.clone(),
+        byzantine: byzantine.clone().map(|plan| (plan, n)),
+        churn: churn.clone().map(|plan| (plan, n)),
         jobs,
         verify_snapshots: flags.contains_key("check-snapshots"),
         ..ExploreConfig::default()
@@ -824,6 +1039,12 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
             plan.seed
         )
         .unwrap();
+    }
+    if let Some(plan) = &byzantine {
+        writeln!(out, "byzantine : {}", byzantine_meta(plan)).unwrap();
+    }
+    if let Some(plan) = &churn {
+        writeln!(out, "churn     : {}", churn_meta(plan)).unwrap();
     }
     let Some(failure) = report.failure else {
         writeln!(out, "result    : no violation found").unwrap();
@@ -1162,6 +1383,75 @@ mod tests {
         let replayed = run_line(&format!("replay {path}")).unwrap();
         assert!(replayed.contains("meta      : system = fragile:1"));
         assert!(replayed.contains("violation reproduced"), "{replayed}");
+    }
+
+    #[test]
+    fn discover_byzantine_reports_survival_and_records_a_replayable_schedule() {
+        let path = std::env::temp_dir().join("ard-cli-test-byzantine.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let line = format!(
+            "discover --topology ring:12 --scheduler random:5 \
+             --byzantine f=2,seed=7 --churn rate=0.2,seed=11 --record {path}"
+        );
+        let out = run_line(&line).unwrap();
+        assert!(out.contains("byzantine : f=2,seed=7,classes=equivocate+fabricate+silence+stale-restart"));
+        assert!(out.contains("churn     : rate=0.2,seed=11"));
+        assert!(out.contains("traitors  : [n1, n5]"));
+        assert!(out.contains("single leader   :"), "{out}");
+        assert!(out.contains("leader knows all:"), "{out}");
+        assert!(out.contains("budget lemmas   :"), "{out}");
+        assert_eq!(run_line(&line).unwrap(), out, "byzantine discover must be deterministic");
+        let replayed = run_line(&format!("replay {path}")).unwrap();
+        assert!(replayed.contains("meta      : byzantine = f=2,seed=7,classes="));
+        assert!(replayed.contains("meta      : churn = rate=0.2,seed=11"));
+    }
+
+    #[test]
+    fn discover_byzantine_survives_on_a_quiet_seed() {
+        // Only silence injected, no churn: the bare protocol rides it out.
+        let out = run_line(
+            "discover --topology ring:8 --scheduler random:2 --byzantine f=1,seed=4,class=silence",
+        )
+        .unwrap();
+        assert!(out.contains("byzantine : f=1,seed=4,classes=silence"));
+        assert!(out.contains("single leader   : survives"), "{out}");
+    }
+
+    #[test]
+    fn explore_equiv_finds_and_shrinks_the_equivocation() {
+        let path = std::env::temp_dir().join("ard-cli-test-equiv.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let report = run_line(&format!(
+            "explore --system equiv:3 --byzantine f=1,seed=3,class=equivocate --budget 64 --out {path}"
+        ))
+        .unwrap();
+        assert!(report.contains("byzantine : f=1,seed=3,classes=equivocate"));
+        assert!(report.contains("violation : forged endorsements elected 2 leaders"), "{report}");
+        assert!(report.contains("shrunk    :"));
+        let replayed = run_line(&format!("replay {path}")).unwrap();
+        assert!(replayed.contains("meta      : system = equiv:3"));
+        assert!(replayed.contains("violation reproduced: forged endorsements elected 2 leaders"));
+    }
+
+    #[test]
+    fn equiv_is_clean_without_a_byzantine_plan() {
+        let out = run_line("explore --system equiv:3 --budget 32").unwrap();
+        assert!(out.contains("no violation found"), "{out}");
+    }
+
+    #[test]
+    fn byzantine_flags_reject_bad_combinations() {
+        // Byzantine runs use the bare protocol; link faults need Reliable.
+        assert!(run_line("discover --topology ring:6 --byzantine f=1 --faults drop=0.1").is_err());
+        assert!(run_line("explore --system equiv:2 --byzantine f=1 --faults drop=0.1").is_err());
+        assert!(run_line("discover --topology ring:6 --byzantine f=1 --stats").is_err());
+        assert!(run_line("discover --topology ring:6 --byzantine f=1 --sweep 3").is_err());
+        assert!(run_line("discover --topology ring:6 --byzantine f=1 --trace 5").is_err());
+        // Bad specs fail loudly.
+        assert!(run_line("discover --topology ring:6 --byzantine seed=3").is_err());
+        assert!(run_line("discover --topology ring:6 --byzantine f=1,class=bribe").is_err());
+        assert!(run_line("discover --topology ring:6 --churn rate=0.9").is_err());
+        assert!(run_line("explore --system equiv:1").is_err());
     }
 
     #[test]

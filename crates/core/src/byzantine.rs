@@ -1,0 +1,482 @@
+//! Driving discovery runs under Byzantine faults and membership churn.
+//!
+//! [`ByzantineDiscovery`] is the adversarial-tier sibling of
+//! [`Discovery`]/[`FaultyDiscovery`](crate::FaultyDiscovery): the same
+//! network of [`ArdNode`]s, built with [`Config::byzantine`] so forged
+//! "impossible" messages are dropped instead of tripping the honest-run
+//! asserts, and driven by a [`FaultScheduler`] carrying a
+//! [`ByzantinePlan`] (equivocation, fabricated ids, selective silence,
+//! stale restarts) and/or a [`ChurnPlan`] (join/leave membership churn,
+//! extending the paper's §6 dynamic-additions model with departures).
+//!
+//! Unlike the fault tier, Byzantine runs use the **bare** protocol — no
+//! [`Reliable`](crate::Reliable) envelope. Reliable delivery cannot defend
+//! against forged content (the envelope would dutifully ack a lie), and
+//! the silence class is precisely a targeted loss the paper's model does
+//! not cover; wrapping would only measure the envelope, not the protocol.
+//! A bare network always quiesces, so every run ends in a state the
+//! guarantee-survival checks can interrogate.
+//!
+//! The entry points mirror the fault tier:
+//!
+//! * [`Discovery::run_byzantine`] records the complete choice sequence —
+//!   including every `Forge`/`Silence`/`StaleRestart`/`Join`/`Leave` — into
+//!   a [`Schedule`] (format v2), then evaluates each guarantee
+//!   (single-leader, leader-knows-all, budget lemmas) over the *honest
+//!   survivors* and reports the verdicts in the outcome instead of
+//!   failing the run: degradation is the measurement, not an error.
+//! * [`Discovery::replay_byzantine`] re-executes such a schedule with a
+//!   strict [`ReplayScheduler`] — no plans, no RNG — byte-exactly,
+//!   reconstructing the withheld joiner wakes from the schedule's `churn`
+//!   metadata.
+
+use std::collections::BTreeSet;
+
+use ard_graph::{components, KnowledgeGraph};
+use ard_netsim::{
+    ByzantineCounts, ByzantinePlan, ChurnPlan, FaultScheduler, Metrics, NodeId,
+    RecordingScheduler, ReplayScheduler, Runner, Schedule, Scheduler,
+};
+
+use crate::invariants;
+use crate::node::ArdNode;
+use crate::{Config, Discovery, Variant};
+
+/// Final picture of a discovery run under Byzantine faults and churn.
+///
+/// The three `Result` fields are the run's row of the guarantee-survival
+/// matrix: `Ok` means the guarantee survived this adversary, `Err` carries
+/// the concrete violation. A failed guarantee is a *finding*, not a test
+/// error — callers decide which cells must hold.
+#[derive(Clone, Debug)]
+pub struct ByzantineOutcome {
+    /// All nodes currently in a leader state (honest or not), in id order.
+    pub leaders: Vec<NodeId>,
+    /// Simulation steps executed.
+    pub steps: u64,
+    /// Communication metrics, including the forged traffic.
+    pub metrics: Metrics,
+    /// Byzantine/churn event counters.
+    pub byzantine: ByzantineCounts,
+    /// The plan's Byzantine nodes, in id order (empty without a plan).
+    pub byzantine_nodes: Vec<NodeId>,
+    /// Nodes whose initial wake the churn plan withheld (they joined via
+    /// explicit `Join` events), in draw order.
+    pub joined: Vec<NodeId>,
+    /// Nodes that permanently left, in draw order.
+    pub left: Vec<NodeId>,
+    /// Requirement 1 over the honest survivors
+    /// ([`invariants::check_survivor_single_leader`]).
+    pub single_leader: Result<(), String>,
+    /// Requirement 2 over the honest survivors
+    /// ([`invariants::check_survivor_leader_knows_all`]).
+    pub leader_knows_all: Result<(), String>,
+    /// The paper's budget lemmas net of forged traffic
+    /// ([`crate::budgets::check_all_byzantine`]).
+    pub budgets: Result<(), String>,
+}
+
+impl ByzantineOutcome {
+    /// The nodes excluded from the survivor guarantees: Byzantine nodes
+    /// and departed nodes.
+    pub fn excluded(&self) -> BTreeSet<NodeId> {
+        self.byzantine_nodes
+            .iter()
+            .chain(&self.left)
+            .copied()
+            .collect()
+    }
+
+    /// Whether every checked guarantee survived this run.
+    pub fn survives_all(&self) -> bool {
+        self.single_leader.is_ok() && self.leader_knows_all.is_ok() && self.budgets.is_ok()
+    }
+}
+
+/// A [`Discovery`] network hardened with [`Config::byzantine`], ready to
+/// run under a Byzantine/churn-injecting scheduler.
+pub struct ByzantineDiscovery {
+    runner: Runner<ArdNode>,
+    graph: KnowledgeGraph,
+    variant: Variant,
+}
+
+impl ByzantineDiscovery {
+    /// Builds the network with the Byzantine-tolerant configuration.
+    pub fn new(graph: &KnowledgeGraph, variant: Variant) -> Self {
+        let config = Config::byzantine();
+        let mut nodes: Vec<ArdNode> = graph
+            .ids()
+            .map(|id| ArdNode::new(id, graph.out_edges(id).iter().copied(), variant, config))
+            .collect();
+        if variant == Variant::Bounded {
+            for component in components::weakly_connected_components(graph) {
+                for &v in &component {
+                    nodes[v.index()].set_component_size(component.len());
+                }
+            }
+        }
+        ByzantineDiscovery {
+            runner: Runner::with_topology(nodes, |id| graph.out_edges(id)),
+            graph: graph.clone(),
+            variant,
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn runner(&self) -> &Runner<ArdNode> {
+        &self.runner
+    }
+
+    /// The problem variant in force.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Step budget: 10× the fault-free budget of
+    /// [`Discovery::default_step_budget`]. Forged traffic and its honest
+    /// echoes (spurious searches, re-conquests after stale restarts) are
+    /// bounded by the plan's finite timeline, so this still means livelock
+    /// when hit.
+    pub fn step_budget(&self) -> u64 {
+        let n = self.runner.len() as u64;
+        10 * (200 * n * (64 - n.leading_zeros() as u64 + 1) + 10_000)
+    }
+
+    /// Wakes every node except the `withheld` churn joiners (they come
+    /// online via explicit [`Choice::Join`](ard_netsim::Choice) events)
+    /// and runs to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the livelock description if the step budget is exhausted.
+    pub fn run_all(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        withheld: &BTreeSet<NodeId>,
+    ) -> Result<u64, String> {
+        for id in self.runner.ids().collect::<Vec<_>>() {
+            if !withheld.contains(&id) {
+                self.runner.enqueue_wake(id, sched);
+            }
+        }
+        let budget = self.step_budget();
+        self.runner.run(sched, budget).map_err(|e| e.to_string())
+    }
+
+    /// Evaluates the guarantee-survival verdicts at quiescence.
+    pub fn outcome(
+        &self,
+        steps: u64,
+        byz: Option<&ByzantinePlan>,
+        churn: Option<&ChurnPlan>,
+    ) -> ByzantineOutcome {
+        let n = self.runner.len();
+        let byzantine_nodes = byz
+            .map(|b| {
+                let mut v = b.byzantine_nodes(n);
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default();
+        let joined = churn.map(|c| c.joiners(n)).unwrap_or_default();
+        let left = churn.map(|c| c.leavers(n)).unwrap_or_default();
+        let excluded: BTreeSet<NodeId> = byzantine_nodes.iter().chain(&left).copied().collect();
+        let metrics = self.runner.metrics().clone();
+        ByzantineOutcome {
+            leaders: self
+                .runner
+                .nodes()
+                .filter(|node| node.is_leader())
+                .map(ArdNode::id)
+                .collect(),
+            steps,
+            single_leader: invariants::check_survivor_single_leader(
+                &self.runner,
+                &self.graph,
+                &excluded,
+            ),
+            leader_knows_all: invariants::check_survivor_leader_knows_all(
+                &self.runner,
+                &self.graph,
+                &excluded,
+            ),
+            budgets: crate::budgets::check_all_byzantine(
+                &metrics,
+                n as u64,
+                self.graph.edge_count() as u64,
+                self.variant,
+            ),
+            byzantine: metrics.byzantine(),
+            byzantine_nodes,
+            joined,
+            left,
+            metrics,
+        }
+    }
+}
+
+impl std::fmt::Debug for ByzantineDiscovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ByzantineDiscovery")
+            .field("variant", &self.variant)
+            .field("nodes", &self.runner.len())
+            .finish()
+    }
+}
+
+/// Canonical `byzantine` metadata value: `f` and `seed` let a replayer
+/// reconstruct the Byzantine node set; the class list documents the plan
+/// for humans and regeneration scripts.
+pub fn byzantine_meta(plan: &ByzantinePlan) -> String {
+    let mut classes = Vec::new();
+    if plan.equivocate {
+        classes.push("equivocate");
+    }
+    if plan.fabricate {
+        classes.push("fabricate");
+    }
+    if plan.silence {
+        classes.push("silence");
+    }
+    if plan.stale_restart {
+        classes.push("stale-restart");
+    }
+    format!(
+        "f={},seed={},classes={}",
+        plan.f,
+        plan.seed,
+        classes.join("+")
+    )
+}
+
+/// Canonical `churn` metadata value: `rate` and `seed` fully determine the
+/// joiner/leaver sets, which replay needs to withhold the right wakes.
+pub fn churn_meta(plan: &ChurnPlan) -> String {
+    format!("rate={},seed={}", plan.rate, plan.seed)
+}
+
+/// Extracts `key=value` from a comma-separated meta string.
+fn meta_field<'a>(meta: &'a str, key: &str) -> Option<&'a str> {
+    meta.split(',')
+        .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// Reconstructs the node-set-relevant part of a [`ByzantinePlan`] from its
+/// schedule metadata (classes are irrelevant to replay: the recorded
+/// choices already carry every injected event).
+fn parse_byzantine_meta(meta: &str) -> Option<ByzantinePlan> {
+    let f = meta_field(meta, "f")?.parse().ok()?;
+    let seed = meta_field(meta, "seed")?.parse().ok()?;
+    Some(ByzantinePlan::new(seed, f))
+}
+
+/// Reconstructs a [`ChurnPlan`] from its schedule metadata.
+fn parse_churn_meta(meta: &str) -> Option<ChurnPlan> {
+    let rate = meta_field(meta, "rate")?.parse().ok()?;
+    let seed = meta_field(meta, "seed")?.parse().ok()?;
+    Some(ChurnPlan::new(seed, rate))
+}
+
+impl Discovery {
+    /// Runs discovery on `graph` under Byzantine faults and/or membership
+    /// churn: a bare Byzantine-tolerant network, the scheduler wrapped in a
+    /// [`FaultScheduler`] carrying the plans, the full choice sequence
+    /// recorded. Churn joiners' initial wakes are withheld — they come
+    /// online through the plan's `Join` events (§6's "joining = waking").
+    ///
+    /// Returns the run result and the recorded schedule (also on livelock —
+    /// a failing prefix is still worth replaying). The schedule carries
+    /// `nodes`, `variant` and, when plans are attached, `byzantine`/`churn`
+    /// metadata; [`replay_byzantine`](Discovery::replay_byzantine)
+    /// re-executes it exactly. With both plans absent the recording is
+    /// byte-identical to an honest [`run_recorded`](Discovery::run_recorded)
+    /// of the same inner scheduler, except for the node configuration.
+    pub fn run_byzantine<S: Scheduler>(
+        graph: &KnowledgeGraph,
+        variant: Variant,
+        byz: Option<&ByzantinePlan>,
+        churn: Option<&ChurnPlan>,
+        inner: S,
+    ) -> (Result<ByzantineOutcome, String>, Schedule) {
+        let n = graph.len();
+        let mut bd = ByzantineDiscovery::new(graph, variant);
+        let mut sched = RecordingScheduler::new(
+            FaultScheduler::new(inner, None)
+                .with_byzantine(byz.cloned(), n)
+                .with_churn(churn.cloned(), n),
+        );
+        let withheld: BTreeSet<NodeId> = churn
+            .map(|c| c.joiners(n).into_iter().collect())
+            .unwrap_or_default();
+        let result = bd.run_all(&mut sched, &withheld);
+        let mut schedule = sched.into_schedule();
+        schedule.set_meta("nodes", n.to_string());
+        schedule.set_meta("variant", variant.to_string());
+        if let Some(plan) = byz {
+            schedule.set_meta("byzantine", byzantine_meta(plan));
+        }
+        if let Some(plan) = churn {
+            schedule.set_meta("churn", churn_meta(plan));
+        }
+        let result = result.map(|steps| bd.outcome(steps, byz, churn));
+        (result, schedule)
+    }
+
+    /// Re-executes a schedule recorded by
+    /// [`run_byzantine`](Discovery::run_byzantine) against a freshly built
+    /// Byzantine-tolerant network. The recorded choices carry every
+    /// injected event, so no plans and no RNG are involved: replay is
+    /// strict and byte-exact. The `churn` metadata reconstructs which
+    /// initial wakes to withhold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the livelock description if the step budget is exhausted.
+    pub fn replay_byzantine(
+        graph: &KnowledgeGraph,
+        variant: Variant,
+        schedule: &Schedule,
+    ) -> Result<ByzantineOutcome, String> {
+        let n = graph.len();
+        let byz = schedule.meta("byzantine").and_then(parse_byzantine_meta);
+        let churn = schedule.meta("churn").and_then(parse_churn_meta);
+        let withheld: BTreeSet<NodeId> = churn
+            .as_ref()
+            .map(|c| c.joiners(n).into_iter().collect())
+            .unwrap_or_default();
+        let mut bd = ByzantineDiscovery::new(graph, variant);
+        let mut sched = ReplayScheduler::strict(schedule);
+        let steps = bd.run_all(&mut sched, &withheld)?;
+        Ok(bd.outcome(steps, byz.as_ref(), churn.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ard_graph::gen;
+    use ard_netsim::RandomScheduler;
+
+    #[test]
+    fn vacuous_byzantine_run_matches_honest_recording_byte_for_byte() {
+        // With no plans attached, the Byzantine harness must be invisible:
+        // the recorded schedule equals an honest recording of the same
+        // inner scheduler, stays in format v1, and every guarantee holds.
+        let graph = gen::random_weakly_connected(10, 16, 3);
+        let (result, schedule) = Discovery::run_byzantine(
+            &graph,
+            Variant::Oblivious,
+            None,
+            None,
+            RandomScheduler::seeded(42),
+        );
+        let outcome = result.unwrap();
+        assert!(outcome.survives_all(), "honest run must satisfy everything");
+        assert_eq!(outcome.byzantine.forged, 0);
+
+        let mut honest = Discovery::new(&graph, Variant::Oblivious);
+        let (honest_result, honest_schedule) = honest.run_recorded(RandomScheduler::seeded(42));
+        honest_result.unwrap();
+        assert_eq!(schedule.to_text(), honest_schedule.to_text());
+        assert!(schedule.to_text().starts_with("ard-schedule v1"));
+    }
+
+    #[test]
+    fn byzantine_run_records_and_replays_byte_exactly() {
+        let graph = gen::random_weakly_connected(12, 20, 5);
+        let plan = ByzantinePlan::new(7, 2);
+        let (result, schedule) = Discovery::run_byzantine(
+            &graph,
+            Variant::Oblivious,
+            Some(&plan),
+            None,
+            RandomScheduler::seeded(9),
+        );
+        let recorded = result.unwrap();
+        assert!(recorded.byzantine.forged > 0, "plan injected no forgeries");
+        assert_eq!(recorded.byzantine_nodes.len(), 2);
+        assert!(schedule.to_text().starts_with("ard-schedule v2"));
+        assert_eq!(
+            schedule.meta("byzantine"),
+            Some("f=2,seed=7,classes=equivocate+fabricate+silence+stale-restart")
+        );
+
+        let replayed = Discovery::replay_byzantine(&graph, Variant::Oblivious, &schedule).unwrap();
+        assert_eq!(replayed.steps, recorded.steps);
+        assert_eq!(replayed.leaders, recorded.leaders);
+        assert_eq!(replayed.byzantine_nodes, recorded.byzantine_nodes);
+        assert_eq!(
+            format!("{}", replayed.metrics),
+            format!("{}", recorded.metrics)
+        );
+        assert_eq!(replayed.single_leader, recorded.single_leader);
+        assert_eq!(replayed.leader_knows_all, recorded.leader_knows_all);
+        assert_eq!(replayed.budgets, recorded.budgets);
+
+        // The round-trip through text is also exact.
+        let reparsed = Schedule::parse(&schedule.to_text()).unwrap();
+        assert_eq!(reparsed.choices(), schedule.choices());
+    }
+
+    #[test]
+    fn churn_run_joins_and_leaves_and_replays() {
+        let graph = gen::random_weakly_connected(16, 32, 2);
+        let churn = ChurnPlan::new(11, 0.2);
+        let (result, schedule) = Discovery::run_byzantine(
+            &graph,
+            Variant::AdHoc,
+            None,
+            Some(&churn),
+            RandomScheduler::seeded(4),
+        );
+        let recorded = result.unwrap();
+        assert!(recorded.byzantine.joins > 0, "no joins fired");
+        assert!(recorded.byzantine.leaves > 0, "no leaves fired");
+        assert_eq!(recorded.joined.len(), 4); // ceil(0.2 * 16)
+        assert_eq!(recorded.left.len(), 4);
+        assert_eq!(schedule.meta("churn"), Some("rate=0.2,seed=11"));
+
+        let replayed = Discovery::replay_byzantine(&graph, Variant::AdHoc, &schedule).unwrap();
+        assert_eq!(replayed.steps, recorded.steps);
+        assert_eq!(replayed.leaders, recorded.leaders);
+        assert_eq!(replayed.left, recorded.left);
+        assert_eq!(
+            format!("{}", replayed.metrics),
+            format!("{}", recorded.metrics)
+        );
+    }
+
+    #[test]
+    fn stale_restart_can_break_single_leader() {
+        // The amnesia class resurrects conquered nodes as phase-1 leaders;
+        // across enough seeds at least one run must end with an extra
+        // honest leader — the violation the matrix pins as a witness.
+        let graph = gen::ring(8);
+        let broke = (0..40u64).any(|seed| {
+            let plan = ByzantinePlan::new(seed, 1).only("stale-restart");
+            let (result, _) = Discovery::run_byzantine(
+                &graph,
+                Variant::Oblivious,
+                Some(&plan),
+                None,
+                RandomScheduler::seeded(seed ^ 0xCAFE),
+            );
+            result.map(|o| o.single_leader.is_err()).unwrap_or(true)
+        });
+        assert!(broke, "no seed broke single-leader via stale restarts");
+    }
+
+    #[test]
+    fn meta_parsers_round_trip() {
+        let plan = ByzantinePlan::new(13, 3).only("silence");
+        let parsed = parse_byzantine_meta(&byzantine_meta(&plan)).unwrap();
+        assert_eq!(parsed.seed, 13);
+        assert_eq!(parsed.f, 3);
+        let churn = ChurnPlan::new(5, 0.25);
+        let parsed = parse_churn_meta(&churn_meta(&churn)).unwrap();
+        assert_eq!(parsed.seed, 5);
+        assert!((parsed.rate - 0.25).abs() < 1e-9);
+        assert!(parse_byzantine_meta("garbage").is_none());
+    }
+}

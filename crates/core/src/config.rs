@@ -53,6 +53,13 @@ pub struct Config {
     /// (ablation A2) requests everything at once, inflating bit complexity
     /// toward `O(|E₀| log² n)`.
     pub balanced_queries: bool,
+    /// Tolerate protocol-impossible messages instead of panicking. The
+    /// paper's algorithm treats an unexpected message (a release for a
+    /// search never sent, a conqueror absent from `unaware`, …) as a local
+    /// bug and asserts; under Byzantine faults such messages are *forged*,
+    /// so Byzantine runs set this to drop them instead. Off by default —
+    /// honest runs must keep their bug-catching asserts.
+    pub byzantine_tolerant: bool,
 }
 
 impl Default for Config {
@@ -60,6 +67,7 @@ impl Default for Config {
         Config {
             path_compression: true,
             balanced_queries: true,
+            byzantine_tolerant: false,
         }
     }
 }
@@ -85,6 +93,15 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// The paper's algorithm hardened for Byzantine runs: impossible
+    /// messages are dropped instead of tripping asserts.
+    pub fn byzantine() -> Self {
+        Config {
+            byzantine_tolerant: true,
+            ..Config::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,7 +113,15 @@ mod tests {
         let c = Config::default();
         assert!(c.path_compression);
         assert!(c.balanced_queries);
+        assert!(!c.byzantine_tolerant);
         assert_eq!(Config::paper(), c);
+    }
+
+    #[test]
+    fn byzantine_config_only_relaxes_asserts() {
+        let c = Config::byzantine();
+        assert!(c.byzantine_tolerant);
+        assert!(c.path_compression && c.balanced_queries);
     }
 
     #[test]

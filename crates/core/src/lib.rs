@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod budgets;
+mod byzantine;
 mod config;
 mod driver;
 mod faulty;
@@ -53,6 +54,7 @@ pub mod node;
 mod reliable;
 mod status;
 
+pub use byzantine::{byzantine_meta, churn_meta, ByzantineDiscovery, ByzantineOutcome};
 pub use config::{Config, Variant};
 pub use driver::{Discovery, Outcome, ProbeStatus};
 pub use faulty::{FaultyDiscovery, FaultyOutcome};

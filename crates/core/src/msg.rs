@@ -221,6 +221,36 @@ impl Envelope for Message {
             Message::ProbeReply { .. } => 8 + 32,
         }
     }
+
+    fn forge(_src: NodeId, dst: NodeId, salt: u32) -> Option<Self> {
+        // Salt convention (see [`Envelope::forge`]): the low 8 bits pick the
+        // lie, the high bits parameterize it.
+        match salt & 0xFF {
+            // Equivocation: a conquer wave at an attacker-chosen phase.
+            // Sent with *different* phases to different neighbors, it
+            // splits their `next` pointers between inconsistent "leaders"
+            // and rolls their conquer epochs forward, desynchronizing the
+            // [D5]/[D6] staleness guards.
+            0 => Some(Message::Conquer {
+                phase: 1 + (salt >> 8),
+            }),
+            // Fabrication: a search claiming to originate from an arbitrary
+            // id the receiver may never have heard of. `origin_phase: 0`
+            // loses every `(phase, id)` comparison, so the lie cannot
+            // conquer anyone directly — it plants the fabricated id in
+            // `local`/`unexplored` sets ([D3]) and triggers spurious
+            // searches toward it.
+            1 => Some(Message::Search {
+                origin: NodeId::new((salt >> 8) as usize),
+                origin_phase: 0,
+                target: dst,
+                new_edge: false,
+            }),
+            // Unknown flavors forge nothing: the choice becomes a metered
+            // no-op, keeping every salt valid for the explorer.
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

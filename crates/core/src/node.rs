@@ -272,6 +272,24 @@ impl ArdNode {
         (self.phase, self.id)
     }
 
+    /// Terminal arm for a message the current state can never consume.
+    ///
+    /// In honest runs such a message proves a local bug, so we panic. Under
+    /// Byzantine faults "impossible" messages are forged, not buggy:
+    /// [`Config::byzantine_tolerant`] turns every one of these sites into a
+    /// silent drop, which is the strongest defensible reaction for a node
+    /// that cannot authenticate senders.
+    fn unexpected(&self, msg: Message) -> Disposition {
+        assert!(
+            self.config.byzantine_tolerant,
+            "{}: unexpected {:?} in {}",
+            self.id,
+            msg,
+            self.status
+        );
+        Disposition::Consumed
+    }
+
     // ------------------------------------------------------------------
     // External commands (issued by the driver, not triggered by messages).
     // ------------------------------------------------------------------
@@ -548,11 +566,13 @@ impl ArdNode {
     ) -> Disposition {
         match msg {
             Message::QueryReply { ids, exhausted } => {
-                assert_eq!(
-                    self.awaiting_query_from,
-                    Some(from),
-                    "query reply from unexpected sender"
-                );
+                if self.awaiting_query_from != Some(from) {
+                    assert!(
+                        self.config.byzantine_tolerant,
+                        "query reply from unexpected sender"
+                    );
+                    return Disposition::Consumed;
+                }
                 self.awaiting_query_from = None;
                 self.absorb_query_reply(from, ids, exhausted);
                 self.maybe_terminate_bounded(ctx);
@@ -569,7 +589,7 @@ impl ArdNode {
                 Disposition::Consumed
             }
             m @ (Message::Search { .. } | Message::Probe { .. }) => Disposition::Deferred(m), // [D1]
-            other => panic!("{}: unexpected {:?} in explore", self.id, other),
+            other => self.unexpected(other),
         }
     }
 
@@ -663,7 +683,13 @@ impl ArdNode {
                         self.record_new_id(leader, ctx);
                     }
                 } else {
-                    assert!(self.awaiting_release, "release for a search we never sent");
+                    if !self.awaiting_release {
+                        assert!(
+                            self.config.byzantine_tolerant,
+                            "release for a search we never sent"
+                        );
+                        return Disposition::Consumed;
+                    }
                     self.awaiting_release = false;
                     match verdict {
                         Verdict::Abort => self.set_status(Status::Passive),
@@ -701,7 +727,7 @@ impl ArdNode {
                 }
                 Disposition::Consumed
             }
-            other => panic!("{}: unexpected {:?} in {}", self.id, other, self.status),
+            other => self.unexpected(other),
         }
     }
 
@@ -775,7 +801,7 @@ impl ArdNode {
                 Disposition::Consumed
             }
             m @ (Message::Search { .. } | Message::Probe { .. }) => Disposition::Deferred(m), // [D1]
-            other => panic!("{}: unexpected {:?} in conquered", self.id, other),
+            other => self.unexpected(other),
         }
     }
 
@@ -800,10 +826,13 @@ impl ArdNode {
                 Disposition::Consumed
             }
             Message::MoreDone { exhausted } => {
-                assert!(
-                    self.unaware.remove(&from),
-                    "more/done from a node not in unaware"
-                );
+                if !self.unaware.remove(&from) {
+                    assert!(
+                        self.config.byzantine_tolerant,
+                        "more/done from a node not in unaware"
+                    );
+                    return Disposition::Consumed;
+                }
                 if exhausted {
                     self.done.insert(from);
                 } else {
@@ -815,7 +844,7 @@ impl ArdNode {
                 Disposition::Consumed
             }
             m @ (Message::Search { .. } | Message::Probe { .. }) => Disposition::Deferred(m), // [D1]
-            other => panic!("{}: unexpected {:?} in conqueror", self.id, other),
+            other => self.unexpected(other),
         }
     }
 
@@ -972,7 +1001,11 @@ impl ArdNode {
                 ids,
             } => {
                 if dest == self.id {
-                    debug_assert!(self.probes_outstanding > 0);
+                    if self.probes_outstanding == 0 {
+                        // Only forgery produces an unsolicited probe reply.
+                        debug_assert!(self.config.byzantine_tolerant, "unsolicited probe reply");
+                        return Disposition::Consumed;
+                    }
                     self.probes_outstanding -= 1;
                     // The requester compresses its own pointer too ([D6]
                     // staleness guard applies as everywhere).
@@ -996,13 +1029,18 @@ impl ArdNode {
                 Disposition::Consumed
             }
             Message::Conquer { phase } => {
-                // [D5] conquers arrive with strictly increasing phases.
-                debug_assert!(
-                    phase > self.inactive_phase,
-                    "{}: conquer phase {phase} not above {}",
-                    self.id,
-                    self.inactive_phase
-                );
+                // [D5] conquers arrive with strictly increasing phases; only
+                // a forged conquer can violate the monotonicity, and obeying
+                // it would roll the leader pointer back to the forger.
+                if phase <= self.inactive_phase {
+                    debug_assert!(
+                        self.config.byzantine_tolerant,
+                        "{}: conquer phase {phase} not above {}",
+                        self.id,
+                        self.inactive_phase
+                    );
+                    return Disposition::Consumed;
+                }
                 self.next = from;
                 self.inactive_phase = phase;
                 if self.variant == Variant::Bounded {
@@ -1016,7 +1054,7 @@ impl ArdNode {
                 );
                 Disposition::Consumed
             }
-            other => panic!("{}: unexpected {:?} in inactive", self.id, other),
+            other => self.unexpected(other),
         }
     }
 
@@ -1046,10 +1084,15 @@ impl ArdNode {
         reply: Message,
         ctx: &mut Context<'_, Message>,
     ) {
-        let (_request, return_to) = self
-            .previous
-            .pop_front()
-            .expect("reply arrived with no matching relayed request");
+        let Some((_request, return_to)) = self.previous.pop_front() else {
+            // A reply with no request is either a bug or a forgery; under
+            // Byzantine tolerance we drop it rather than misroute it.
+            assert!(
+                self.config.byzantine_tolerant,
+                "reply arrived with no matching relayed request"
+            );
+            return;
+        };
         if self.config.path_compression && leader_phase >= self.inactive_phase {
             self.next = leader;
         }
@@ -1080,6 +1123,30 @@ impl Protocol for ArdNode {
             Disposition::Consumed => self.pump_deferred(ctx),
             Disposition::Deferred(m) => self.deferred.push_back((from, m)),
         }
+    }
+
+    fn on_stale_restart(&mut self, ctx: &mut Context<'_, Message>) {
+        // Amnesiac rejoin: the node comes back with its boot image.
+        // Everything learned since waking — cluster sets, phase, the leader
+        // pointer — is lost; only the undrained remainder of `local` (initial
+        // knowledge it never reported) survives. It then wakes again as a
+        // fresh phase-1 leader of the singleton cluster `{self}`, which is
+        // exactly the stale state the single-leader guarantee must survive.
+        self.set_status(Status::Asleep);
+        self.phase = 1;
+        self.next = self.id;
+        self.more = BTreeSet::from([self.id]);
+        self.done.clear();
+        self.unaware.clear();
+        self.unexplored.clear();
+        self.previous.clear();
+        self.deferred.clear();
+        self.awaiting_query_from = None;
+        self.awaiting_release = false;
+        self.inactive_phase = 0;
+        self.terminated = false;
+        self.probes_outstanding = 0;
+        self.on_wake(ctx);
     }
 }
 

@@ -313,6 +313,23 @@ impl<P: Protocol> Protocol for Reliable<P> {
         self.run_inner(ctx, |n, c| n.on_restart(c));
         self.ensure_tick(ctx);
     }
+
+    fn on_stale_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        // The amnesia extends to the transport: sequence numbers, reorder
+        // buffers and retransmission state all reset with the inner
+        // protocol, as if the process image were reloaded from its boot
+        // snapshot. Peers that kept *their* cursors will now see this node
+        // restart at seq 0 — exactly the stale-transport hazard the
+        // Byzantine matrix wants on the table.
+        self.staging.clear();
+        self.next_seq.clear();
+        self.unacked.clear();
+        self.tick_outstanding = false;
+        self.inner_wants_tick = false;
+        self.recv.clear();
+        self.run_inner(ctx, |n, c| n.on_stale_restart(c));
+        self.ensure_tick(ctx);
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ fn both_ablations_together_still_correct() {
     let config = Config {
         path_compression: false,
         balanced_queries: false,
+        ..Config::default()
     };
     for variant in [Variant::Oblivious, Variant::Bounded, Variant::AdHoc] {
         let graph = gen::random_weakly_connected(24, 48, 4);

@@ -105,6 +105,23 @@ pub trait Envelope: Clone + std::fmt::Debug {
     fn bits(&self, id_bits: u64) -> u64 {
         self.carried_id_count() as u64 * id_bits + self.aux_bits() + KIND_TAG_BITS
     }
+
+    /// Builds a *forged* message for a Byzantine `src` to inject toward
+    /// `dst` ([`Choice::Forge`](crate::Choice::Forge)).
+    ///
+    /// `salt` is a protocol-interpreted forgery descriptor: by convention
+    /// the low 8 bits select a forgery flavor (equivocation, fabricated
+    /// ids, …) and the high bits parameterize it, so seeded plans and the
+    /// explorer can enumerate distinct lies without knowing the message
+    /// type. The default returns `None` — protocols without a Byzantine
+    /// story turn every forge choice into a metered no-op.
+    fn forge(src: NodeId, dst: NodeId, salt: u32) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = (src, dst, salt);
+        None
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use crate::fault::{FaultPlan, FaultScheduler};
+use crate::fault::{ByzantinePlan, ChurnPlan, FaultPlan, FaultScheduler};
 use crate::par;
 use crate::record::{RecordingScheduler, Schedule};
 use crate::scheduler::{Choice, RandomScheduler, Scheduler, SendToken};
@@ -73,6 +73,17 @@ pub struct ExploreConfig {
     /// the search space (the random-walk phase re-seeds the fault RNG per
     /// walk; the DFS phase keeps the plan's own seed).
     pub fault: Option<FaultPlan>,
+    /// Optional Byzantine plan plus the node count its timeline is sized
+    /// for: every candidate schedule runs with the plan attached, so
+    /// forgeries, selective silence and stale restarts join the search
+    /// space. Unlike `fault`, the plan keeps its own seed in both phases —
+    /// callers typically derive property checks (excluded-node sets) from
+    /// the plan, which must match the plan the runs actually execute.
+    pub byzantine: Option<(ByzantinePlan, usize)>,
+    /// Optional churn plan plus the node count its timeline is sized for.
+    /// The system factory is responsible for withholding the initial
+    /// wake-ups of the plan's joiners, exactly as a driver would.
+    pub churn: Option<(ChurnPlan, usize)>,
     /// Worker threads for candidate runs. Results are byte-identical at
     /// any value; `1` (the default) executes everything inline on the
     /// caller's thread with no speculation.
@@ -96,10 +107,26 @@ impl Default for ExploreConfig {
             dfs_depth: 4,
             seed: 0,
             fault: None,
+            byzantine: None,
+            churn: None,
             jobs: 1,
             checkpoint: true,
             verify_snapshots: false,
         }
+    }
+}
+
+/// Attaches the config's Byzantine and churn plans (when present) to a
+/// freshly built fault scheduler — the one place all three scheduler
+/// construction sites share.
+fn attach_plans<S: Scheduler>(config: &ExploreConfig, sched: FaultScheduler<S>) -> FaultScheduler<S> {
+    let sched = match &config.byzantine {
+        Some((plan, n)) => sched.with_byzantine(Some(plan.clone()), *n),
+        None => sched,
+    };
+    match &config.churn {
+        Some((plan, n)) => sched.with_churn(Some(plan.clone()), *n),
+        None => sched,
     }
 }
 
@@ -502,10 +529,13 @@ fn explore_engine(config: &ExploreConfig, exec: &dyn Exec) -> ExploreReport {
         let outcomes = par::parallel_map(jobs, indices, |i| {
             let seed = walk_seed(config.seed, i);
             let fault_seed = config.fault.as_ref().map_or(0, |p| p.seed ^ seed);
-            let mut sched = RecordingScheduler::new(FaultScheduler::seeded(
-                RandomScheduler::seeded(seed),
-                config.fault.clone(),
-                fault_seed,
+            let mut sched = RecordingScheduler::new(attach_plans(
+                config,
+                FaultScheduler::seeded(
+                    RandomScheduler::seeded(seed),
+                    config.fault.clone(),
+                    fault_seed,
+                ),
             ));
             let result = exec.run_full(&mut sched);
             (seed, result, sched.into_schedule())
@@ -638,9 +668,12 @@ fn run_prefix(
         }
         return out;
     }
-    let mut sched = RecordingScheduler::new(FaultScheduler::new(
-        DfsScheduler::new(prefix.to_vec(), config.dfs_depth),
-        config.fault.clone(),
+    let mut sched = RecordingScheduler::new(attach_plans(
+        config,
+        FaultScheduler::new(
+            DfsScheduler::new(prefix.to_vec(), config.dfs_depth),
+            config.fault.clone(),
+        ),
     ));
     let result = exec.run_full(&mut sched);
     let (fault_sched, schedule) = sched.into_parts();
@@ -690,9 +723,12 @@ fn run_prefix_forked(
     let (mut run, mut sched) = match resumed {
         Some(state) => state,
         None => {
-            let mut sched = RecordingScheduler::new(FaultScheduler::new(
-                DfsScheduler::new(prefix.to_vec(), depth),
-                config.fault.clone(),
+            let mut sched = RecordingScheduler::new(attach_plans(
+                config,
+                FaultScheduler::new(
+                    DfsScheduler::new(prefix.to_vec(), depth),
+                    config.fault.clone(),
+                ),
             ));
             let run = exec
                 .spawn_fork(&mut sched)
@@ -1161,6 +1197,164 @@ pub mod fixtures {
     pub fn run_fragile(clients: usize, sched: &mut dyn Scheduler) -> Result<(), String> {
         super::run_fork_system(&FragileSystem::new(clients), sched)
     }
+
+    /// The *equiv* fixture's only message: an endorsement making its
+    /// receiver a leader. Forgeable — a Byzantine sender can mint
+    /// endorsements the voter never issued, whatever the salt flavor.
+    #[derive(Clone, Debug)]
+    pub struct Endorse;
+
+    impl Envelope for Endorse {
+        fn kind(&self) -> &'static str {
+            "endorse"
+        }
+        fn for_each_carried_id(&self, _f: &mut dyn FnMut(NodeId)) {}
+        fn aux_bits(&self) -> u64 {
+            0
+        }
+        fn forge(_src: NodeId, _dst: NodeId, _salt: u32) -> Option<Self> {
+            Some(Endorse)
+        }
+    }
+
+    /// One node of the planted *equivocation-dependent* bug network: node 0
+    /// is a voter that endorses exactly one candidate (node 1) on wake-up;
+    /// every other node is a candidate that declares itself leader on
+    /// receiving an endorsement.
+    ///
+    /// The planted bug: candidates trust endorsements without
+    /// authentication. Under every honest schedule — any interleaving, any
+    /// link faults — at most candidate 1 ever leads, so single-leadership
+    /// holds. A Byzantine equivocator forging endorsements to other
+    /// candidates elects a second leader: the violation *requires* a
+    /// [`Choice::Forge`](crate::Choice::Forge) in the schedule, which is
+    /// exactly what the explorer's Byzantine search exists to inject.
+    #[derive(Clone, Debug)]
+    pub enum EquivNode {
+        /// The voter: endorses candidate 1 once, on wake-up.
+        Voter,
+        /// A candidate: leads as soon as anyone endorses it.
+        Candidate {
+            /// Whether an endorsement arrived.
+            leader: bool,
+        },
+    }
+
+    impl Protocol for EquivNode {
+        type Message = Endorse;
+
+        fn on_wake(&mut self, ctx: &mut Context<'_, Endorse>) {
+            if matches!(self, EquivNode::Voter) {
+                ctx.send(NodeId::new(1), Endorse);
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, _msg: Endorse, _ctx: &mut Context<'_, Endorse>) {
+            if let EquivNode::Candidate { leader } = self {
+                *leader = true;
+            }
+        }
+    }
+
+    /// Builds the equiv network: one voter plus `candidates` candidates,
+    /// with mutual voter ↔ candidate knowledge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates < 2` (a second leader needs a second
+    /// candidate).
+    pub fn equiv_network(candidates: usize) -> Runner<EquivNode> {
+        assert!(candidates >= 2, "equivocation needs at least two candidates");
+        let mut nodes = vec![EquivNode::Voter];
+        let mut knowledge = vec![(1..=candidates).map(NodeId::new).collect::<Vec<_>>()];
+        for _ in 0..candidates {
+            nodes.push(EquivNode::Candidate { leader: false });
+            knowledge.push(vec![NodeId::new(0)]);
+        }
+        Runner::new(nodes, knowledge)
+    }
+
+    /// The equiv fixture's property check: at most one candidate may lead.
+    /// Returns a failure description when forged endorsements elected a
+    /// second leader.
+    pub fn equiv_violation(runner: &Runner<EquivNode>) -> Option<String> {
+        let leaders: Vec<NodeId> = (1..runner.len())
+            .map(NodeId::new)
+            .filter(|&c| matches!(runner.node(c), EquivNode::Candidate { leader: true }))
+            .collect();
+        if leaders.len() >= 2 {
+            let ids: Vec<String> = leaders.iter().map(ToString::to_string).collect();
+            Some(format!(
+                "forged endorsements elected {} leaders ({}): the voter endorsed only candidate 1",
+                leaders.len(),
+                ids.join(", ")
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The equiv fixture as a checkpointable [`ForkSystem`]; see
+    /// [`RacySystem`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct EquivSystem {
+        candidates: usize,
+    }
+
+    impl EquivSystem {
+        /// The fixture with `candidates` candidates behind the voter.
+        pub fn new(candidates: usize) -> Self {
+            EquivSystem { candidates }
+        }
+    }
+
+    struct EquivRun {
+        runner: Runner<EquivNode>,
+        steps: u64,
+    }
+
+    impl ForkSystem for EquivSystem {
+        fn spawn(&self, sched: &mut dyn Scheduler) -> Box<dyn ForkRun> {
+            let mut runner = equiv_network(self.candidates);
+            runner.enqueue_wake_all(sched);
+            Box::new(EquivRun { runner, steps: 0 })
+        }
+    }
+
+    impl ForkRun for EquivRun {
+        fn fork(&self) -> Box<dyn ForkRun> {
+            Box::new(EquivRun {
+                runner: self.runner.clone(),
+                steps: self.steps,
+            })
+        }
+        fn step(&mut self, sched: &mut dyn Scheduler) -> Result<bool, String> {
+            fixture_step(&mut self.runner, &mut self.steps, sched)
+        }
+        fn check(&mut self) -> Result<(), String> {
+            // A violation is only declared against a *complete* state —
+            // voter awake, no messages in flight — so shrinking cannot
+            // fake one by truncating the voter's own endorsement.
+            if !self.runner.links_empty() || !self.runner.is_awake(NodeId::new(0)) {
+                return Ok(());
+            }
+            match equiv_violation(&self.runner) {
+                Some(reason) => Err(reason),
+                None => Ok(()),
+            }
+        }
+    }
+
+    /// Runs the equiv fixture under `sched` and checks single-leadership.
+    /// Honest schedules always pass; breaking it takes a Byzantine plan
+    /// (see [`ExploreConfig::byzantine`](super::ExploreConfig::byzantine)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation description (or a livelock report) as `Err`.
+    pub fn run_equiv(candidates: usize, sched: &mut dyn Scheduler) -> Result<(), String> {
+        super::run_fork_system(&EquivSystem::new(candidates), sched)
+    }
 }
 
 #[cfg(test)]
@@ -1406,6 +1600,87 @@ mod tests {
             fixtures::run_fragile(1, &mut replay).unwrap_err(),
             result.reason
         );
+    }
+
+    #[test]
+    fn equiv_fixture_is_clean_without_a_byzantine_plan() {
+        // A full exploration — interleavings alone, no forgeries — finds
+        // nothing: only the endorsed candidate ever leads.
+        let report = explore(&ExploreConfig::default(), || {
+            |sched: &mut dyn Scheduler| fixtures::run_equiv(3, sched)
+        });
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn byzantine_search_finds_and_shrinks_the_planted_equivocation() {
+        use crate::fault::ByzantinePlan;
+        // Seed 3 makes candidate 3 the equivocator, forging endorsements
+        // to candidates 1 and 2 — two leaders once both deliver.
+        let config = ExploreConfig {
+            random_walks: 64,
+            dfs_budget: 64,
+            dfs_depth: 4,
+            seed: 0,
+            byzantine: Some((ByzantinePlan::new(3, 1).only("equivocate"), 4)),
+            ..ExploreConfig::default()
+        };
+        let report = explore(&config, || |sched: &mut dyn Scheduler| {
+            fixtures::run_equiv(3, sched)
+        });
+        let failure = report.failure.expect("byzantine search should split leadership");
+        assert!(failure.reason.contains("forged endorsements"));
+
+        // Strict replay without any Byzantine machinery — the forgeries
+        // are ordinary recorded choices.
+        let mut replay = ReplayScheduler::strict(&failure.schedule);
+        let err = fixtures::run_equiv(3, &mut replay).unwrap_err();
+        assert_eq!(err, failure.reason);
+
+        // ddmin strips the honest bulk; what remains is the voter's wake,
+        // its endorsement, one forgery and the deliveries that elect the
+        // second leader.
+        let result = crate::shrink::shrink(&failure.schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_equiv(3, sched)
+        });
+        assert!(
+            result.schedule.len() <= 6,
+            "expected a <= 6 choice witness, got:\n{}",
+            result.schedule.to_text()
+        );
+        assert!(
+            result
+                .schedule
+                .choices()
+                .iter()
+                .any(|c| matches!(c, Choice::Forge { .. })),
+            "the minimized witness must keep a forgery"
+        );
+        let mut replay = ReplayScheduler::strict(&result.schedule);
+        assert_eq!(
+            fixtures::run_equiv(3, &mut replay).unwrap_err(),
+            result.reason
+        );
+    }
+
+    #[test]
+    fn byzantine_fork_exploration_matches_the_closure_contract() {
+        use crate::fault::ByzantinePlan;
+        // Checkpoint/fork must clone the Byzantine scheduler state
+        // faithfully: both paths make the identical search.
+        let config = ExploreConfig {
+            random_walks: 8,
+            dfs_budget: 64,
+            dfs_depth: 5,
+            seed: 3,
+            byzantine: Some((ByzantinePlan::new(5, 1), 4)),
+            ..ExploreConfig::default()
+        };
+        let closure = explore(&config, || |sched: &mut dyn Scheduler| {
+            fixtures::run_equiv(3, sched)
+        });
+        let forked = explore_fork(&config, &fixtures::EquivSystem::new(3));
+        assert_eq!(report_fingerprint(&closure), report_fingerprint(&forked));
     }
 
     #[test]

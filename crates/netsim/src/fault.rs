@@ -84,6 +84,275 @@ pub struct CrashEvent {
     pub restart_after: u64,
 }
 
+/// Congruential step shared by every seeded plan generator (same constants
+/// as [`FaultPlan::with_spread_crashes`]).
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407)
+}
+
+/// Mixes a plan seed into an LCG starting state.
+fn lcg_seed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// A seeded, declarative Byzantine-behaviour policy: which nodes lie, and
+/// how.
+///
+/// The plan is pure policy (`f` nodes, four fault classes); concrete
+/// choices are derived deterministically from the seed once the network
+/// size is known — [`byzantine_nodes`](ByzantinePlan::byzantine_nodes)
+/// picks the liars, [`timeline`](ByzantinePlan::timeline) lays out their
+/// forgeries and stale restarts on the choice-index axis, and the
+/// [`silence`](ByzantinePlan::silence) class withholds a fraction of their
+/// outgoing sends at send time. Attach with
+/// [`FaultScheduler::with_byzantine`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ByzantinePlan {
+    /// Seed deriving the Byzantine set and every forged payload.
+    pub seed: u64,
+    /// Number of Byzantine nodes.
+    pub f: usize,
+    /// Equivocation: conflicting forged payloads to different neighbors.
+    pub equivocate: bool,
+    /// Fabrication: forged messages carrying ids the sender never learned.
+    pub fabricate: bool,
+    /// Selective silence: Byzantine senders withhold some of their sends.
+    pub silence: bool,
+    /// Stale restart: crash followed by an amnesiac rejoin.
+    pub stale_restart: bool,
+}
+
+/// Fraction of a Byzantine sender's messages withheld when the
+/// [`silence`](ByzantinePlan::silence) class is active.
+const SILENCE_PROB: f64 = 0.35;
+
+impl ByzantinePlan {
+    /// A plan with `f` Byzantine nodes and every fault class enabled.
+    pub fn new(seed: u64, f: usize) -> Self {
+        ByzantinePlan {
+            seed,
+            f,
+            equivocate: true,
+            fabricate: true,
+            silence: true,
+            stale_restart: true,
+        }
+    }
+
+    /// Restricts the plan to a single named class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown class name.
+    pub fn only(mut self, class: &str) -> Self {
+        self.equivocate = false;
+        self.fabricate = false;
+        self.silence = false;
+        self.stale_restart = false;
+        match class {
+            "equivocate" => self.equivocate = true,
+            "fabricate" => self.fabricate = true,
+            "silence" => self.silence = true,
+            "stale-restart" => self.stale_restart = true,
+            other => panic!(
+                "unknown Byzantine class `{other}` \
+                 (expected equivocate, fabricate, silence or stale-restart)"
+            ),
+        }
+        self
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_vacuous(&self) -> bool {
+        self.f == 0
+            || !(self.equivocate || self.fabricate || self.silence || self.stale_restart)
+    }
+
+    /// The Byzantine node set of an `n`-node network: `min(f, n)` distinct
+    /// nodes derived from the seed.
+    pub fn byzantine_nodes(&self, n: usize) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        let mut x = lcg_seed(self.seed);
+        while out.len() < self.f.min(n) {
+            x = lcg(x);
+            let node = NodeId::new(((x >> 33) as usize) % n);
+            if !out.contains(&node) {
+                out.push(node);
+            }
+        }
+        out
+    }
+
+    /// The plan's forgery / stale-restart events as `(choice index,
+    /// choice)` pairs, sorted by index. Every forged id is `< n`, so
+    /// fabricated payloads always name addressable (if never-learned)
+    /// nodes.
+    pub fn timeline(&self, n: usize) -> Vec<(u64, Choice)> {
+        let mut events: Vec<(u64, Choice)> = Vec::new();
+        if n < 2 {
+            return events;
+        }
+        let nodes = self.byzantine_nodes(n);
+        let mut x = lcg_seed(self.seed ^ 0xB12A);
+        let mut pick_other = |avoid: NodeId| -> NodeId {
+            loop {
+                x = lcg(x);
+                let d = NodeId::new(((x >> 33) as usize) % n);
+                if d != avoid || n == 1 {
+                    return d;
+                }
+            }
+        };
+        let mut at = 15u64;
+        for &b in &nodes {
+            if self.equivocate {
+                // Conflicting leadership claims (flavor 0) to two
+                // different receivers.
+                let d1 = pick_other(b);
+                let mut d2 = pick_other(b);
+                if n > 2 {
+                    while d2 == d1 {
+                        d2 = pick_other(b);
+                    }
+                }
+                let phase = 2 + (at % 5) as u32;
+                events.push((
+                    at,
+                    Choice::Forge {
+                        src: b,
+                        dst: d1,
+                        salt: phase << 8,
+                    },
+                ));
+                events.push((
+                    at + 1,
+                    Choice::Forge {
+                        src: b,
+                        dst: d2,
+                        salt: (phase + 1) << 8,
+                    },
+                ));
+                at += 20;
+            }
+            if self.fabricate {
+                // A forged search naming an id the sender never learned
+                // (flavor 1).
+                let d = pick_other(b);
+                let fake = pick_other(d);
+                events.push((
+                    at,
+                    Choice::Forge {
+                        src: b,
+                        dst: d,
+                        salt: ((fake.index() as u32) << 8) | 1,
+                    },
+                ));
+                at += 20;
+            }
+            if self.stale_restart {
+                events.push((at, Choice::Crash(b)));
+                events.push((at + 10, Choice::StaleRestart(b)));
+                at += 30;
+            }
+        }
+        events.sort_by_key(|&(at, _)| at);
+        events
+    }
+}
+
+/// A seeded join/leave churn policy, extending the paper's dynamic
+/// additions (§6, R6/Theorem 8) with permanent departures.
+///
+/// `rate` is the fraction of the network that joins late *and* the
+/// fraction that leaves: `⌈rate·n⌉` joiners (their initial wake-ups are
+/// withheld by the driver and replaced with scheduled [`Choice::Join`]s)
+/// and the same number of disjoint leavers. Attach with
+/// [`FaultScheduler::with_churn`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnPlan {
+    /// Seed deriving joiner/leaver sets and event times.
+    pub seed: u64,
+    /// Fraction of nodes that join late / leave (`0.0 ≤ rate ≤ 0.5`).
+    pub rate: f64,
+}
+
+impl ChurnPlan {
+    /// A churn plan at the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 ≤ rate ≤ 0.5` (joiners and leavers are disjoint
+    /// sets, so each can cover at most half the network).
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&rate),
+            "churn rate {rate} must be in [0, 0.5]: joiners and leavers are disjoint"
+        );
+        ChurnPlan { seed, rate }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_vacuous(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    /// Number of joiners (= number of leavers) in an `n`-node network.
+    fn count(&self, n: usize) -> usize {
+        ((self.rate * n as f64).ceil() as usize).min(n / 2)
+    }
+
+    /// Distinct nodes derived from the seed: the first `count` are the
+    /// joiners, the next `count` the leavers.
+    fn picks(&self, n: usize) -> Vec<NodeId> {
+        let want = 2 * self.count(n);
+        let mut out: Vec<NodeId> = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        let mut x = lcg_seed(self.seed);
+        while out.len() < want {
+            x = lcg(x);
+            let node = NodeId::new(((x >> 33) as usize) % n);
+            if !out.contains(&node) {
+                out.push(node);
+            }
+        }
+        out
+    }
+
+    /// The nodes whose initial wake-ups the driver must withhold; they
+    /// come online via scheduled [`Choice::Join`]s instead.
+    pub fn joiners(&self, n: usize) -> Vec<NodeId> {
+        let mut picks = self.picks(n);
+        picks.truncate(self.count(n));
+        picks
+    }
+
+    /// The nodes that leave permanently (disjoint from the joiners).
+    pub fn leavers(&self, n: usize) -> Vec<NodeId> {
+        self.picks(n).split_off(self.count(n))
+    }
+
+    /// The churn events as `(choice index, choice)` pairs, sorted by
+    /// index: joins early (the paper's late wake-ups), leaves staggered
+    /// through the run.
+    pub fn timeline(&self, n: usize) -> Vec<(u64, Choice)> {
+        let mut events: Vec<(u64, Choice)> = Vec::new();
+        for (k, j) in self.joiners(n).into_iter().enumerate() {
+            events.push((10 + 25 * k as u64, Choice::Join(j)));
+        }
+        for (k, l) in self.leavers(n).into_iter().enumerate() {
+            events.push((30 + 25 * k as u64, Choice::Leave(l)));
+        }
+        events.sort_by_key(|&(at, _)| at);
+        events
+    }
+}
+
 /// A seeded, declarative fault policy.
 ///
 /// Built with the `with_*` combinators; executed by [`FaultScheduler`].
@@ -269,10 +538,20 @@ pub struct FaultScheduler<S> {
     rng: StdRng,
     /// Fault choices injected by send fates, FIFO.
     injected: VecDeque<Choice>,
-    /// Crash/restart timeline, sorted by choice index.
+    /// Crash/restart (plus forgery/churn) timeline, sorted by choice index.
     events: VecDeque<(u64, Choice)>,
     /// Number of choices returned so far (the plan's time axis).
     choice_index: u64,
+    /// Byzantine plan, if attached via [`with_byzantine`](Self::with_byzantine).
+    byz: Option<ByzantinePlan>,
+    /// Materialized Byzantine node set (empty without a plan).
+    byz_nodes: Vec<NodeId>,
+    /// Churn plan, if attached via [`with_churn`](Self::with_churn).
+    churn: Option<ChurnPlan>,
+    /// Dedicated RNG for Byzantine silence draws, seeded from the plan —
+    /// kept separate from the link-fault RNG so attaching a Byzantine plan
+    /// never perturbs an existing fault plan's fates.
+    byz_rng: StdRng,
 }
 
 impl<S: Scheduler> FaultScheduler<S> {
@@ -294,7 +573,53 @@ impl<S: Scheduler> FaultScheduler<S> {
             injected: VecDeque::new(),
             events,
             choice_index: 0,
+            byz: None,
+            byz_nodes: Vec::new(),
+            churn: None,
+            byz_rng: StdRng::seed_from_u64(0),
         }
+    }
+
+    /// Attaches a [`ByzantinePlan`] for an `n`-node network: its forgery /
+    /// stale-restart timeline merges into the event queue and its silence
+    /// class starts withholding Byzantine sends. `None` detaches.
+    pub fn with_byzantine(mut self, plan: Option<ByzantinePlan>, n: usize) -> Self {
+        if let Some(plan) = plan {
+            self.byz_nodes = plan.byzantine_nodes(n);
+            self.byz_rng = StdRng::seed_from_u64(plan.seed ^ 0x5117_EACE);
+            self.merge_events(plan.timeline(n));
+            self.byz = Some(plan);
+        } else {
+            self.byz = None;
+            self.byz_nodes.clear();
+        }
+        self
+    }
+
+    /// Attaches a [`ChurnPlan`] for an `n`-node network: its join/leave
+    /// timeline merges into the event queue. The *driver* must withhold
+    /// the initial wake-ups of [`ChurnPlan::joiners`] — the scheduler only
+    /// times their joins. `None` detaches.
+    pub fn with_churn(mut self, plan: Option<ChurnPlan>, n: usize) -> Self {
+        if let Some(plan) = plan {
+            self.merge_events(plan.timeline(n));
+            self.churn = Some(plan);
+        } else {
+            self.churn = None;
+        }
+        self
+    }
+
+    /// Merges extra timeline events into the sorted event queue (stable,
+    /// so simultaneous events keep attach order).
+    fn merge_events(&mut self, extra: Vec<(u64, Choice)>) {
+        if extra.is_empty() {
+            return;
+        }
+        let mut all: Vec<(u64, Choice)> = self.events.drain(..).collect();
+        all.extend(extra);
+        all.sort_by_key(|&(at, _)| at);
+        self.events = all.into();
     }
 
     /// The wrapped scheduler.
@@ -324,11 +649,22 @@ impl<S: Scheduler> Scheduler for FaultScheduler<S> {
     }
 
     fn note_send(&mut self, token: SendToken) {
+        let (src, dst) = (token.src, token.dst);
+        // Byzantine silence is drawn first: withholding is attributed to
+        // the sender, before the network can fault the message. The
+        // membership test gates the draw, so runs without a Byzantine
+        // plan (and honest senders under one) consume no randomness.
+        if self.byz.as_ref().is_some_and(|b| b.silence)
+            && self.byz_nodes.contains(&src)
+            && self.byz_rng.gen::<f64>() < SILENCE_PROB
+        {
+            self.injected.push_back(Choice::Silence { src, dst });
+            return;
+        }
         let Some(plan) = &self.plan else {
             self.inner.note_send(token);
             return;
         };
-        let (src, dst) = (token.src, token.dst);
         if plan.partitioned(src, dst, self.choice_index) {
             self.injected.push_back(Choice::Drop { src, dst });
             return;
@@ -550,5 +886,152 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1)")]
     fn full_loss_is_rejected() {
         let _ = FaultPlan::new(0).with_drop(1.0);
+    }
+
+    #[test]
+    fn byzantine_nodes_are_distinct_and_seed_deterministic() {
+        let plan = ByzantinePlan::new(11, 3);
+        let nodes = plan.byzantine_nodes(8);
+        assert_eq!(nodes.len(), 3);
+        let mut dedup = nodes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3);
+        assert_eq!(nodes, ByzantinePlan::new(11, 3).byzantine_nodes(8));
+        // f larger than the network clamps.
+        assert_eq!(plan.byzantine_nodes(2).len(), 2);
+        assert!(plan.byzantine_nodes(0).is_empty());
+    }
+
+    #[test]
+    fn byzantine_timeline_stays_inside_the_network() {
+        let plan = ByzantinePlan::new(5, 2);
+        let events = plan.timeline(8);
+        assert!(!events.is_empty());
+        let liars = plan.byzantine_nodes(8);
+        for &(_, c) in &events {
+            match c {
+                Choice::Forge { src, dst, salt } => {
+                    assert!(liars.contains(&src));
+                    assert!(dst.index() < 8);
+                    assert_ne!(src, dst);
+                    // Any id baked into the salt names a real node.
+                    assert!(((salt >> 8) as usize) < 8 || salt & 0xFF == 0);
+                }
+                Choice::Crash(n) | Choice::StaleRestart(n) => {
+                    assert!(liars.contains(&n));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Sorted by index.
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn byzantine_class_restriction_drops_other_events() {
+        let plan = ByzantinePlan::new(5, 2).only("stale-restart");
+        assert!(!plan.equivocate && !plan.fabricate && !plan.silence);
+        let events = plan.timeline(8);
+        assert!(events
+            .iter()
+            .all(|&(_, c)| matches!(c, Choice::Crash(_) | Choice::StaleRestart(_))));
+        assert!(ByzantinePlan::new(5, 0).is_vacuous());
+        assert!(!plan.is_vacuous());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Byzantine class")]
+    fn unknown_class_is_rejected() {
+        let _ = ByzantinePlan::new(0, 1).only("gaslight");
+    }
+
+    #[test]
+    fn churn_joiners_and_leavers_are_disjoint() {
+        let plan = ChurnPlan::new(3, 0.25);
+        let joiners = plan.joiners(16);
+        let leavers = plan.leavers(16);
+        assert_eq!(joiners.len(), 4);
+        assert_eq!(leavers.len(), 4);
+        assert!(joiners.iter().all(|j| !leavers.contains(j)));
+        let events = plan.timeline(16);
+        assert_eq!(events.len(), 8);
+        assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Tiny rates still churn at least one node each way.
+        assert_eq!(ChurnPlan::new(3, 0.05).joiners(8).len(), 1);
+        assert!(ChurnPlan::new(3, 0.0).is_vacuous());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 0.5]")]
+    fn over_half_churn_is_rejected() {
+        let _ = ChurnPlan::new(0, 0.6);
+    }
+
+    #[test]
+    fn silence_withholds_only_byzantine_sends() {
+        let plan = ByzantinePlan::new(7, 1).only("silence");
+        let liar = plan.byzantine_nodes(4)[0];
+        let honest = NodeId::new((liar.index() + 1) % 4);
+        let mut s = FaultScheduler::new(FifoScheduler::new(), None).with_byzantine(Some(plan), 4);
+        for i in 0..200 {
+            s.note_send(SendToken {
+                src: if i % 2 == 0 { liar } else { honest },
+                dst: NodeId::new((i % 2 + 2) as usize % 4),
+                seq: i as u64,
+                kind: "t",
+            });
+        }
+        let mut silenced = 0;
+        let mut delivered_from_liar = 0;
+        let mut delivered_from_honest = 0;
+        while let Some(c) = s.choose() {
+            match c {
+                Choice::Silence { src, .. } => {
+                    assert_eq!(src, liar);
+                    silenced += 1;
+                }
+                Choice::Deliver { src, .. } if src == liar => delivered_from_liar += 1,
+                Choice::Deliver { .. } => delivered_from_honest += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(delivered_from_honest, 100, "honest sends are untouched");
+        assert_eq!(silenced + delivered_from_liar, 100);
+        assert!((10..70).contains(&silenced), "silenced = {silenced}");
+    }
+
+    #[test]
+    fn byzantine_timeline_flushes_at_quiescence() {
+        // A stale-restart pair scheduled far in the future still fires
+        // when the network quiesces early, like crash events do.
+        let plan = ByzantinePlan::new(2, 1).only("stale-restart");
+        let mut s = FaultScheduler::new(FifoScheduler::new(), None).with_byzantine(Some(plan), 4);
+        let mut seen = Vec::new();
+        while let Some(c) = s.choose() {
+            seen.push(c);
+        }
+        assert!(matches!(seen[0], Choice::Crash(_)));
+        assert!(matches!(seen[1], Choice::StaleRestart(_)));
+    }
+
+    #[test]
+    fn attaching_vacuous_plans_changes_nothing() {
+        let run = |byz: bool| {
+            let mut s = FaultScheduler::new(FifoScheduler::new(), None);
+            if byz {
+                s = s
+                    .with_byzantine(Some(ByzantinePlan::new(9, 0)), 4)
+                    .with_churn(Some(ChurnPlan::new(9, 0.0)), 4);
+            }
+            s.note_wake(NodeId::new(0));
+            s.note_send(token(0, 1, 0));
+            let mut out = Vec::new();
+            while let Some(c) = s.choose() {
+                out.push(c);
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -93,10 +93,10 @@ pub use arena::MessageArena;
 pub use bitset::BitSet;
 pub use context::Context;
 pub use envelope::Envelope;
-pub use fault::{FaultPlan, FaultScheduler};
+pub use fault::{ByzantinePlan, ChurnPlan, FaultPlan, FaultScheduler};
 pub use id::NodeId;
 pub use intset::IntervalSet;
-pub use metrics::{FaultCounts, KindCounts, Metrics};
+pub use metrics::{ByzantineCounts, FaultCounts, KindCounts, Metrics};
 pub use record::{RecordingScheduler, ReplayScheduler, Schedule, ScheduleParseError};
 pub use runner::{LivelockError, Protocol, Runner};
 pub use scheduler::{

@@ -45,6 +45,48 @@ impl FaultCounts {
     }
 }
 
+/// Byzantine-behaviour and churn counters of a run under a
+/// [`ByzantinePlan`](crate::fault::ByzantinePlan) /
+/// [`ChurnPlan`](crate::fault::ChurnPlan).
+///
+/// All zeros without such a plan; like [`FaultCounts`], `Display` only
+/// prints the line when at least one counter is nonzero, so benign output
+/// stays byte-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByzantineCounts {
+    /// Messages forged by Byzantine nodes (and accepted by the protocol's
+    /// `forge` hook).
+    pub forged: u64,
+    /// Total bits of forged messages (also charged to the per-kind meters;
+    /// budget checks net them out via this counter).
+    pub forged_bits: u64,
+    /// Forge choices the protocol declined (`forge` returned `None`).
+    pub forge_noops: u64,
+    /// Messages silently withheld by their Byzantine sender.
+    pub silenced: u64,
+    /// Stale (amnesiac) restarts executed.
+    pub stale_restarts: u64,
+    /// Churn joins executed.
+    pub joins: u64,
+    /// Churn leaves executed.
+    pub leaves: u64,
+    /// Events discarded because their target had left the network.
+    pub leave_discards: u64,
+}
+
+impl ByzantineCounts {
+    /// Whether any Byzantine/churn event was observed.
+    pub fn any(&self) -> bool {
+        self.forged != 0
+            || self.forge_noops != 0
+            || self.silenced != 0
+            || self.stale_restarts != 0
+            || self.joins != 0
+            || self.leaves != 0
+            || self.leave_discards != 0
+    }
+}
+
 /// Accumulated communication cost of a simulation run.
 ///
 /// Costs are charged at *send* time (the paper counts messages sent; in a
@@ -80,6 +122,7 @@ pub struct Metrics {
     max_causal_depth: u64,
     max_link_queue: usize,
     faults: FaultCounts,
+    byzantine: ByzantineCounts,
 }
 
 impl Metrics {
@@ -168,9 +211,43 @@ impl Metrics {
         self.faults.crash_discards += 1;
     }
 
+    pub(crate) fn record_forge(&mut self, bits: u64) {
+        self.byzantine.forged += 1;
+        self.byzantine.forged_bits += bits;
+    }
+
+    pub(crate) fn record_forge_noop(&mut self) {
+        self.byzantine.forge_noops += 1;
+    }
+
+    pub(crate) fn record_silence(&mut self) {
+        self.byzantine.silenced += 1;
+    }
+
+    pub(crate) fn record_stale_restart(&mut self) {
+        self.byzantine.stale_restarts += 1;
+    }
+
+    pub(crate) fn record_join(&mut self) {
+        self.byzantine.joins += 1;
+    }
+
+    pub(crate) fn record_leave(&mut self) {
+        self.byzantine.leaves += 1;
+    }
+
+    pub(crate) fn record_leave_discard(&mut self) {
+        self.byzantine.leave_discards += 1;
+    }
+
     /// Per-fault counters (all zero on a fault-free run).
     pub fn faults(&self) -> FaultCounts {
         self.faults
+    }
+
+    /// Byzantine/churn counters (all zero on a benign run).
+    pub fn byzantine(&self) -> ByzantineCounts {
+        self.byzantine
     }
 
     /// Total messages sent, over all kinds.
@@ -259,6 +336,21 @@ impl fmt::Display for Metrics {
                 self.faults.restarts,
                 self.faults.ticks,
                 self.faults.crash_discards
+            )?;
+        }
+        if self.byzantine.any() {
+            writeln!(
+                f,
+                "byzantine: {} forged ({} bits), {} forge-noops, {} silenced, \
+                 {} stale-restarts, {} joins, {} leaves, {} leave-discards",
+                self.byzantine.forged,
+                self.byzantine.forged_bits,
+                self.byzantine.forge_noops,
+                self.byzantine.silenced,
+                self.byzantine.stale_restarts,
+                self.byzantine.joins,
+                self.byzantine.leaves,
+                self.byzantine.leave_discards
             )?;
         }
         Ok(())

@@ -10,7 +10,7 @@
 //! reproducible beyond its seed, and what the [`shrink`](crate::shrink)
 //! module minimizes.
 //!
-//! # The schedule file format (version 1)
+//! # The schedule file format (versions 1 and 2)
 //!
 //! A schedule is a line-oriented UTF-8 text file:
 //!
@@ -23,7 +23,8 @@
 //! d 0 1
 //! ```
 //!
-//! * the first non-blank line must be the header `ard-schedule v1`;
+//! * the first non-blank line must be the header `ard-schedule v1` or
+//!   `ard-schedule v2`;
 //! * `meta <key> <value…>` lines carry free-form metadata (topology spec,
 //!   variant, provenance) — keys contain no whitespace, the value is the
 //!   rest of the line;
@@ -36,6 +37,21 @@
 //!   `src → dst` (a copy joins the queue tail);
 //! * `c <node>` crashes node `<node>`; `r <node>` restarts it;
 //! * `t <node>` fires a timer tick node `<node>` armed.
+//!
+//! Version 2 adds the Byzantine/churn directives:
+//!
+//! * `f <src> <dst> <salt>` forges a message from `src` to `dst` with the
+//!   protocol-interpreted `salt` ([`Choice::Forge`]);
+//! * `s <src> <dst>` is Byzantine silence: `src` withholds the oldest
+//!   in-flight message toward `dst` ([`Choice::Silence`]);
+//! * `z <node>` stale-restarts a crashed node with amnesiac state;
+//! * `j <node>` joins node `<node>` to the running network;
+//! * `l <node>` makes node `<node>` leave permanently.
+//!
+//! [`Schedule::to_text`] emits the `v1` header whenever every choice is
+//! expressible in version 1 and the `v2` header only when a v2 directive
+//! actually occurs, so pre-v2 recordings stay byte-identical. The parser
+//! accepts all directives under either header (lenient v1 reads).
 //!
 //! The fault directives exist so that runs under
 //! [`fault::FaultScheduler`](crate::fault::FaultScheduler) record *complete*
@@ -73,6 +89,21 @@ use crate::NodeId;
 
 /// The header line every version-1 schedule file starts with.
 pub const SCHEDULE_HEADER: &str = "ard-schedule v1";
+
+/// The header line of a version-2 schedule file (Byzantine/churn alphabet).
+pub const SCHEDULE_HEADER_V2: &str = "ard-schedule v2";
+
+/// Whether a choice is expressible in the version-1 format.
+fn is_v1_choice(choice: &Choice) -> bool {
+    !matches!(
+        choice,
+        Choice::Forge { .. }
+            | Choice::Silence { .. }
+            | Choice::StaleRestart(_)
+            | Choice::Join(_)
+            | Choice::Leave(_)
+    )
+}
 
 /// A recorded sequence of scheduler choices plus free-form metadata.
 ///
@@ -137,10 +168,16 @@ impl Schedule {
         self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
     }
 
-    /// Renders the schedule in the version-1 text format.
+    /// Renders the schedule in the text format, choosing the lowest
+    /// version that can express it: `v1` unless a Byzantine/churn choice
+    /// occurs, so pre-v2 recordings stay byte-identical.
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(16 + 8 * self.choices.len());
-        out.push_str(SCHEDULE_HEADER);
+        if self.choices.iter().all(is_v1_choice) {
+            out.push_str(SCHEDULE_HEADER);
+        } else {
+            out.push_str(SCHEDULE_HEADER_V2);
+        }
         out.push('\n');
         for (k, v) in &self.meta {
             out.push_str("meta ");
@@ -172,12 +209,28 @@ impl Schedule {
                 Choice::Tick(node) => {
                     out.push_str(&format!("t {}\n", node.index()));
                 }
+                Choice::Forge { src, dst, salt } => {
+                    out.push_str(&format!("f {} {} {}\n", src.index(), dst.index(), salt));
+                }
+                Choice::Silence { src, dst } => {
+                    out.push_str(&format!("s {} {}\n", src.index(), dst.index()));
+                }
+                Choice::StaleRestart(node) => {
+                    out.push_str(&format!("z {}\n", node.index()));
+                }
+                Choice::Join(node) => {
+                    out.push_str(&format!("j {}\n", node.index()));
+                }
+                Choice::Leave(node) => {
+                    out.push_str(&format!("l {}\n", node.index()));
+                }
             }
         }
         out
     }
 
-    /// Parses the version-1 text format.
+    /// Parses the text format (version 1 or 2 — every directive is
+    /// accepted under either header).
     ///
     /// # Errors
     ///
@@ -196,11 +249,14 @@ impl Schedule {
             .map(|(i, l)| (i + 1, l.trim()))
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
         match lines.next() {
-            Some((_, header)) if header == SCHEDULE_HEADER => {}
+            Some((_, header)) if header == SCHEDULE_HEADER || header == SCHEDULE_HEADER_V2 => {}
             Some((line, other)) => {
                 return Err(fail(
                     line,
-                    format!("expected header `{SCHEDULE_HEADER}`, got `{other}`"),
+                    format!(
+                        "expected header `{SCHEDULE_HEADER}` or `{SCHEDULE_HEADER_V2}`, \
+                         got `{other}`"
+                    ),
                 ))
             }
             None => return Err(fail(0, "empty schedule file".to_string())),
@@ -221,7 +277,7 @@ impl Schedule {
                     };
                     schedule.meta.insert(key.to_string(), value.to_string());
                 }
-                d @ ("w" | "c" | "r" | "t") => {
+                d @ ("w" | "c" | "r" | "t" | "z" | "j" | "l") => {
                     let node = parts
                         .next()
                         .ok_or_else(|| fail(line, format!("{d} needs a node")))?;
@@ -233,10 +289,13 @@ impl Schedule {
                         "w" => Choice::Wake(node),
                         "c" => Choice::Crash(node),
                         "r" => Choice::Restart(node),
+                        "z" => Choice::StaleRestart(node),
+                        "j" => Choice::Join(node),
+                        "l" => Choice::Leave(node),
                         _ => Choice::Tick(node),
                     });
                 }
-                d @ ("d" | "x" | "u") => {
+                d @ ("d" | "x" | "u" | "s") => {
                     let src = parts
                         .next()
                         .ok_or_else(|| fail(line, format!("{d} needs src and dst")))?;
@@ -251,13 +310,37 @@ impl Schedule {
                     schedule.choices.push(match d {
                         "d" => Choice::Deliver { src, dst },
                         "x" => Choice::Drop { src, dst },
+                        "s" => Choice::Silence { src, dst },
                         _ => Choice::Duplicate { src, dst },
                     });
+                }
+                "f" => {
+                    let src = parts
+                        .next()
+                        .ok_or_else(|| fail(line, "f needs src, dst and salt".to_string()))?;
+                    let dst = parts
+                        .next()
+                        .ok_or_else(|| fail(line, "f needs src, dst and salt".to_string()))?;
+                    let salt = parts
+                        .next()
+                        .ok_or_else(|| fail(line, "f needs src, dst and salt".to_string()))?;
+                    if parts.next().is_some() {
+                        return Err(fail(line, "f takes exactly three operands".to_string()));
+                    }
+                    let src = parse_node(line, src, "src")?;
+                    let dst = parse_node(line, dst, "dst")?;
+                    let salt = salt
+                        .parse::<u32>()
+                        .map_err(|_| fail(line, format!("salt: `{salt}` is not a u32")))?;
+                    schedule.choices.push(Choice::Forge { src, dst, salt });
                 }
                 other => {
                     return Err(fail(
                         line,
-                        format!("unknown directive `{other}` (expected meta, w, d, x, u, c, r or t)"),
+                        format!(
+                            "unknown directive `{other}` \
+                             (expected meta, w, d, x, u, c, r, t, f, s, z, j or l)"
+                        ),
                     ))
                 }
             }
@@ -438,9 +521,16 @@ impl ReplayScheduler {
             Choice::Wake(_) | Choice::Deliver { .. } | Choice::Tick(_) => {
                 find(choice).map(Some)
             }
-            Choice::Drop { src, dst } => find(Choice::Deliver { src, dst }).map(Some),
+            Choice::Drop { src, dst } | Choice::Silence { src, dst } => {
+                find(Choice::Deliver { src, dst }).map(Some)
+            }
             Choice::Duplicate { src, dst } => find(Choice::Deliver { src, dst }).map(|_| None),
-            Choice::Crash(_) | Choice::Restart(_) => Ok(None),
+            Choice::Crash(_)
+            | Choice::Restart(_)
+            | Choice::Forge { .. }
+            | Choice::StaleRestart(_)
+            | Choice::Join(_)
+            | Choice::Leave(_) => Ok(None),
         }
     }
 }
@@ -533,7 +623,7 @@ mod tests {
     fn parse_rejects_malformed_input() {
         for (text, needle) in [
             ("", "empty"),
-            ("ard-schedule v2\nw 0\n", "expected header"),
+            ("ard-schedule v3\nw 0\n", "expected header"),
             ("ard-schedule v1\nq 0\n", "unknown directive"),
             ("ard-schedule v1\nw\n", "needs a node"),
             ("ard-schedule v1\nw zero\n", "not a node index"),
@@ -544,10 +634,94 @@ mod tests {
             ("ard-schedule v1\nu 0 1 2\n", "exactly two"),
             ("ard-schedule v1\nc\n", "needs a node"),
             ("ard-schedule v1\nt 0 0\n", "exactly one"),
+            ("ard-schedule v2\nf 0 1\n", "needs src, dst and salt"),
+            ("ard-schedule v2\nf 0 1 2 3\n", "exactly three"),
+            ("ard-schedule v2\nf 0 1 salty\n", "not a u32"),
+            ("ard-schedule v2\ns 0\n", "needs src and dst"),
+            ("ard-schedule v2\nz 0 0\n", "exactly one"),
+            ("ard-schedule v2\nj\n", "needs a node"),
+            ("ard-schedule v2\nl 1 2\n", "exactly one"),
         ] {
             let err = Schedule::parse(text).unwrap_err();
             assert!(err.to_string().contains(needle), "{text:?}: {err}");
         }
+    }
+
+    #[test]
+    fn v2_choices_round_trip_under_the_v2_header() {
+        let mut s = Schedule::new(vec![
+            Choice::Wake(NodeId::new(0)),
+            Choice::Forge {
+                src: NodeId::new(1),
+                dst: NodeId::new(2),
+                salt: 0x0100,
+            },
+            Choice::Silence {
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+            },
+            Choice::Crash(NodeId::new(3)),
+            Choice::StaleRestart(NodeId::new(3)),
+            Choice::Join(NodeId::new(4)),
+            Choice::Leave(NodeId::new(5)),
+        ]);
+        s.set_meta("byzantine", "f=1,seed=7");
+        let text = s.to_text();
+        assert!(text.starts_with(SCHEDULE_HEADER_V2), "{text}");
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn v1_expressible_schedules_keep_the_v1_header() {
+        let s = Schedule::new(vec![
+            Choice::Wake(NodeId::new(0)),
+            Choice::Drop {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+            },
+            Choice::Crash(NodeId::new(1)),
+            Choice::Restart(NodeId::new(1)),
+        ]);
+        assert!(s.to_text().starts_with(SCHEDULE_HEADER));
+        assert!(!s.to_text().contains(SCHEDULE_HEADER_V2));
+    }
+
+    #[test]
+    fn v2_directives_parse_under_the_v1_header() {
+        // Lenient v1 reads: a hand-edited v1 file may gain v2 directives
+        // without touching its header.
+        let s = Schedule::parse("ard-schedule v1\nj 2\nf 2 0 7\nl 2\n").unwrap();
+        assert_eq!(
+            s.choices(),
+            &[
+                Choice::Join(NodeId::new(2)),
+                Choice::Forge {
+                    src: NodeId::new(2),
+                    dst: NodeId::new(0),
+                    salt: 7,
+                },
+                Choice::Leave(NodeId::new(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn silence_consumes_a_pending_delivery_like_drop() {
+        let schedule = Schedule::new(vec![Choice::Silence {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+        }]);
+        let mut r = ReplayScheduler::strict(&schedule);
+        r.note_send(token(0, 1, 0));
+        assert_eq!(
+            r.choose(),
+            Some(Choice::Silence {
+                src: NodeId::new(0),
+                dst: NodeId::new(1)
+            })
+        );
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.choose(), None);
     }
 
     #[test]

@@ -167,6 +167,15 @@ pub trait Protocol {
     fn on_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
         let _ = ctx;
     }
+
+    /// Called when the node restarts after a crash with *stale* state
+    /// ([`Choice::StaleRestart`] — a Byzantine deviation from the paper's
+    /// durable-state model). Implementations should forget recent protocol
+    /// state, e.g. reset to their boot state and re-run their wake logic.
+    /// The default treats it like an ordinary restart.
+    fn on_stale_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.on_restart(ctx);
+    }
 }
 
 /// Error returned by [`Runner::run`] when the step budget is exhausted
@@ -417,6 +426,12 @@ impl<P: Protocol> Runner<P> {
         self.table.crashed(id.index())
     }
 
+    /// Whether the node has permanently left the network
+    /// ([`Choice::Leave`]); all events targeting it are discarded.
+    pub fn has_left(&self, id: NodeId) -> bool {
+        self.table.left(id.index())
+    }
+
     /// Enqueues a wake-up event for `node`; the scheduler decides when it
     /// fires relative to message deliveries. Idempotent for nodes that are
     /// already awake or already enqueued.
@@ -598,6 +613,11 @@ impl<P: Protocol> Runner<P> {
             None => false,
             Some(Choice::Wake(node)) => {
                 self.steps += 1;
+                if self.table.left(node.index()) {
+                    self.table.set_wake_enqueued(node.index(), false);
+                    self.metrics.record_leave_discard();
+                    return true;
+                }
                 if self.table.crashed(node.index()) {
                     // A crashed node loses its pending wake-up; Restart
                     // re-enqueues one so the node is not stranded asleep.
@@ -611,9 +631,14 @@ impl<P: Protocol> Runner<P> {
             Some(Choice::Deliver { src, dst }) => {
                 self.steps += 1;
                 let (msg, depth) = self.pop_link(src, dst);
-                if self.table.crashed(dst.index()) {
-                    // Delivery to a crashed node: the message is lost.
-                    self.metrics.record_crash_discard();
+                if self.table.left(dst.index()) || self.table.crashed(dst.index()) {
+                    // Delivery to a departed or crashed node: the message
+                    // is lost.
+                    if self.table.left(dst.index()) {
+                        self.metrics.record_leave_discard();
+                    } else {
+                        self.metrics.record_crash_discard();
+                    }
                     if let Some(trace) = &mut self.trace {
                         trace.push(TraceEvent::Drop {
                             src,
@@ -727,6 +752,11 @@ impl<P: Protocol> Runner<P> {
             Some(Choice::Restart(node)) => {
                 self.steps += 1;
                 let i = node.index();
+                if self.table.left(i) {
+                    // A departed node never comes back.
+                    self.metrics.record_leave_discard();
+                    return true;
+                }
                 self.table.set_crashed(i, false);
                 self.metrics.record_restart();
                 if let Some(trace) = &mut self.trace {
@@ -747,6 +777,10 @@ impl<P: Protocol> Runner<P> {
             }
             Some(Choice::Tick(node)) => {
                 self.steps += 1;
+                if self.table.left(node.index()) {
+                    self.metrics.record_leave_discard();
+                    return true;
+                }
                 if self.table.crashed(node.index()) || !self.table.awake(node.index()) {
                     // A tick armed before the crash fires into the void.
                     self.metrics.record_crash_discard();
@@ -760,6 +794,121 @@ impl<P: Protocol> Runner<P> {
                     });
                 }
                 self.dispatch(node, 1, sched, |n, ctx| n.on_tick(ctx));
+                true
+            }
+            Some(Choice::Forge { src, dst, salt }) => {
+                self.steps += 1;
+                let Some(msg) = P::Message::forge(src, dst, salt) else {
+                    // The protocol has no forgery for this salt: the choice
+                    // is a counted no-op so schedules stay replayable.
+                    self.metrics.record_forge_noop();
+                    return true;
+                };
+                // A forged send bypasses the outbox (and thus the honest
+                // knowledge-violation assert in `flush`): a Byzantine node
+                // addresses whoever it likes. It is metered per kind like
+                // any send — and tracked in the Byzantine counters so
+                // budget checks can net the adversarial traffic out.
+                let kind = msg.kind();
+                let bits = msg.bits(self.metrics.id_bits());
+                self.metrics
+                    .record(kind, msg.carried_id_count(), msg.aux_bits());
+                self.metrics.record_forge(bits);
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Forge {
+                        src,
+                        dst,
+                        kind,
+                        step: self.steps,
+                    });
+                }
+                let token = SendToken {
+                    src,
+                    dst,
+                    seq: self.seq,
+                    kind,
+                };
+                self.seq += 1;
+                let slot = self.intern_link_slot(src, dst);
+                let queue = &mut self.links[slot as usize];
+                queue.push_back((msg, 0));
+                self.metrics.observe_link_queue(queue.len());
+                sched.note_send(token);
+                true
+            }
+            Some(Choice::Silence { src, dst }) => {
+                self.steps += 1;
+                let (msg, _depth) = self.pop_link(src, dst);
+                self.metrics.record_silence();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Silence {
+                        src,
+                        dst,
+                        kind: msg.kind(),
+                        step: self.steps,
+                    });
+                }
+                true
+            }
+            Some(Choice::StaleRestart(node)) => {
+                self.steps += 1;
+                let i = node.index();
+                if self.table.left(i) {
+                    self.metrics.record_leave_discard();
+                    return true;
+                }
+                self.table.set_crashed(i, false);
+                self.metrics.record_stale_restart();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::StaleRestart {
+                        node,
+                        step: self.steps,
+                    });
+                }
+                if self.table.awake(i) {
+                    self.dispatch(node, 1, sched, |n, ctx| n.on_stale_restart(ctx));
+                } else if !self.table.wake_enqueued(i) {
+                    self.table.set_wake_enqueued(i, true);
+                    sched.note_wake(node);
+                }
+                true
+            }
+            Some(Choice::Join(node)) => {
+                self.steps += 1;
+                let i = node.index();
+                if self.table.left(i) {
+                    self.metrics.record_leave_discard();
+                    return true;
+                }
+                if self.table.crashed(i) {
+                    self.metrics.record_crash_discard();
+                    return true;
+                }
+                self.metrics.record_join();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Join {
+                        node,
+                        step: self.steps,
+                    });
+                }
+                // §6: "there is no difference between a node joining the
+                // system at a certain time and a node that wakes up at that
+                // time" — a join is a token-free wake of a node whose
+                // initial wake-up the churn plan withheld. No-op if the
+                // node already woke (e.g. via an incoming message).
+                self.wake_inner(node, 0, sched);
+                true
+            }
+            Some(Choice::Leave(node)) => {
+                self.steps += 1;
+                self.table.set_left(node.index(), true);
+                self.metrics.record_leave();
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::Leave {
+                        node,
+                        step: self.steps,
+                    });
+                }
                 true
             }
         }

@@ -58,6 +58,43 @@ pub enum Choice {
     /// Fire the timer tick the given node armed via
     /// [`Context::arm_tick`](crate::Context::arm_tick).
     Tick(NodeId),
+    /// Byzantine fabrication: `src` sends `dst` a forged message it never
+    /// produced, decoded from `salt` by the protocol's
+    /// [`Envelope::forge`](crate::Envelope::forge) hook. Covers both
+    /// fabricated ids and equivocation (two `Forge`s with different salts
+    /// to different destinations are conflicting payloads). A protocol
+    /// whose `forge` returns `None` turns the choice into a no-op.
+    Forge {
+        /// The Byzantine sender.
+        src: NodeId,
+        /// The honest (or Byzantine) receiver.
+        dst: NodeId,
+        /// Protocol-interpreted forgery descriptor (flavor + parameters).
+        salt: u32,
+    },
+    /// Byzantine selective silence: `src` withholds the oldest in-flight
+    /// message it has queued toward `dst`. Unlike [`Choice::Drop`] (a
+    /// network fault), silence is attributed to the sender — it only
+    /// appears on links whose source is a Byzantine node.
+    Silence {
+        /// The Byzantine sender withholding the message.
+        src: NodeId,
+        /// The receiver that never sees it.
+        dst: NodeId,
+    },
+    /// Restart a crashed node with *stale* (amnesiac) protocol state: the
+    /// node rejoins as if freshly booted, forgetting everything since its
+    /// first wake — the paper's model assumes durable state, so this is a
+    /// Byzantine deviation.
+    StaleRestart(NodeId),
+    /// Churn: a node joins the running network (the paper's dynamic
+    /// addition — a late wake-up of a node whose initial wake was
+    /// withheld by the churn plan).
+    Join(NodeId),
+    /// Churn: a node leaves permanently. Unlike a crash there is no
+    /// matching restart; in-flight traffic to it is discarded forever and
+    /// requirement checks exclude it from the survivor graph.
+    Leave(NodeId),
 }
 
 /// Message-delay and wake-up-order policy: the "adversary" of the

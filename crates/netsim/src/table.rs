@@ -219,6 +219,7 @@ pub(crate) struct NodeTable {
     awake: Flags,
     wake_enqueued: Flags,
     crashed: Flags,
+    left: Flags,
     pub(crate) knowledge: Vec<Knowledge>,
 }
 
@@ -229,6 +230,7 @@ impl NodeTable {
             awake: Flags::new(n),
             wake_enqueued: Flags::new(n),
             crashed: Flags::new(n),
+            left: Flags::new(n),
             knowledge: Vec::with_capacity(n),
         }
     }
@@ -263,12 +265,23 @@ impl NodeTable {
         self.crashed.set(i, value);
     }
 
+    #[inline]
+    pub(crate) fn left(&self, i: usize) -> bool {
+        self.left.get(i)
+    }
+
+    #[inline]
+    pub(crate) fn set_left(&mut self, i: usize, value: bool) {
+        self.left.set(i, value);
+    }
+
     /// Appends one sleeping node with the given knowledge (dynamic node
     /// addition).
     pub(crate) fn push(&mut self, knowledge: Knowledge) {
         self.awake.push(false);
         self.wake_enqueued.push(false);
         self.crashed.push(false);
+        self.left.push(false);
         self.knowledge.push(knowledge);
     }
 

@@ -122,6 +122,49 @@ pub enum TraceEvent {
         /// Simulation step at which it happened.
         step: u64,
     },
+    /// A Byzantine node forged a message onto a link.
+    Forge {
+        /// The Byzantine sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind of the forged payload.
+        kind: &'static str,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A Byzantine sender silently withheld its oldest queued message.
+    Silence {
+        /// The Byzantine sender.
+        src: NodeId,
+        /// The receiver that never sees the message.
+        dst: NodeId,
+        /// Message kind of the withheld message.
+        kind: &'static str,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A crashed node restarted with stale (amnesiac) state.
+    StaleRestart {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A node joined the running network (churn).
+    Join {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
+    /// A node left the network permanently (churn).
+    Leave {
+        /// The node.
+        node: NodeId,
+        /// Simulation step at which it happened.
+        step: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -164,6 +207,27 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Crash { node, step } => write!(f, "[{step:>6}] crash   {node}"),
             TraceEvent::Restart { node, step } => write!(f, "[{step:>6}] restart {node}"),
             TraceEvent::Tick { node, step } => write!(f, "[{step:>6}] tick    {node}"),
+            TraceEvent::Forge {
+                src,
+                dst,
+                kind,
+                step,
+            } => {
+                write!(f, "[{step:>6}] forge   {src} → {dst}  {kind}")
+            }
+            TraceEvent::Silence {
+                src,
+                dst,
+                kind,
+                step,
+            } => {
+                write!(f, "[{step:>6}] silence {src} → {dst}  {kind}")
+            }
+            TraceEvent::StaleRestart { node, step } => {
+                write!(f, "[{step:>6}] stale-restart {node}")
+            }
+            TraceEvent::Join { node, step } => write!(f, "[{step:>6}] join    {node}"),
+            TraceEvent::Leave { node, step } => write!(f, "[{step:>6}] leave   {node}"),
         }
     }
 }
@@ -200,11 +264,16 @@ impl Trace {
             TraceEvent::Wake { node: n, .. }
             | TraceEvent::Crash { node: n, .. }
             | TraceEvent::Restart { node: n, .. }
-            | TraceEvent::Tick { node: n, .. } => *n == node,
+            | TraceEvent::Tick { node: n, .. }
+            | TraceEvent::StaleRestart { node: n, .. }
+            | TraceEvent::Join { node: n, .. }
+            | TraceEvent::Leave { node: n, .. } => *n == node,
             TraceEvent::Send { src, dst, .. }
             | TraceEvent::Deliver { src, dst, .. }
             | TraceEvent::Drop { src, dst, .. }
-            | TraceEvent::Duplicate { src, dst, .. } => *src == node || *dst == node,
+            | TraceEvent::Duplicate { src, dst, .. }
+            | TraceEvent::Forge { src, dst, .. }
+            | TraceEvent::Silence { src, dst, .. } => *src == node || *dst == node,
         })
     }
 
@@ -272,7 +341,12 @@ impl Trace {
                 | TraceEvent::Duplicate { .. }
                 | TraceEvent::Crash { .. }
                 | TraceEvent::Restart { .. }
-                | TraceEvent::Tick { .. } => {}
+                | TraceEvent::Tick { .. }
+                | TraceEvent::Forge { .. }
+                | TraceEvent::Silence { .. }
+                | TraceEvent::StaleRestart { .. }
+                | TraceEvent::Join { .. }
+                | TraceEvent::Leave { .. } => {}
                 TraceEvent::Send { src, .. } => {
                     *stats.sends_by_node.entry(src).or_default() += 1;
                 }

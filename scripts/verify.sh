@@ -12,7 +12,11 @@
 # discovery run per variant, diffed against the pinned snapshot
 # scripts/chaos-smoke.snapshot (regenerate it with
 # scripts/verify.sh --regen-chaos after an intentional engine change and
-# review the diff). See docs/testing.md for the tiers.
+# review the diff), then a Byzantine smoke: the explorer must find and
+# shrink the planted equivocation bug under a one-traitor plan, and a
+# seeded traitor + churn run must match its pinned guarantee-survival
+# report in scripts/byzantine-smoke.snapshot (regenerate with
+# --regen-byzantine). See docs/testing.md for the tiers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,6 +79,48 @@ if ! diff -u "$snapshot" <(chaos); then
     exit 1
 fi
 
+# Byzantine smoke: the explorer, searching under a one-traitor
+# equivocate-only plan, must find the planted second-leader election in
+# the equiv fixture and ddmin-shrink it; a seeded two-traitor + churn
+# discovery run must report the pinned guarantee-survival verdicts. Both
+# are fully seeded, so the combined output is byte-compared against the
+# pinned snapshot.
+byz_out=/tmp/ard-verify-equiv.schedule
+byzantine() {
+    echo "=== byzantine explore equiv:3 ==="
+    cargo run --offline --release -p ard-cli --bin ard -- \
+        explore --system equiv:3 --byzantine f=1,seed=3,class=equivocate \
+        --budget 64 --seed 0 --out "$byz_out"
+    echo "=== byzantine discover ring:12 ==="
+    cargo run --offline --release -p ard-cli --bin ard -- \
+        discover --topology ring:12 --scheduler random:5 \
+        --byzantine f=2,seed=7 --churn rate=0.2,seed=11
+}
+byz_snapshot=scripts/byzantine-smoke.snapshot
+if [[ "${1:-}" == "--regen-byzantine" ]]; then
+    byzantine > "$byz_snapshot"
+    rm -f "$byz_out"
+    echo "verify: regenerated $byz_snapshot — review the diff"
+    exit 0
+fi
+byz_actual="$(byzantine)"
+rm -f "$byz_out"
+if ! grep -q "violation : forged endorsements elected 2 leaders" <<<"$byz_actual"; then
+    echo "verify: byzantine smoke did not find the planted equivocation bug" >&2
+    printf '%s\n' "$byz_actual" >&2
+    exit 1
+fi
+if ! grep -q "shrunk    :" <<<"$byz_actual"; then
+    echo "verify: byzantine smoke found the bug but did not shrink it" >&2
+    printf '%s\n' "$byz_actual" >&2
+    exit 1
+fi
+if ! diff -u "$byz_snapshot" <(printf '%s\n' "$byz_actual"); then
+    echo "verify: byzantine smoke diverged from the pinned snapshot" >&2
+    echo "verify: if intentional, regenerate with scripts/verify.sh --regen-byzantine" >&2
+    exit 1
+fi
+
 # Large-n smoke: a 10⁵-node discovery must complete inside a capped step
 # budget, and the sharded engine must produce byte-identical output.
 bign=(cargo run --offline --release -p ard-cli --bin ard -- \
@@ -93,4 +139,4 @@ if ! grep -q "requirements: satisfied" <<<"$big_seq"; then
     exit 1
 fi
 
-echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, n=100000 sharded smoke byte-identical)"
+echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, byzantine smoke found+shrunk and matches snapshot, n=100000 sharded smoke byte-identical)"

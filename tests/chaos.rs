@@ -13,11 +13,21 @@
 //!
 //! Everything is seeded from the cell index, so a failure names its exact
 //! cell and reproduces deterministically.
+//!
+//! A second matrix crosses the *Byzantine* fault alphabet — equivocating,
+//! fabricating, silent and stale-restarting traitors at f ∈ {1, 2} — with
+//! membership churn (join/leave) on the bare Byzantine-tolerant protocol,
+//! again at n ∈ {8, 32}. Those cells assert quiescence, plan fidelity and
+//! strict byte-exact replay; which *guarantees* survive each cell is
+//! pinned separately in `tests/survival_matrix.rs`.
 
-use asynchronous_resource_discovery::core::{budgets, Discovery, FaultyOutcome, Variant};
+use asynchronous_resource_discovery::core::{
+    budgets, ByzantineOutcome, Discovery, FaultyOutcome, Variant,
+};
 use asynchronous_resource_discovery::graph::gen;
 use asynchronous_resource_discovery::netsim::{
-    BoundedDelayScheduler, FaultPlan, FifoScheduler, RandomScheduler, Schedule, Scheduler,
+    BoundedDelayScheduler, ByzantinePlan, ChurnPlan, FaultPlan, FifoScheduler, RandomScheduler,
+    Schedule, Scheduler,
 };
 
 /// Fault levels of the matrix: (drop probability, crash/restart events).
@@ -123,6 +133,128 @@ fn harshest_cell_replays_byte_exactly() {
     assert_eq!(replayed.steps, outcome.steps);
     assert_eq!(replayed.steps, schedule.len() as u64);
     assert_eq!(replayed.leaders, outcome.leaders);
+    assert_eq!(
+        format!("{}", replayed.metrics),
+        format!("{}", outcome.metrics),
+        "metrics tables must be identical under replay"
+    );
+}
+
+/// Fault classes of the Byzantine chaos matrix.
+const BYZ_CLASSES: [&str; 4] = ["equivocate", "fabricate", "silence", "stale-restart"];
+
+/// Runs one Byzantine × churn chaos cell on the *bare* protocol (no
+/// reliable-delivery layer — Byzantine tolerance is a property of the
+/// conquest engine itself) and applies the shared sanity assertions.
+/// Guarantee survival is *not* asserted here — that classification lives
+/// in `tests/survival_matrix.rs`; chaos cells assert that every run
+/// quiesces, injects what its plan promises, and records a strict,
+/// byte-exact replayable schedule.
+fn run_byzantine_cell(
+    n: usize,
+    f: usize,
+    class: &str,
+    churn_rate: f64,
+    cell: u64,
+) -> (ByzantineOutcome, Schedule) {
+    let name = format!("n={n} f={f} class={class} churn={churn_rate} cell={cell}");
+    let graph = gen::random_weakly_connected(n, 2 * n, cell);
+    let byz = ByzantinePlan::new(3_000 + cell, f).only(class);
+    let churn = (churn_rate > 0.0).then(|| ChurnPlan::new(4_000 + cell, churn_rate));
+    let (result, schedule) = Discovery::run_byzantine(
+        &graph,
+        Variant::AdHoc,
+        Some(&byz),
+        churn.as_ref(),
+        RandomScheduler::seeded(5_000 + cell),
+    );
+    let outcome = result.unwrap_or_else(|e| panic!("{name}: {e}"));
+
+    assert_eq!(outcome.steps, schedule.len() as u64, "{name}: steps");
+    assert_eq!(
+        outcome.byzantine_nodes.len(),
+        f.min(n),
+        "{name}: traitor count"
+    );
+    match class {
+        "equivocate" | "fabricate" => assert!(
+            outcome.byzantine.forged + outcome.byzantine.forge_noops > 0,
+            "{name}: forgery classes must actually forge"
+        ),
+        "stale-restart" => assert_eq!(
+            outcome.byzantine.stale_restarts as usize,
+            f.min(n),
+            "{name}: one stale restart per traitor"
+        ),
+        _ => {}
+    }
+    if let Some(plan) = &churn {
+        assert_eq!(outcome.joined.len(), plan.joiners(n).len(), "{name}: joins");
+        assert_eq!(outcome.left.len(), plan.leavers(n).len(), "{name}: leaves");
+    } else {
+        assert!(outcome.joined.is_empty() && outcome.left.is_empty(), "{name}");
+    }
+    (outcome, schedule)
+}
+
+/// The Byzantine chaos matrix: {f = 1, 2} × four fault classes × churn
+/// off/on, at a given network size. Every cell quiesces and honors its
+/// plan; one aggregate check makes sure the silence class actually bites
+/// somewhere in the matrix (per-cell silenced counts are legitimately
+/// zero when the traitor happens to send little).
+fn run_byzantine_matrix(n: usize) {
+    let mut cell = 600 + n as u64;
+    let mut silenced_total = 0u64;
+    for f in [1usize, 2] {
+        for class in BYZ_CLASSES {
+            for churn_rate in [0.0, 0.05] {
+                cell += 1;
+                let (outcome, _) = run_byzantine_cell(n, f, class, churn_rate, cell);
+                silenced_total += outcome.byzantine.silenced;
+            }
+        }
+    }
+    assert!(
+        silenced_total > 0,
+        "n={n}: the silence class never silenced a single send across the matrix"
+    );
+}
+
+#[test]
+fn byzantine_matrix_small_networks() {
+    run_byzantine_matrix(8);
+}
+
+#[test]
+fn byzantine_matrix_medium_networks() {
+    run_byzantine_matrix(32);
+}
+
+/// The harshest Byzantine cell — two traitors, all four fault classes at
+/// once, plus membership churn on the medium network — replays strictly
+/// and byte-exactly: same steps, same leaders, same metrics table, same
+/// injected-event counts, with no plan RNG involved on the replay side.
+#[test]
+fn harshest_byzantine_cell_replays_byte_exactly() {
+    let n = 32;
+    let graph = gen::random_weakly_connected(n, 2 * n, 8_888);
+    let byz = ByzantinePlan::new(8_888, 2);
+    let churn = ChurnPlan::new(8_889, 0.1);
+    let (result, schedule) = Discovery::run_byzantine(
+        &graph,
+        Variant::AdHoc,
+        Some(&byz),
+        Some(&churn),
+        RandomScheduler::seeded(8_890),
+    );
+    let outcome = result.expect("harshest Byzantine cell quiesces");
+    let replayed = Discovery::replay_byzantine(&graph, Variant::AdHoc, &schedule)
+        .expect("recorded Byzantine schedule replays");
+    assert_eq!(replayed.steps, outcome.steps);
+    assert_eq!(replayed.leaders, outcome.leaders);
+    assert_eq!(replayed.byzantine, outcome.byzantine);
+    assert_eq!(replayed.joined, outcome.joined);
+    assert_eq!(replayed.left, outcome.left);
     assert_eq!(
         format!("{}", replayed.metrics),
         format!("{}", outcome.metrics),

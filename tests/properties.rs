@@ -6,7 +6,8 @@ use proptest::prelude::*;
 use asynchronous_resource_discovery::core::{budgets, Discovery, Variant};
 use asynchronous_resource_discovery::graph::{components, gen, KnowledgeGraph};
 use asynchronous_resource_discovery::netsim::{
-    BoundedDelayScheduler, FaultPlan, LifoScheduler, NodeId, RandomScheduler, Schedule, Scheduler,
+    BoundedDelayScheduler, ByzantinePlan, ChurnPlan, FaultPlan, LifoScheduler, NodeId,
+    RandomScheduler, Schedule, Scheduler,
 };
 use asynchronous_resource_discovery::union_find::{
     Compression, Op, OpSequence, UnionFind, UnionPolicy,
@@ -77,6 +78,53 @@ fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
             crashes,
         },
     )
+}
+
+/// A drawn Byzantine plan: traitor count, seed, and either a single fault
+/// class or the whole alphabet at once.
+#[derive(Clone, Debug)]
+struct ByzantineSpec {
+    seed: u64,
+    f: usize,
+    class: usize,
+}
+
+impl ByzantineSpec {
+    const CLASSES: [&'static str; 4] = ["equivocate", "fabricate", "silence", "stale-restart"];
+
+    fn plan(&self) -> ByzantinePlan {
+        let plan = ByzantinePlan::new(self.seed, self.f);
+        match Self::CLASSES.get(self.class) {
+            Some(class) => plan.only(class),
+            None => plan, // index 4: every class at once
+        }
+    }
+}
+
+fn byzantine_strategy() -> impl Strategy<Value = ByzantineSpec> {
+    (0u64..1_000_000, 1usize..3, 0usize..5)
+        .prop_map(|(seed, f, class)| ByzantineSpec { seed, f, class })
+}
+
+/// A drawn churn plan (or none): join/leave rate up to the 40% of nodes.
+#[derive(Clone, Debug)]
+struct ChurnSpec {
+    seed: u64,
+    rate: f64,
+}
+
+impl ChurnSpec {
+    fn plan(&self) -> ChurnPlan {
+        ChurnPlan::new(self.seed, self.rate)
+    }
+}
+
+fn churn_strategy() -> impl Strategy<Value = Option<ChurnSpec>> {
+    prop_oneof![
+        Just(None),
+        (0u64..1_000_000, 1u32..41)
+            .prop_map(|(seed, pct)| Some(ChurnSpec { seed, rate: f64::from(pct) / 100.0 })),
+    ]
 }
 
 /// Writes the recorded schedule of a failing run under
@@ -309,6 +357,76 @@ proptest! {
                     || format!("{}", replayed.metrics) != format!("{}", outcome.metrics)
                 {
                     let reason = "faulty replay diverged from the recording";
+                    return Err(fail_with_artifact(&topology, variant, schedule, reason));
+                }
+            }
+        }
+    }
+
+    /// Discovery under arbitrary drawn Byzantine plans (equivocation,
+    /// fabrication, silence, stale restarts — one class or the whole
+    /// alphabet) and optional membership churn always quiesces, honors
+    /// its plan, and the recorded schedule replays strictly and
+    /// byte-exactly with no plan RNG involved. Which *guarantees* survive
+    /// is a separate, pinned question (`tests/survival_matrix.rs`) — this
+    /// property is about the engine, not the protocol's envelope. Failing
+    /// runs land in `target/failed-schedules/` with `byzantine`/`churn`
+    /// metadata so `ard replay` rebuilds the exact run.
+    #[test]
+    fn byzantine_runs_quiesce_and_replay_exactly(
+        n in 4usize..24,
+        extra in 0usize..60,
+        graph_seed in 0u64..1_000_000,
+        sched in sched_strategy(),
+        variant in variant_strategy(),
+        byz in byzantine_strategy(),
+        churn in churn_strategy(),
+    ) {
+        let topology = format!("random:n={n},extra={extra},seed={graph_seed}");
+        let graph = gen::random_weakly_connected(n, extra, graph_seed);
+        let plan = byz.plan();
+        let churn_plan = churn.as_ref().map(ChurnSpec::plan);
+        let (result, schedule) = Discovery::run_byzantine(
+            &graph,
+            variant,
+            Some(&plan),
+            churn_plan.as_ref(),
+            sched.build(),
+        );
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(reason) => {
+                return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+            }
+        };
+        if outcome.byzantine_nodes.len() != byz.f.min(n) {
+            let reason = format!(
+                "plan promised {} traitors, outcome reports {}",
+                byz.f.min(n),
+                outcome.byzantine_nodes.len()
+            );
+            return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+        }
+        if let Some(churn_plan) = &churn_plan {
+            if outcome.joined.len() != churn_plan.joiners(n).len()
+                || outcome.left.len() != churn_plan.leavers(n).len()
+            {
+                let reason = "membership churn diverged from the plan";
+                return Err(fail_with_artifact(&topology, variant, schedule, reason));
+            }
+        }
+        match Discovery::replay_byzantine(&graph, variant, &schedule) {
+            Err(reason) => {
+                let reason = format!("byzantine replay diverged: {reason}");
+                return Err(fail_with_artifact(&topology, variant, schedule, &reason));
+            }
+            Ok(replayed) => {
+                if replayed.steps != outcome.steps
+                    || replayed.leaders != outcome.leaders
+                    || replayed.byzantine != outcome.byzantine
+                    || format!("{}", replayed.metrics) != format!("{}", outcome.metrics)
+                {
+                    let reason = "byzantine replay diverged from the recording";
                     return Err(fail_with_artifact(&topology, variant, schedule, reason));
                 }
             }

@@ -13,15 +13,24 @@
 //!   and byte-exact — the fault choices are in the schedule, no fault
 //!   machinery or RNG is involved — and must satisfy the requirements and
 //!   the budgets net of the metered retransmission overhead;
-//! * **failure schedules** (`system racy:K` / `system fragile:K` meta) —
-//!   minimized schedules of the planted-bug fixtures, found by
-//!   `ard explore` and shrunk; replay must still reproduce the violation,
-//!   proving the explorer/shrinker pipeline's artifacts stay valid. The
-//!   fragile entry is a *crash-triggered* witness: its minimized choice
-//!   sequence still contains the crash that loses the planted ping.
+//! * **failure schedules** (`system racy:K` / `system fragile:K` /
+//!   `system equiv:K` meta) — minimized schedules of the planted-bug
+//!   fixtures, found by `ard explore` and shrunk; replay must still
+//!   reproduce the violation, proving the explorer/shrinker pipeline's
+//!   artifacts stay valid. The fragile entry is a *crash-triggered*
+//!   witness (its minimized choice sequence still contains the crash that
+//!   loses the planted ping); the equiv entry is a *forgery-triggered*
+//!   witness — a `forge` choice is what elects the second leader;
+//! * **Byzantine schedules** (`byzantine` and/or `churn` meta alongside
+//!   `topology`) — recorded guarantee-violation witnesses of the bare
+//!   protocol under traitors and membership churn; replay is strict (all
+//!   injected events are in the choice stream) and must reproduce at
+//!   least one survivor-guarantee violation, backing the "fails" cells of
+//!   the survival matrix (`tests/survival_matrix.rs`).
 //!
-//! To regenerate the discovery and fault entries after an intentional
-//! engine change: `cargo test --test replay_corpus regenerate -- --ignored`,
+//! To regenerate the discovery, fault and Byzantine entries after an
+//! intentional engine change:
+//! `cargo test --test replay_corpus regenerate -- --ignored`,
 //! then review the diff. The racy entry is regenerated with
 //! `ard explore --system racy:3 --out tests/corpus/racy-minimized.schedule`.
 
@@ -55,7 +64,7 @@ fn load(path: &PathBuf) -> Schedule {
 fn corpus_is_present_and_mixed() {
     let files = corpus_files();
     assert!(
-        files.len() >= 7,
+        files.len() >= 9,
         "expected a seeded corpus, found {} files",
         files.len()
     );
@@ -78,6 +87,55 @@ fn corpus_is_present_and_mixed() {
             .any(|s| s.meta("system").is_some_and(|v| v.starts_with("fragile:"))),
         "corpus needs the crash-triggered fragile witness"
     );
+    assert!(
+        schedules
+            .iter()
+            .any(|s| s.meta("system").is_some_and(|v| v.starts_with("equiv:"))),
+        "corpus needs the forgery-triggered equivocation witness"
+    );
+    assert!(
+        schedules
+            .iter()
+            .any(|s| s.meta("byzantine").is_some() && s.meta("churn").is_some()),
+        "corpus needs a Byzantine + churn guarantee-violation witness"
+    );
+}
+
+/// Format back-compat: every corpus file round-trips byte-identically
+/// through parse → serialize, and the pre-PR v1 entries stay v1 — the v2
+/// Byzantine/churn alphabet must not disturb schedules that use none of
+/// its choices.
+#[test]
+fn corpus_files_round_trip_byte_identically() {
+    for path in corpus_files() {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let schedule = Schedule::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            schedule.to_text(),
+            text,
+            "{name}: parse → to_text must be the identity on checked-in files"
+        );
+        let uses_v2 = schedule.choices().iter().any(|c| {
+            matches!(
+                c,
+                Choice::Forge { .. }
+                    | Choice::Silence { .. }
+                    | Choice::StaleRestart(_)
+                    | Choice::Join(_)
+                    | Choice::Leave(_)
+            )
+        });
+        let header = text.lines().next().unwrap_or_default();
+        if uses_v2 {
+            assert_eq!(header, "ard-schedule v2", "{name}: v2 choices need the v2 header");
+        } else {
+            assert_eq!(
+                header, "ard-schedule v1",
+                "{name}: schedules without v2 choices must stay in format v1"
+            );
+        }
+    }
 }
 
 #[test]
@@ -113,6 +171,20 @@ fn every_corpus_schedule_replays_and_still_holds() {
                         "pong",
                     )
                 }
+                "equiv" => {
+                    assert!(
+                        schedule
+                            .choices()
+                            .iter()
+                            .any(|c| matches!(c, Choice::Forge { .. })),
+                        "{name}: the equivocation witness must stay forgery-triggered"
+                    );
+                    (
+                        fixtures::run_equiv(clients, &mut sched)
+                            .expect_err("a checked-in failure schedule must still fail"),
+                        "forged endorsements",
+                    )
+                }
                 other => panic!("{name}: unknown fixture `{other}`"),
             };
             assert!(
@@ -127,6 +199,29 @@ fn every_corpus_schedule_replays_and_still_holds() {
         let variant = spec::parse_variant(schedule.meta("variant").expect("variant meta"))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let graph = spec::parse_topology(topology).unwrap_or_else(|e| panic!("{name}: {e}"));
+        if schedule.meta("byzantine").is_some() || schedule.meta("churn").is_some() {
+            let outcome = Discovery::replay_byzantine(&graph, variant, &schedule)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                outcome.steps,
+                schedule.len() as u64,
+                "{name}: Byzantine replay executed every recorded choice"
+            );
+            if let Some(steps) = schedule.meta("steps") {
+                assert_eq!(steps, outcome.steps.to_string(), "{name}: pinned step count");
+            }
+            assert!(
+                !outcome.survives_all(),
+                "{name}: a Byzantine corpus witness must reproduce a guarantee violation"
+            );
+            assert!(
+                outcome.byzantine.forged > 0
+                    || outcome.byzantine.silenced > 0
+                    || !outcome.left.is_empty(),
+                "{name}: the witness should actually contain adversarial events"
+            );
+            continue;
+        }
         if schedule.meta("faults").is_some() {
             let outcome = Discovery::replay_faulty(&graph, variant, &schedule)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -269,6 +364,85 @@ fn regenerate_fault_corpus() {
     );
     schedule.set_meta("system", "fragile:1");
     let path = corpus_dir().join("fragile-crash-minimized.schedule");
+    std::fs::write(&path, schedule.to_text()).unwrap();
+    println!("wrote {} ({} choices)", path.display(), schedule.len());
+}
+
+/// Regenerates the Byzantine corpus entries in place:
+///
+/// * `equiv-forge-minimized.schedule` — the planted equivocation bug of
+///   the `equiv:3` fixture, found by exploration under a one-traitor
+///   equivocate-only plan (seed 3 — its forge targets hit both spare
+///   candidates) and ddmin-shrunk; the minimized witness must stay at
+///   most 6 choices and keep its `forge`;
+/// * `byzantine-churn-ring-12.schedule` — a complete recorded ring run
+///   under two traitors (all fault classes) plus 20% membership churn
+///   that violates survivor leader safety, pinning a "fails" matrix cell
+///   end to end.
+///
+/// Ignored by default, like the other regeneration tests.
+#[test]
+#[ignore = "writes tests/corpus; run explicitly to regenerate"]
+fn regenerate_byzantine_corpus() {
+    use asynchronous_resource_discovery::core::Variant;
+    use asynchronous_resource_discovery::netsim::explore::{explore_fork, ExploreConfig};
+    use asynchronous_resource_discovery::netsim::shrink::shrink;
+    use asynchronous_resource_discovery::netsim::{ByzantinePlan, ChurnPlan, RandomScheduler};
+
+    let candidates = 3;
+    let plan = ByzantinePlan::new(3, 1).only("equivocate");
+    let config = ExploreConfig {
+        random_walks: 32,
+        dfs_budget: 32,
+        dfs_depth: 4,
+        seed: 0,
+        byzantine: Some((plan, candidates + 1)),
+        ..ExploreConfig::default()
+    };
+    let report = explore_fork(&config, &fixtures::EquivSystem::new(candidates));
+    let failure = report
+        .failure
+        .expect("the planted equivocation bug must be found");
+    let shrunk = shrink(&failure.schedule, || {
+        move |sched: &mut dyn Scheduler| fixtures::run_equiv(candidates, sched)
+    });
+    let mut schedule = shrunk.schedule;
+    assert!(
+        schedule.len() <= 6,
+        "equivocation witness must minimize to ≤ 6 choices, got {}",
+        schedule.len()
+    );
+    assert!(
+        schedule
+            .choices()
+            .iter()
+            .any(|c| matches!(c, Choice::Forge { .. })),
+        "witness must stay forgery-triggered"
+    );
+    schedule.set_meta("system", format!("equiv:{candidates}"));
+    let path = corpus_dir().join("equiv-forge-minimized.schedule");
+    std::fs::write(&path, schedule.to_text()).unwrap();
+    println!("wrote {} ({} choices)", path.display(), schedule.len());
+
+    let topology = "ring:12";
+    let graph = spec::parse_topology(topology).unwrap();
+    let byz = ByzantinePlan::new(7, 2);
+    let churn = ChurnPlan::new(11, 0.2);
+    let (result, mut schedule) = Discovery::run_byzantine(
+        &graph,
+        Variant::AdHoc,
+        Some(&byz),
+        Some(&churn),
+        RandomScheduler::seeded(5),
+    );
+    let outcome = result.expect("Byzantine corpus run must quiesce");
+    assert!(
+        !outcome.survives_all(),
+        "the churn witness must violate a survivor guarantee"
+    );
+    schedule.set_meta("topology", topology);
+    schedule.set_meta("steps", outcome.steps.to_string());
+    let path = corpus_dir().join("byzantine-churn-ring-12.schedule");
     std::fs::write(&path, schedule.to_text()).unwrap();
     println!("wrote {} ({} choices)", path.display(), schedule.len());
 }
