@@ -118,7 +118,29 @@ fn main() -> ExitCode {
                 p.jobs, p.checkpoint, p.runs, p.secs, p.runs_per_sec, p.speedup
             );
         }
-        let json = ard_bench::explorebench::to_json(&points);
+        let reduction_budget = if quick {
+            ard_bench::explorebench::REDUCTION_BUDGET / 10
+        } else {
+            ard_bench::explorebench::REDUCTION_BUDGET
+        };
+        let r = ard_bench::explorebench::measure_reduction(
+            reduction_budget,
+            ard_bench::explorebench::REDUCTION_SPIN,
+        );
+        println!(
+            "reduction depth={}: full {} runs ({}) in {:.3}s | reduced {} runs ({}) in {:.3}s | pruned={} deduped={} | >={:.1}x fewer",
+            r.depth,
+            r.full_runs,
+            r.full_stop,
+            r.full_secs,
+            r.reduced_runs,
+            r.reduced_stop,
+            r.reduced_secs,
+            r.sleep_pruned,
+            r.digest_deduped,
+            r.ratio
+        );
+        let json = ard_bench::explorebench::to_json(&points, &r);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;

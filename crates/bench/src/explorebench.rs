@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use ard_netsim::explore::{explore_fork, fixtures, ExploreConfig, ExploreReport};
+use ard_netsim::explore::{explore_fork, fixtures, ExploreConfig, ExploreReport, ReduceMode};
 
 /// Worker counts the explorer sweep covers.
 pub const EXPLORE_JOBS: [usize; 4] = [1, 2, 4, 8];
@@ -37,6 +37,16 @@ pub const EXPLORE_DEPTH: usize = 13;
 
 /// Per-event compute weight of the pinned workload (mixing rounds).
 pub const EXPLORE_SPIN: u32 = 40_000;
+
+/// Run cap of the reduction comparison: generous enough for the reduced
+/// search to drain its whole frontier at depth 13, and the honest lower
+/// bound on the full search's interleaving count when it runs out.
+pub const REDUCTION_BUDGET: u64 = 100_000;
+
+/// Per-event compute weight of the reduction comparison. The reduction
+/// metric is search-space *size*, not handler cost, so the workload runs
+/// light — the grid above already measures re-execution cost.
+pub const REDUCTION_SPIN: u32 = 10;
 
 /// One measured `(jobs, checkpoint)` cell of the explorer grid.
 #[derive(Clone, Debug)]
@@ -74,6 +84,7 @@ pub fn run_workload_spin(budget: u64, jobs: usize, checkpoint: bool, spin: u32) 
         jobs,
         checkpoint,
         verify_snapshots: false,
+        reduce: ReduceMode::None,
     };
     explore_fork(
         &config,
@@ -133,8 +144,107 @@ pub fn measure_spin(budget: u64, reps: u32, spin: u32) -> Vec<ExplorePoint> {
     points
 }
 
+/// Reduced-vs-full comparison on the pinned depth-13 workload: the number
+/// of interleavings each mode executes before stopping, at the same cap.
+#[derive(Clone, Debug)]
+pub struct ReductionPoint {
+    /// DFS branch-point depth of the comparison (the full run length).
+    pub depth: usize,
+    /// Run cap both modes were given.
+    pub budget: u64,
+    /// Interleavings the unreduced DFS executed.
+    pub full_runs: u64,
+    /// Why the unreduced DFS stopped (`budget exhausted` means
+    /// `full_runs` is a lower bound on the true interleaving count).
+    pub full_stop: String,
+    /// Wall-clock seconds of the unreduced search.
+    pub full_secs: f64,
+    /// Interleavings the sleep-set-reduced DFS executed.
+    pub reduced_runs: u64,
+    /// Why the reduced DFS stopped (`frontier exhausted` means the
+    /// reduced search covered every equivalence class).
+    pub reduced_stop: String,
+    /// Wall-clock seconds of the reduced search.
+    pub reduced_secs: f64,
+    /// Sibling branches skipped by sleep sets.
+    pub sleep_pruned: u64,
+    /// Branches cut by terminal/branch state-hash dedup.
+    pub digest_deduped: u64,
+    /// `full_runs / reduced_runs` — at least this many times fewer
+    /// interleavings explored under reduction.
+    pub ratio: f64,
+}
+
+/// Measures [`ReductionPoint`] on the pinned workload at `budget` runs per
+/// mode.
+///
+/// The budget must be generous — large enough for the *reduced* search to
+/// drain its frontier (`reduced_stop` = `frontier exhausted`); the full
+/// search is expected to hit it, making `full_runs` a lower bound and
+/// `ratio` an "at least this much" figure.
+///
+/// # Panics
+///
+/// Panics if either mode reports a violation — the tolerant workload has
+/// none, so the two modes' violation sets must both be empty.
+pub fn measure_reduction(budget: u64, spin: u32) -> ReductionPoint {
+    measure_reduction_spec(budget, spin, EXPLORE_CLIENTS, EXPLORE_DEPTH)
+}
+
+/// [`measure_reduction`] with explicit client count and DFS depth (the
+/// unit tests use a small workload whose frontiers drain in debug builds).
+///
+/// # Panics
+///
+/// Panics on a violation, as [`measure_reduction`] does.
+pub fn measure_reduction_spec(budget: u64, spin: u32, clients: usize, depth: usize) -> ReductionPoint {
+    let config = ExploreConfig {
+        random_walks: 0,
+        dfs_budget: budget,
+        dfs_depth: depth,
+        seed: 0,
+        fault: None,
+        byzantine: None,
+        churn: None,
+        jobs: 1,
+        checkpoint: true,
+        verify_snapshots: false,
+        reduce: ReduceMode::None,
+    };
+    let system = fixtures::RacySystem::tolerant(clients).spin(spin);
+    let start = Instant::now();
+    let full = explore_fork(&config, &system);
+    let full_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let reduced = explore_fork(
+        &ExploreConfig {
+            reduce: ReduceMode::Sleep,
+            ..config
+        },
+        &system,
+    );
+    let reduced_secs = start.elapsed().as_secs_f64();
+    assert!(
+        full.failure.is_none() && reduced.failure.is_none(),
+        "the tolerant workload has no violations; the modes' violation sets must match"
+    );
+    ReductionPoint {
+        depth,
+        budget,
+        full_runs: full.runs,
+        full_stop: full.stop.to_string(),
+        full_secs,
+        reduced_runs: reduced.runs,
+        reduced_stop: reduced.stop.to_string(),
+        reduced_secs,
+        sleep_pruned: reduced.sleep_pruned,
+        digest_deduped: reduced.digest_deduped,
+        ratio: full.runs as f64 / reduced.runs.max(1) as f64,
+    }
+}
+
 /// Renders the points as the `BENCH_explore.json` document.
-pub fn to_json(points: &[ExplorePoint]) -> String {
+pub fn to_json(points: &[ExplorePoint], reduction: &ReductionPoint) -> String {
     let mut out = String::from(
         "{\n  \"metric\": \"explore_runs_per_sec\",\n  \"workload\": \"dfs depth 13 over racy:6 (tolerant, spin 40000), baseline jobs=1 no checkpoint\",\n  \"points\": [\n",
     );
@@ -150,7 +260,25 @@ pub fn to_json(points: &[ExplorePoint]) -> String {
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let r = reduction;
+    out.push_str(&format!(
+        "  \"reduction\": {{\n    \"workload\": \"dfs depth {} over racy:{} (tolerant, spin {}), budget {} per mode\",\n    \"full_runs\": {},\n    \"full_stop\": \"{}\",\n    \"full_secs\": {:.6},\n    \"reduced_runs\": {},\n    \"reduced_stop\": \"{}\",\n    \"reduced_secs\": {:.6},\n    \"sleep_pruned\": {},\n    \"digest_deduped\": {},\n    \"ratio\": {:.1}\n  }}\n",
+        r.depth,
+        EXPLORE_CLIENTS,
+        REDUCTION_SPIN,
+        r.budget,
+        r.full_runs,
+        r.full_stop,
+        r.full_secs,
+        r.reduced_runs,
+        r.reduced_stop,
+        r.reduced_secs,
+        r.sleep_pruned,
+        r.digest_deduped,
+        r.ratio,
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -173,10 +301,27 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let points = measure_spin(32, 1, 10);
-        let json = to_json(&points);
+        let reduction = measure_reduction_spec(10_000, 10, 3, 7);
+        let json = to_json(&points, &reduction);
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert_eq!(json.matches("\"checkpoint\"").count(), points.len());
         assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+        assert!(json.contains("\"reduction\""), "reduction section:\n{json}");
+        assert!(json.contains("\"ratio\""), "ratio recorded:\n{json}");
+    }
+
+    #[test]
+    fn reduction_explores_fewer_interleavings_with_no_violations() {
+        let r = measure_reduction_spec(10_000, 10, 3, 7);
+        assert_eq!(r.depth, 7);
+        assert!(
+            r.reduced_runs < r.full_runs,
+            "reduced {} !< full {}",
+            r.reduced_runs,
+            r.full_runs
+        );
+        assert!(r.sleep_pruned > 0);
+        assert!(r.ratio > 1.0);
     }
 
     #[test]

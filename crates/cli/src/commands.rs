@@ -7,7 +7,9 @@ use ard_core::{
     budgets, byzantine_meta, churn_meta, ByzantineDiscovery, Discovery, FaultyDiscovery, Variant,
 };
 use ard_lower_bounds::{tree_adversary, uf_reduction};
-use ard_netsim::explore::{explore, explore_fork, fixtures, ExploreConfig, ExploreReport};
+use ard_netsim::explore::{
+    explore, explore_fork, fixtures, ExploreConfig, ExploreReport, ReduceMode,
+};
 use ard_netsim::shrink::shrink_jobs;
 use ard_netsim::{
     ByzantinePlan, ChurnPlan, FaultPlan, NodeId, RandomScheduler, ReplayScheduler, Schedule,
@@ -91,6 +93,9 @@ commands:
                            / equivocation-dependent bug among K clients)
              --budget N    schedules to try: half random walks, half
                            branch-point DFS (default 64)
+             --walks W     random walks to run before the DFS phase; the
+                           remaining budget goes to DFS (default half;
+                           --walks 0 makes the search pure DFS)
              --depth D     DFS branch-point depth (default 4)
              --seed S      base seed for the random walks (default 0)
              --faults drop=P,dup=P,crash=N[,seed=S]
@@ -107,6 +112,13 @@ commands:
                            (default ard-failure.schedule)
              --jobs N      worker threads for candidate runs; results are
                            byte-identical at any value (default 1)
+             --reduce [sleep|none]
+                           dynamic partial-order reduction of the DFS
+                           phase: sleep sets + terminal-state dedup prune
+                           interleavings that only reorder independent
+                           events (bare --reduce means sleep; default none)
+             --stats       print reduction counters (sleep-pruned,
+                           state-deduped)
              --check-snapshots
                            debug: re-execute every checkpoint-resumed DFS
                            run from scratch and panic on divergence
@@ -135,6 +147,21 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
+            continue;
+        }
+        if key == "reduce" {
+            // Optional value: bare `--reduce` means sleep-set reduction;
+            // `--reduce none` turns it off explicitly.
+            match args.get(i + 1) {
+                Some(value) if !value.starts_with("--") => {
+                    flags.insert(key.to_string(), value.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(key.to_string(), "sleep".to_string());
+                    i += 1;
+                }
+            }
             continue;
         }
         let value = args
@@ -960,6 +987,12 @@ impl System {
 
 fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
     let budget = flag_u64(&flags, "budget", 64)?;
+    let walks = flag_u64(&flags, "walks", budget / 2)?;
+    if walks > budget {
+        return Err(CliError(format!(
+            "--walks {walks} exceeds the --budget of {budget}"
+        )));
+    }
     let depth = flag_usize(&flags, "depth", 4)?;
     let seed = flag_u64(&flags, "seed", 0)?;
     let jobs = flag_usize(&flags, "jobs", 1)?;
@@ -1008,10 +1041,19 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         Some(fault_spec) => Some(spec::parse_faults(fault_spec, n)?),
         None => None,
     };
+    let reduce = match flags.get("reduce").map(String::as_str) {
+        None | Some("none") => ReduceMode::None,
+        Some("sleep") => ReduceMode::Sleep,
+        Some(other) => {
+            return Err(CliError(format!(
+                "--reduce takes `sleep` or `none`, got `{other}`"
+            )))
+        }
+    };
 
     let config = ExploreConfig {
-        random_walks: budget / 2,
-        dfs_budget: budget - budget / 2,
+        random_walks: walks,
+        dfs_budget: budget - walks,
         dfs_depth: depth,
         seed,
         fault: fault.clone(),
@@ -1019,6 +1061,7 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
         churn: churn.clone().map(|plan| (plan, n)),
         jobs,
         verify_snapshots: flags.contains_key("check-snapshots"),
+        reduce,
         ..ExploreConfig::default()
     };
     let report = system.explore(&config);
@@ -1046,8 +1089,17 @@ fn explore_cmd(flags: HashMap<String, String>) -> Result<String, CliError> {
     if let Some(plan) = &churn {
         writeln!(out, "churn     : {}", churn_meta(plan)).unwrap();
     }
+    if flags.contains_key("stats") {
+        writeln!(
+            out,
+            "reduction : mode={reduce}, sleep-pruned={}, state-deduped={}",
+            report.sleep_pruned, report.digest_deduped
+        )
+        .unwrap();
+    }
     let Some(failure) = report.failure else {
         writeln!(out, "result    : no violation found").unwrap();
+        writeln!(out, "stopped   : {}", report.stop).unwrap();
         return Ok(out);
     };
     writeln!(out, "violation : {}", failure.reason).unwrap();
@@ -1315,6 +1367,54 @@ mod tests {
     fn explore_same_flags_same_stdout() {
         let line = "explore --topology ring:6 --variant adhoc --budget 6 --depth 2 --seed 7";
         assert_eq!(run_line(line).unwrap(), run_line(line).unwrap());
+    }
+
+    #[test]
+    fn explore_reports_why_it_stopped() {
+        let out =
+            run_line("explore --topology path:6 --variant oblivious --budget 8 --depth 2").unwrap();
+        assert!(
+            out.contains("stopped   : frontier exhausted")
+                || out.contains("stopped   : budget exhausted"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn explore_reduce_finds_the_same_race_and_prints_stats() {
+        let path = std::env::temp_dir().join("ard-cli-test-reduce.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let reduced = run_line(&format!(
+            "explore --system racy:3 --budget 32 --depth 7 --reduce --stats --out {path}"
+        ))
+        .unwrap();
+        assert!(reduced.contains("violation : lease granted to highest-id client"));
+        assert!(reduced.contains("reduction : mode=sleep, sleep-pruned="), "{reduced}");
+        let replayed = run_line(&format!("replay {path}")).unwrap();
+        assert!(replayed.contains("violation reproduced: lease granted"));
+        // `--reduce none` is the explicit off switch and changes nothing
+        // about the default output.
+        let off = run_line("explore --system racy:3 --budget 32 --depth 7 --reduce none --stats")
+            .unwrap();
+        assert!(off.contains("reduction : mode=none, sleep-pruned=0, state-deduped=0"), "{off}");
+        assert!(run_line("explore --system racy:3 --reduce bogus").is_err());
+    }
+
+    #[test]
+    fn explore_walks_controls_the_phase_split() {
+        let path = std::env::temp_dir().join("ard-cli-test-walks.schedule");
+        let path = path.to_str().unwrap().to_string();
+        let pure_dfs = run_line(&format!(
+            "explore --system racy:3 --budget 32 --walks 0 --depth 7 --out {path}"
+        ))
+        .unwrap();
+        assert!(pure_dfs.contains("(0 random walks,"), "{pure_dfs}");
+        assert!(pure_dfs.contains("violation : lease granted to highest-id client"));
+        let pure_walks =
+            run_line("explore --topology path:4 --variant oblivious --budget 8 --walks 8").unwrap();
+        assert!(pure_walks.contains("(8 random walks, 0 dfs,"), "{pure_walks}");
+        let err = run_line("explore --system racy:3 --budget 8 --walks 9").unwrap_err();
+        assert!(err.0.contains("exceeds the --budget"), "{}", err.0);
     }
 
     #[test]

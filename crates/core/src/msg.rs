@@ -222,6 +222,48 @@ impl Envelope for Message {
         }
     }
 
+    fn digest(&self, d: &mut ard_netsim::StateDigest) {
+        // The default digest (kind + ids + aux bits) cannot see the scalar
+        // payloads: `aux_bits` is a per-variant constant, so two conquer
+        // waves at different phases — genuinely different futures — would
+        // hash alike. Mix every field the receiver branches on.
+        d.mix_bytes(self.kind().as_bytes());
+        d.mix(self.carried_id_count() as u64);
+        self.for_each_carried_id(&mut |id| d.mix(id.index() as u64));
+        match self {
+            Message::Query { want } => d.mix(u64::from(*want)),
+            Message::QueryReply { exhausted, .. } => d.mix(u64::from(*exhausted)),
+            Message::Search {
+                origin_phase,
+                new_edge,
+                ..
+            } => {
+                d.mix(u64::from(*origin_phase));
+                d.mix(u64::from(*new_edge));
+            }
+            Message::Release {
+                leader_phase,
+                verdict,
+                ..
+            } => {
+                d.mix(u64::from(*leader_phase));
+                d.mix(matches!(verdict, Verdict::Merge) as u64);
+            }
+            Message::MergeAccept | Message::MergeFail | Message::Probe { .. } => {}
+            Message::Info(p) => {
+                d.mix(u64::from(p.phase));
+                // The flat id visit cannot show which set an id sits in;
+                // the set lengths restore the boundaries.
+                d.mix(p.more.len() as u64);
+                d.mix(p.done.len() as u64);
+                d.mix(p.unaware.len() as u64);
+            }
+            Message::Conquer { phase } => d.mix(u64::from(*phase)),
+            Message::MoreDone { exhausted } => d.mix(u64::from(*exhausted)),
+            Message::ProbeReply { leader_phase, .. } => d.mix(u64::from(*leader_phase)),
+        }
+    }
+
     fn forge(_src: NodeId, dst: NodeId, salt: u32) -> Option<Self> {
         // Salt convention (see [`Envelope::forge`]): the low 8 bits pick the
         // lie, the high bits parameterize it.

@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use ard_netsim::{Context, MessageArena, NodeId, Protocol};
+use ard_netsim::{Context, Envelope, MessageArena, NodeId, Protocol, StateDigest};
 
 use crate::msg::{InfoPayload, Message, Verdict};
 use crate::status::{Status, Transition};
@@ -1147,6 +1147,53 @@ impl Protocol for ArdNode {
         self.terminated = false;
         self.probes_outstanding = 0;
         self.on_wake(ctx);
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        d.mix(self.status as u64);
+        d.mix(u64::from(self.phase));
+        d.mix(self.next.index() as u64);
+        for set in [
+            &self.local,
+            &self.more,
+            &self.done,
+            &self.unaware,
+            &self.unexplored,
+        ] {
+            d.mix(set.len() as u64);
+            for id in set {
+                d.mix(id.index() as u64);
+            }
+        }
+        d.mix(self.previous.len() as u64);
+        for (msg, from) in &self.previous {
+            msg.digest(d);
+            d.mix(from.index() as u64);
+        }
+        d.mix(self.deferred.len() as u64);
+        for (from, msg) in &self.deferred {
+            d.mix(from.index() as u64);
+            msg.digest(d);
+        }
+        match self.awaiting_query_from {
+            Some(w) => d.mix(1 + w.index() as u64),
+            None => d.mix(0),
+        }
+        d.mix(u64::from(self.awaiting_release));
+        d.mix(u64::from(self.inactive_phase));
+        d.mix(u64::from(self.terminated));
+        d.mix(self.probes_outstanding as u64);
+        d.mix(self.probe_results.len() as u64);
+        for ids in &self.probe_results {
+            d.mix(ids.len() as u64);
+            for id in ids {
+                d.mix(id.index() as u64);
+            }
+        }
+        // `transitions` is deliberately excluded: it is a pure history log
+        // (the Figure 1 conformance check reads it, the protocol and the
+        // requirement checks never do), so two states differing only in how
+        // they got here are genuinely equivalent futures.
     }
 }
 

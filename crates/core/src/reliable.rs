@@ -40,7 +40,7 @@
 
 use std::collections::BTreeMap;
 
-use ard_netsim::{Context, Envelope, NodeId, Protocol};
+use ard_netsim::{Context, Envelope, NodeId, Protocol, StateDigest};
 
 /// Wire format of the reliable-delivery layer: the inner protocol's message
 /// wrapped with a sequence number, or a bare acknowledgement.
@@ -98,6 +98,26 @@ impl<M: Envelope> Envelope for ReliableMsg<M> {
         match self {
             ReliableMsg::Data { payload, .. } => payload.aux_bits() + 32,
             ReliableMsg::Ack { .. } => 32,
+        }
+    }
+
+    fn digest(&self, d: &mut StateDigest) {
+        // The default digest cannot see `seq` (aux bits are a constant 32),
+        // and two data envelopes with the same payload but different
+        // sequence numbers are delivered very differently (in-order cursor
+        // vs reorder buffer). `attempt` stays out: the receiver ignores it
+        // and metering is charged at send time, so it cannot influence any
+        // future step.
+        match self {
+            ReliableMsg::Data { seq, payload, .. } => {
+                d.mix_bytes(b"rd-data");
+                d.mix(u64::from(*seq));
+                payload.digest(d);
+            }
+            ReliableMsg::Ack { seq } => {
+                d.mix_bytes(b"rd-ack");
+                d.mix(u64::from(*seq));
+            }
         }
     }
 }
@@ -329,6 +349,38 @@ impl<P: Protocol> Protocol for Reliable<P> {
         self.recv.clear();
         self.run_inner(ctx, |n, c| n.on_stale_restart(c));
         self.ensure_tick(ctx);
+    }
+
+    fn digest_state(&self, d: &mut StateDigest) {
+        self.inner.digest_state(d);
+        d.mix(self.next_seq.len() as u64);
+        for (dst, seq) in &self.next_seq {
+            d.mix(dst.index() as u64);
+            d.mix(u64::from(*seq));
+        }
+        d.mix(self.unacked.len() as u64);
+        for o in &self.unacked {
+            d.mix(o.dst.index() as u64);
+            d.mix(u64::from(o.seq));
+            d.mix(u64::from(o.attempt));
+            d.mix(o.due);
+            o.payload.digest(d);
+        }
+        d.mix(self.clock);
+        d.mix(u64::from(self.tick_outstanding));
+        d.mix(u64::from(self.inner_wants_tick));
+        d.mix(self.recv.len() as u64);
+        for (src, st) in &self.recv {
+            d.mix(src.index() as u64);
+            d.mix(u64::from(st.next_expected));
+            d.mix(st.buffered.len() as u64);
+            for (seq, p) in &st.buffered {
+                d.mix(u64::from(*seq));
+                p.digest(d);
+            }
+        }
+        // `staging` is empty between events (`run_inner` drains it), so it
+        // carries no state worth mixing.
     }
 }
 

@@ -106,6 +106,24 @@ pub trait Envelope: Clone + std::fmt::Debug {
         self.carried_id_count() as u64 * id_bits + self.aux_bits() + KIND_TAG_BITS
     }
 
+    /// Mixes the message's content into a canonical state digest (the
+    /// explorer's terminal-state and branch-dedup hashing).
+    ///
+    /// The default mixes kind, carried ids and [`aux_bits`]: sufficient
+    /// whenever the non-id payload is fully determined by those (most
+    /// messages here). Override when two *different* payloads can agree on
+    /// all three — e.g. a phase counter whose value doesn't change the bit
+    /// *count* — otherwise distinct in-flight messages hash alike and the
+    /// explorer may wrongly dedup two genuinely different branches.
+    ///
+    /// [`aux_bits`]: Envelope::aux_bits
+    fn digest(&self, d: &mut crate::StateDigest) {
+        d.mix_bytes(self.kind().as_bytes());
+        d.mix(self.carried_id_count() as u64);
+        self.for_each_carried_id(&mut |id| d.mix(id.index() as u64));
+        d.mix(self.aux_bits());
+    }
+
     /// Builds a *forged* message for a Byzantine `src` to inject toward
     /// `dst` ([`Choice::Forge`](crate::Choice::Forge)).
     ///

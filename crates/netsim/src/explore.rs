@@ -27,6 +27,26 @@
 //!   [`ExploreConfig::verify_snapshots`] debug flag re-executes every run
 //!   from scratch as well and panics on any divergence.
 //!
+//! A third lever, **dynamic partial-order reduction**
+//! ([`ExploreConfig::reduce`]), *does* change which schedules run — it
+//! prunes interleavings that provably reach states another explored
+//! interleaving already covers, so deep searches finish in a fraction of
+//! the runs without losing violations. Two mechanisms compose (see
+//! `docs/testing.md`):
+//!
+//! * **Sleep sets** over the dynamic independence relation: each executed
+//!   choice's [`Footprint`] (node states read/written, link queues
+//!   mutated) is recorded by the runner; sibling branches whose choices
+//!   commute with everything separating them are explored once, not once
+//!   per order.
+//! * **Branch-state dedup**: a canonical [`StateDigest`] of the full run
+//!   state (node state, knowledge, in-flight queues, metrics) is taken at
+//!   every branch point; a branch node whose (depth, state, pending-set)
+//!   key was already expanded is not expanded again.
+//!
+//! Reduction defaults to [`ReduceMode::None`], which is byte-for-byte the
+//! unreduced search.
+//!
 //! # Example
 //!
 //! ```
@@ -50,7 +70,7 @@ use std::sync::Mutex;
 use crate::fault::{ByzantinePlan, ChurnPlan, FaultPlan, FaultScheduler};
 use crate::par;
 use crate::record::{RecordingScheduler, Schedule};
-use crate::scheduler::{Choice, RandomScheduler, Scheduler, SendToken};
+use crate::scheduler::{Choice, Footprint, RandomScheduler, Scheduler, SendToken, StateDigest};
 use crate::NodeId;
 
 /// Budget and shape of an exploration.
@@ -97,6 +117,11 @@ pub struct ExploreConfig {
     /// scratch and panic if the snapshot-resumed run diverges in result,
     /// recorded schedule or branch counts.
     pub verify_snapshots: bool,
+    /// Partial-order reduction applied to the DFS phase (the random-walk
+    /// phase is sampling, not enumeration, and is never reduced). The
+    /// default, [`ReduceMode::None`], reproduces the unreduced search
+    /// byte for byte.
+    pub reduce: ReduceMode,
 }
 
 impl Default for ExploreConfig {
@@ -112,6 +137,59 @@ impl Default for ExploreConfig {
             jobs: 1,
             checkpoint: true,
             verify_snapshots: false,
+            reduce: ReduceMode::None,
+        }
+    }
+}
+
+/// Partial-order reduction mode for the DFS phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Full enumeration — every decision path through the branch window is
+    /// its own run. The default; all existing reports and schedules are
+    /// unchanged under it.
+    #[default]
+    None,
+    /// Sleep-set pruning over the dynamic footprint-derived independence
+    /// relation, plus branch-state dedup on canonical state digests.
+    /// Prunes only interleavings whose reachable states another explored
+    /// interleaving covers; under a fault/Byzantine/churn plan the dedup
+    /// arm switches off (timeline state is not captured by the digest) and
+    /// sleep sets degrade gracefully via the fault layer's
+    /// [`Footprint::everything`] widening.
+    Sleep,
+}
+
+impl std::fmt::Display for ReduceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceMode::None => write!(f, "none"),
+            ReduceMode::Sleep => write!(f, "sleep"),
+        }
+    }
+}
+
+/// Why an exploration stopped.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every candidate schedule (within the depth window, after any
+    /// reduction) was executed: the search is *complete*, and a clean
+    /// report means no violation exists in the explored space.
+    #[default]
+    FrontierExhausted,
+    /// [`ExploreConfig::dfs_budget`] ran out with candidate prefixes still
+    /// unexplored: a clean report only covers the schedules that ran.
+    BudgetExhausted,
+    /// The search stopped at its first property violation.
+    Violation,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::FrontierExhausted => write!(f, "frontier exhausted"),
+            StopReason::BudgetExhausted => write!(f, "budget exhausted"),
+            StopReason::Violation => write!(f, "violation found"),
         }
     }
 }
@@ -194,6 +272,17 @@ pub struct ExploreReport {
     pub dfs_runs: u64,
     /// The first violation found, if any (the exploration stops there).
     pub failure: Option<ExploreFailure>,
+    /// Why the search ended. Identical at every job count, like every
+    /// other field.
+    pub stop: StopReason,
+    /// Sibling branches pruned by sleep sets (each would have been the
+    /// root of its own DFS subtree). Zero under [`ReduceMode::None`].
+    pub sleep_pruned: u64,
+    /// Sibling branches pruned because their branch node's
+    /// (depth, state-digest, pending-set) key was already expanded. Zero
+    /// under [`ReduceMode::None`] or whenever a fault/Byzantine/churn plan
+    /// disables the dedup arm.
+    pub digest_deduped: u64,
 }
 
 /// Arrival-ordered pending set with `O(log n)` order-statistic removal.
@@ -241,6 +330,11 @@ impl PendingRing {
         self.fen.push(v);
     }
 
+    /// The live choices in arrival order (oldest first).
+    fn live_choices(&self) -> impl Iterator<Item = &Choice> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
     /// Removes and returns the `rank`-th oldest live choice (0-based).
     fn take(&mut self, rank: usize) -> Choice {
         debug_assert!(rank < self.live, "rank {rank} out of {} live", self.live);
@@ -257,9 +351,41 @@ impl PendingRing {
             }
             step >>= 1;
         }
+        self.remove_slot(pos)
+    }
+
+    /// Removes the choice with the smallest [`Choice::sort_key`] among the
+    /// `k` oldest live entries, ties to the oldest — one step of the
+    /// canonical round-based drain the reduced DFS uses past its branch
+    /// window.
+    fn take_min_of_oldest(&mut self, k: usize) -> Choice {
+        debug_assert!(k >= 1 && k <= self.live);
+        let mut best: Option<(usize, (u8, u32, u32, u32))> = None;
+        let mut seen = 0usize;
+        for (pos, slot) in self.slots.iter().enumerate() {
+            let Some(choice) = slot else { continue };
+            let key = choice.sort_key();
+            let better = match &best {
+                None => true,
+                Some((_, best_key)) => key < *best_key,
+            };
+            if better {
+                best = Some((pos, key));
+            }
+            seen += 1;
+            if seen >= k {
+                break;
+            }
+        }
+        let (pos, _) = best.expect("take_min_of_oldest on an empty round");
+        self.remove_slot(pos)
+    }
+
+    /// Tombstones the live entry at slab position `pos` and returns it.
+    fn remove_slot(&mut self, pos: usize) -> Choice {
         let choice = self.slots[pos]
             .take()
-            .expect("order-statistic descent lands on a live slot");
+            .expect("removal targets a live slot");
         let mut i = pos + 1;
         while i <= self.fen.len() {
             self.fen[i - 1] -= 1;
@@ -295,6 +421,15 @@ impl PendingRing {
 /// Cloning captures the full state (pending events, position on the
 /// decision path, branch counts) — a clone is a checkpoint the DFS can
 /// later resume with a deeper prefix via [`DfsScheduler::set_prefix`].
+///
+/// In **reduce mode** ([`DfsScheduler::reduced`]) the scheduler
+/// additionally records, at every branch point, the pending choices, the
+/// runner's pre-decision state digest and the footprint of the steps the
+/// decision executed — the observations the engine's sleep-set and dedup
+/// logic runs on — and past the branch window it drains pending events in
+/// a canonical order (a function of the pending *set*, not arrival order),
+/// so interleaving-equivalent prefixes converge to identical terminal
+/// states.
 #[derive(Clone, Debug)]
 pub struct DfsScheduler {
     pending: PendingRing,
@@ -302,6 +437,31 @@ pub struct DfsScheduler {
     depth: usize,
     step: usize,
     branch_counts: Vec<usize>,
+    /// Reduce mode: record [`BranchObs`] and drain the tail canonically.
+    reduce: bool,
+    branch_obs: Vec<BranchObs>,
+    /// The most recent runner state digest reported before a `choose`.
+    last_digest: u64,
+    /// Live entries left in the current canonical-drain round; `0` starts
+    /// a new round on the next tail decision.
+    round_live: usize,
+}
+
+/// Everything the reduction engine needs to know about one branch-point
+/// decision, recorded by a reduce-mode [`DfsScheduler`] as the run
+/// executes.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct BranchObs {
+    /// The pending choices at the decision, in arrival (rank) order — the
+    /// enabled set the DFS enumerates children over.
+    pub pending: Vec<Choice>,
+    /// Canonical runner state digest immediately before the decision.
+    pub digest: u64,
+    /// Merged exact footprints of every step executed from this decision
+    /// up to (exclusive) the next one: the decided choice itself plus any
+    /// steps a fault layer served in between (those arrive pre-widened to
+    /// [`Footprint::everything`]).
+    pub fp: Footprint,
 }
 
 impl DfsScheduler {
@@ -314,12 +474,31 @@ impl DfsScheduler {
             depth,
             step: 0,
             branch_counts: Vec::new(),
+            reduce: false,
+            branch_obs: Vec::new(),
+            last_digest: 0,
+            round_live: 0,
+        }
+    }
+
+    /// A scheduler like [`DfsScheduler::new`] that also records the
+    /// per-branch observations partial-order reduction needs and drains
+    /// canonically past the branch window.
+    pub fn reduced(prefix: Vec<usize>, depth: usize) -> Self {
+        DfsScheduler {
+            reduce: true,
+            ..Self::new(prefix, depth)
         }
     }
 
     /// Pending-event counts observed at each of the first `depth` steps.
     pub fn branch_counts(&self) -> &[usize] {
         &self.branch_counts
+    }
+
+    /// The reduce-mode branch observations (empty outside reduce mode).
+    pub(crate) fn branch_obs(&self) -> &[BranchObs] {
+        &self.branch_obs
     }
 
     /// Number of scheduling decisions made so far — the run's position on
@@ -354,8 +533,32 @@ impl Scheduler for DfsScheduler {
         if self.pending.is_empty() {
             return None;
         }
+        if self.step >= self.depth && self.reduce {
+            // Canonical tail: past the branch window, drain in rounds. A
+            // round snapshots the pending count at its start and serves
+            // those entries smallest-sort-key first; events arriving
+            // during a round wait for the next one (fair — a tick cascade
+            // cannot starve older events). The order is a function of the
+            // pending set and the arrivals it generates, not of the
+            // arrival order the branch decisions happened to produce, so
+            // equivalent prefixes converge to identical terminal states.
+            if self.round_live == 0 {
+                self.round_live = self.pending.len();
+            }
+            let k = self.round_live;
+            self.round_live -= 1;
+            self.step += 1;
+            return Some(self.pending.take_min_of_oldest(k));
+        }
         if self.step < self.depth {
             self.branch_counts.push(self.pending.len());
+            if self.reduce {
+                self.branch_obs.push(BranchObs {
+                    pending: self.pending.live_choices().copied().collect(),
+                    digest: self.last_digest,
+                    fp: Footprint::new(),
+                });
+            }
         }
         let want = self.prefix.get(self.step).copied().unwrap_or(0);
         let idx = want.min(self.pending.len() - 1);
@@ -364,6 +567,25 @@ impl Scheduler for DfsScheduler {
     }
     fn pending(&self) -> usize {
         self.pending.len()
+    }
+    fn wants_footprints(&self) -> bool {
+        self.reduce
+    }
+    fn note_footprint(&mut self, _choice: Choice, footprint: &Footprint) {
+        // Attribute the executed step to the decision currently in flight:
+        // after decision `j` executes, `step == j + 1`, and any
+        // fault-layer-served steps before decision `j + 1` still land
+        // here. Steps outside the branch window (or before the first
+        // decision) have no observation to extend.
+        if let Some(obs) = self.step.checked_sub(1).and_then(|j| self.branch_obs.get_mut(j)) {
+            obs.fp.merge(footprint);
+        }
+    }
+    fn wants_state_digest(&self) -> bool {
+        self.reduce && self.step < self.depth
+    }
+    fn note_state_digest(&mut self, digest: u64) {
+        self.last_digest = digest;
     }
 }
 
@@ -396,6 +618,15 @@ pub trait ForkRun: Send {
     ///
     /// Returns the violation description as `Err`.
     fn check(&mut self) -> Result<(), String>;
+
+    /// The canonical digest of the run's current state (see
+    /// [`Runner::state_digest`](crate::Runner::state_digest)), if the
+    /// system exposes one. The reduced explorer stamps it on failing
+    /// schedules as `terminal-digest` meta; the default `None` keeps
+    /// digest-less systems working, at the cost of that meta.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Drives a [`ForkSystem`] run to completion under `sched` and applies its
@@ -408,14 +639,31 @@ pub trait ForkRun: Send {
 /// livelock report) as `Err`.
 pub fn run_fork_system(system: &dyn ForkSystem, sched: &mut dyn Scheduler) -> Result<(), String> {
     let mut run = system.spawn(sched);
-    while run.step(sched)? {}
-    run.check()
+    let result = loop {
+        match run.step(sched) {
+            Ok(true) => {}
+            Ok(false) => break run.check(),
+            Err(err) => break Err(err),
+        }
+    };
+    // Report the terminal digest even when the run failed: the shrinker
+    // and the replay tooling read it off a recording wrapper to compare
+    // terminal states of minimized schedules.
+    if sched.wants_terminal_digest() {
+        if let Some(digest) = run.state_digest() {
+            sched.note_terminal_digest(digest);
+        }
+    }
+    result
 }
 
 /// Internal bridge between the two ways a system can be executed: as a
 /// factory-built closure (run to completion only) or as a forkable run.
+/// `run_full` also reports the terminal state digest when the execution
+/// path exposes one (forkable runs via [`ForkRun::state_digest`]; closures
+/// via whatever the recording wrapper captured, which the caller reads).
 trait Exec: Sync {
-    fn run_full(&self, sched: &mut dyn Scheduler) -> Result<(), String>;
+    fn run_full(&self, sched: &mut dyn Scheduler) -> (Result<(), String>, Option<u64>);
     fn forkable(&self) -> bool;
     fn spawn_fork(&self, sched: &mut dyn Scheduler) -> Option<Box<dyn ForkRun>>;
 }
@@ -427,9 +675,9 @@ where
     F: Fn() -> R + Sync,
     R: FnMut(&mut dyn Scheduler) -> Result<(), String>,
 {
-    fn run_full(&self, sched: &mut dyn Scheduler) -> Result<(), String> {
+    fn run_full(&self, sched: &mut dyn Scheduler) -> (Result<(), String>, Option<u64>) {
         let mut run_one = (self.0)();
-        run_one(sched)
+        (run_one(sched), None)
     }
     fn forkable(&self) -> bool {
         false
@@ -442,8 +690,16 @@ where
 struct ForkExec<'a>(&'a dyn ForkSystem);
 
 impl Exec for ForkExec<'_> {
-    fn run_full(&self, sched: &mut dyn Scheduler) -> Result<(), String> {
-        run_fork_system(self.0, sched)
+    fn run_full(&self, sched: &mut dyn Scheduler) -> (Result<(), String>, Option<u64>) {
+        let mut run = self.0.spawn(sched);
+        let result = loop {
+            match run.step(sched) {
+                Err(reason) => break Err(reason),
+                Ok(false) => break run.check(),
+                Ok(true) => {}
+            }
+        };
+        (result, run.state_digest())
     }
     fn forkable(&self) -> bool {
         true
@@ -496,6 +752,34 @@ struct PrefixOutcome {
     result: Result<(), String>,
     schedule: Schedule,
     branch_counts: Vec<usize>,
+    /// Reduce-mode branch observations (empty otherwise).
+    branch_obs: Vec<BranchObs>,
+    /// Terminal state digest, when the execution path captured one
+    /// (reduce mode only — the walk is free, the digest is not).
+    terminal_digest: Option<u64>,
+}
+
+/// Canonical digest of a branch node's pending *set*: sorted sort keys, so
+/// arrival-order differences between equivalent prefixes don't split the
+/// dedup key.
+fn pending_set_hash(pending: &[Choice]) -> u64 {
+    let mut keys: Vec<(u8, u32, u32, u32)> = pending.iter().map(Choice::sort_key).collect();
+    keys.sort_unstable();
+    let mut d = StateDigest::new();
+    d.mix(keys.len() as u64);
+    for (tag, a, b, c) in keys {
+        d.mix(u64::from(tag));
+        d.mix(u64::from(a));
+        d.mix(u64::from(b));
+        d.mix(u64::from(c));
+    }
+    d.finish()
+}
+
+/// Whether every choice in `a` also appears in `b` (multiset-insensitive —
+/// sleep sets never hold duplicates worth distinguishing).
+fn sleep_subset(a: &[Choice], b: &[Choice]) -> bool {
+    a.iter().all(|u| b.contains(u))
 }
 
 /// A branch-point snapshot: the forkable run plus its full scheduler
@@ -537,18 +821,21 @@ fn explore_engine(config: &ExploreConfig, exec: &dyn Exec) -> ExploreReport {
                     fault_seed,
                 ),
             ));
-            let result = exec.run_full(&mut sched);
-            (seed, result, sched.into_schedule())
+            let (result, digest) = exec.run_full(&mut sched);
+            let digest = digest.or_else(|| sched.terminal_digest());
+            (seed, result, digest, sched.into_schedule())
         });
-        for (seed, result, schedule) in outcomes {
+        for (seed, result, digest, schedule) in outcomes {
             report.random_walks += 1;
             report.runs += 1;
             if let Err(reason) = result {
+                report.stop = StopReason::Violation;
                 report.failure = Some(failure(
                     schedule,
                     reason,
                     report.runs - 1,
                     Origin::RandomWalk { seed },
+                    if config.reduce == ReduceMode::Sleep { digest } else { None },
                 ));
                 return report;
             }
@@ -571,11 +858,31 @@ fn explore_engine(config: &ExploreConfig, exec: &dyn Exec) -> ExploreReport {
     // run counters and first failure match the sequential engine choice
     // for choice. Speculative runs past a failure or the budget are
     // discarded unconsumed.
+    let reduce = config.reduce == ReduceMode::Sleep;
+    // Branch-state dedup matches nodes purely on (depth, runner state,
+    // pending set). Fault, Byzantine and churn plans carry extra run state
+    // the digest cannot see (RNG positions, timeline cursors), so with any
+    // plan attached the dedup arm switches off; sleep sets stay on and
+    // degrade via the fault layer's footprint widening.
+    let dedup = reduce
+        && config.fault.is_none()
+        && config.byzantine.is_none()
+        && config.churn.is_none();
+    // Branch nodes already expanded, by dedup key; the values are the
+    // sleep sets they were expanded under (an equivalent node is covered
+    // only by an expansion that slept no *more* than it would).
+    let mut seen: HashMap<(usize, u64, u64), Vec<Vec<Choice>>> = HashMap::new();
+
     let checkpoints: Mutex<HashMap<Vec<usize>, Checkpoint>> = Mutex::new(HashMap::new());
     let mut cache: HashMap<Vec<usize>, PrefixOutcome> = HashMap::new();
-    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    // Stack entries pair each candidate prefix with the sleep set of the
+    // branch node it starts from (always empty outside reduce mode, and
+    // irrelevant to *executing* the prefix — only child generation reads
+    // it, in this sequential loop, which keeps every job count
+    // byte-identical).
+    let mut stack: Vec<(Vec<usize>, Vec<Choice>)> = vec![(Vec::new(), Vec::new())];
     while report.dfs_runs < config.dfs_budget {
-        let Some(prefix) = stack.pop() else { break };
+        let Some((prefix, sleep0)) = stack.pop() else { break };
         if !cache.contains_key(&prefix) {
             let remaining = (config.dfs_budget - report.dfs_runs) as usize;
             // Speculation-debt throttle: a speculated outcome is only
@@ -592,7 +899,7 @@ fn explore_engine(config: &ExploreConfig, exec: &dyn Exec) -> ExploreReport {
                 (jobs * 4).min(remaining).min(1 + headroom)
             };
             let mut targets: Vec<Vec<usize>> = vec![prefix.clone()];
-            for p in stack.iter().rev() {
+            for (p, _) in stack.iter().rev() {
                 if targets.len() >= wave_cap {
                     break;
                 }
@@ -611,26 +918,112 @@ fn explore_engine(config: &ExploreConfig, exec: &dyn Exec) -> ExploreReport {
         report.dfs_runs += 1;
         report.runs += 1;
         if let Err(reason) = outcome.result {
+            report.stop = StopReason::Violation;
             report.failure = Some(failure(
                 outcome.schedule,
                 reason,
                 report.runs - 1,
                 Origin::Dfs { prefix },
+                if reduce { outcome.terminal_digest } else { None },
             ));
             return report;
         }
         let counts = &outcome.branch_counts;
-        // Reverse push order so the stack pops children in lexicographic
-        // (earliest-position, smallest-index) order.
-        for j in (prefix.len()..counts.len()).rev() {
-            for i in (1..counts[j]).rev() {
+        if !reduce {
+            // Reverse push order so the stack pops children in
+            // lexicographic (earliest-position, smallest-index) order.
+            for j in (prefix.len()..counts.len()).rev() {
+                for i in (1..counts[j]).rev() {
+                    let mut child = Vec::with_capacity(j + 1);
+                    child.extend_from_slice(&prefix);
+                    child.resize(j, 0);
+                    child.push(i);
+                    stack.push((child, Vec::new()));
+                }
+            }
+            continue;
+        }
+        // Reduced child generation: walk this run's leftmost branch path,
+        // evolving the sleep set along each executed edge (Godefroid-style
+        // — a slept choice is one whose subtree an earlier sibling's
+        // subtree provably covers).
+        let obs = &outcome.branch_obs;
+        debug_assert_eq!(obs.len(), counts.len(), "one observation per branch");
+        let mut sleep = sleep0;
+        let mut children: Vec<(Vec<usize>, Vec<Choice>)> = Vec::new();
+        'walk: for j in prefix.len()..counts.len() {
+            let ob = &obs[j];
+            let siblings = counts[j].saturating_sub(1) as u64;
+            let deeper = |from: usize| -> u64 {
+                (from..counts.len()).map(|jj| counts[jj].saturating_sub(1) as u64).sum()
+            };
+            if dedup {
+                let key = (j, ob.digest, pending_set_hash(&ob.pending));
+                let entry = seen.entry(key).or_default();
+                if entry.iter().any(|s| sleep_subset(s, &sleep)) {
+                    // An equivalent branch node (same depth, same runner
+                    // state, same pending set) was already expanded while
+                    // sleeping a subset of what this one would: its
+                    // subtree covers everything reachable from here.
+                    report.digest_deduped += siblings + deeper(j + 1);
+                    break 'walk;
+                }
+                entry.push(sleep.clone());
+            }
+            // The choice this run executed at the branch (rank 0 — the
+            // leftmost continuation) and its alternatives.
+            let c0 = ob.pending[0];
+            let c0_slept = sleep.contains(&c0);
+            let mut done: Vec<Choice> = vec![c0];
+            for i in 1..counts[j] {
+                let ci = ob.pending[i];
+                if sleep.contains(&ci) || done.contains(&ci) {
+                    report.sleep_pruned += 1;
+                    continue;
+                }
+                // The sibling's subtree starts by executing `ci`; it
+                // inherits every slept-or-already-explored choice that
+                // commutes with `ci` (may-footprints on both sides — the
+                // sibling hasn't executed, so no exact footprint exists).
+                let ci_fp = Footprint::may(ci);
+                let child_sleep: Vec<Choice> = sleep
+                    .iter()
+                    .chain(done.iter())
+                    .filter(|u| !Footprint::may(**u).conflicts(&ci_fp))
+                    .copied()
+                    .collect();
                 let mut child = Vec::with_capacity(j + 1);
                 child.extend_from_slice(&prefix);
                 child.resize(j, 0);
                 child.push(i);
-                stack.push(child);
+                children.push((child, child_sleep));
+                done.push(ci);
             }
+            if c0_slept {
+                // The whole leftmost subtree below this node is covered
+                // elsewhere (this run itself already executed, harmlessly);
+                // its deeper branch nodes need no children of their own.
+                report.sleep_pruned += deeper(j + 1);
+                break 'walk;
+            }
+            // Advance along the executed edge: survivors are the slept
+            // choices that commute with everything this decision actually
+            // touched (its exact footprint, plus any fault-layer steps
+            // merged in pre-widened).
+            sleep.retain(|u| !Footprint::may(*u).conflicts(&ob.fp));
         }
+        // Reverse push order so the stack pops children in lexicographic
+        // (earliest-position, smallest-index) order.
+        for child in children.into_iter().rev() {
+            stack.push(child);
+        }
+    }
+    if report.failure.is_none() {
+        report.stop = if stack.is_empty() {
+            StopReason::FrontierExhausted
+        } else {
+            StopReason::BudgetExhausted
+        };
     }
     report
 }
@@ -654,33 +1047,46 @@ fn run_prefix(
             assert!(
                 scratch.result == out.result
                     && scratch.schedule == out.schedule
-                    && scratch.branch_counts == out.branch_counts,
+                    && scratch.branch_counts == out.branch_counts
+                    && scratch.branch_obs == out.branch_obs
+                    && scratch.terminal_digest == out.terminal_digest,
                 "snapshot/replay divergence at dfs prefix {prefix:?}:\n\
-                 resumed:  {:?} / {:?} / {}\n\
-                 scratch:  {:?} / {:?} / {}",
+                 resumed:  {:?} / {:?} / {:?} / {}\n\
+                 scratch:  {:?} / {:?} / {:?} / {}",
                 out.result,
                 out.branch_counts,
+                out.terminal_digest,
                 out.schedule.to_text(),
                 scratch.result,
                 scratch.branch_counts,
+                scratch.terminal_digest,
                 scratch.schedule.to_text(),
             );
         }
         return out;
     }
+    let dfs = if config.reduce == ReduceMode::Sleep {
+        DfsScheduler::reduced(prefix.to_vec(), config.dfs_depth)
+    } else {
+        DfsScheduler::new(prefix.to_vec(), config.dfs_depth)
+    };
     let mut sched = RecordingScheduler::new(attach_plans(
         config,
-        FaultScheduler::new(
-            DfsScheduler::new(prefix.to_vec(), config.dfs_depth),
-            config.fault.clone(),
-        ),
+        FaultScheduler::new(dfs, config.fault.clone()),
     ));
-    let result = exec.run_full(&mut sched);
+    let (result, digest) = exec.run_full(&mut sched);
+    let terminal_digest = if config.reduce == ReduceMode::Sleep {
+        digest.or_else(|| sched.terminal_digest())
+    } else {
+        None
+    };
     let (fault_sched, schedule) = sched.into_parts();
     PrefixOutcome {
         result,
         schedule,
         branch_counts: fault_sched.inner().branch_counts().to_vec(),
+        branch_obs: fault_sched.inner().branch_obs().to_vec(),
+        terminal_digest,
     }
 }
 
@@ -723,12 +1129,14 @@ fn run_prefix_forked(
     let (mut run, mut sched) = match resumed {
         Some(state) => state,
         None => {
+            let dfs = if config.reduce == ReduceMode::Sleep {
+                DfsScheduler::reduced(prefix.to_vec(), depth)
+            } else {
+                DfsScheduler::new(prefix.to_vec(), depth)
+            };
             let mut sched = RecordingScheduler::new(attach_plans(
                 config,
-                FaultScheduler::new(
-                    DfsScheduler::new(prefix.to_vec(), depth),
-                    config.fault.clone(),
-                ),
+                FaultScheduler::new(dfs, config.fault.clone()),
             ));
             let run = exec
                 .spawn_fork(&mut sched)
@@ -781,17 +1189,33 @@ fn run_prefix_forked(
             }
         }
     };
+    let terminal_digest = if config.reduce == ReduceMode::Sleep {
+        run.state_digest()
+    } else {
+        None
+    };
     let (fault_sched, schedule) = sched.into_parts();
     PrefixOutcome {
         result,
         schedule,
         branch_counts: fault_sched.inner().branch_counts().to_vec(),
+        branch_obs: fault_sched.inner().branch_obs().to_vec(),
+        terminal_digest,
     }
 }
 
-fn failure(mut schedule: Schedule, reason: String, run_index: u64, origin: Origin) -> ExploreFailure {
+fn failure(
+    mut schedule: Schedule,
+    reason: String,
+    run_index: u64,
+    origin: Origin,
+    terminal_digest: Option<u64>,
+) -> ExploreFailure {
     schedule.set_meta("origin", origin.to_string());
     schedule.set_meta("reason", reason.replace('\n', " "));
+    if let Some(digest) = terminal_digest {
+        schedule.set_meta("terminal-digest", format!("{digest:016x}"));
+    }
     ExploreFailure {
         schedule,
         reason,
@@ -822,7 +1246,7 @@ pub mod fixtures {
     use super::{ForkRun, ForkSystem};
     use crate::envelope::Envelope;
     use crate::runner::{LivelockError, Protocol, Runner};
-    use crate::scheduler::Scheduler;
+    use crate::scheduler::{Scheduler, StateDigest};
     use crate::{Context, NodeId};
 
     /// The step budget both fixtures run under before declaring a
@@ -904,6 +1328,16 @@ pub mod fixtures {
         fn on_message(&mut self, from: NodeId, _msg: Request, _ctx: &mut Context<'_, Request>) {
             if let RacyNode::Coordinator { granted } = self {
                 granted.get_or_insert(from);
+            }
+        }
+
+        fn digest_state(&self, d: &mut StateDigest) {
+            match self {
+                RacyNode::Coordinator { granted } => {
+                    d.mix(1);
+                    d.mix(granted.map_or(u64::MAX, |g| g.index() as u64));
+                }
+                RacyNode::Client => d.mix(2),
             }
         }
     }
@@ -1029,6 +1463,9 @@ pub mod fixtures {
             }
             Ok(stepped)
         }
+        fn state_digest(&self) -> Option<u64> {
+            Some(self.runner.state_digest())
+        }
         fn check(&mut self) -> Result<(), String> {
             if self.tolerant {
                 return Ok(());
@@ -1114,6 +1551,17 @@ pub mod fixtures {
                 _ => {}
             }
         }
+
+        fn digest_state(&self, d: &mut StateDigest) {
+            match self {
+                FragileNode::Hub { pongs, clients } => {
+                    d.mix(1);
+                    d.mix(*pongs as u64);
+                    d.mix(*clients as u64);
+                }
+                FragileNode::Client => d.mix(2),
+            }
+        }
     }
 
     /// Builds the fragile network: one hub plus `clients` clients, with
@@ -1169,6 +1617,9 @@ pub mod fixtures {
         }
         fn step(&mut self, sched: &mut dyn Scheduler) -> Result<bool, String> {
             fixture_step(&mut self.runner, &mut self.steps, sched)
+        }
+        fn state_digest(&self) -> Option<u64> {
+            Some(self.runner.state_digest())
         }
         fn check(&mut self) -> Result<(), String> {
             // A violation is only declared against a *complete* state —
@@ -1254,6 +1705,16 @@ pub mod fixtures {
                 *leader = true;
             }
         }
+
+        fn digest_state(&self, d: &mut StateDigest) {
+            match self {
+                EquivNode::Voter => d.mix(1),
+                EquivNode::Candidate { leader } => {
+                    d.mix(2);
+                    d.mix(u64::from(*leader));
+                }
+            }
+        }
     }
 
     /// Builds the equiv network: one voter plus `candidates` candidates,
@@ -1330,6 +1791,9 @@ pub mod fixtures {
         }
         fn step(&mut self, sched: &mut dyn Scheduler) -> Result<bool, String> {
             fixture_step(&mut self.runner, &mut self.steps, sched)
+        }
+        fn state_digest(&self) -> Option<u64> {
+            Some(self.runner.state_digest())
         }
         fn check(&mut self) -> Result<(), String> {
             // A violation is only declared against a *complete* state —
@@ -1730,8 +2194,14 @@ mod tests {
             },
         );
         format!(
-            "runs {} walks {} dfs {} failure {}",
-            report.runs, report.random_walks, report.dfs_runs, failure
+            "runs {} walks {} dfs {} stop {} sleep-pruned {} deduped {} failure {}",
+            report.runs,
+            report.random_walks,
+            report.dfs_runs,
+            report.stop,
+            report.sleep_pruned,
+            report.digest_deduped,
+            failure
         )
     }
 
@@ -1783,6 +2253,201 @@ mod tests {
             &fixtures::RacySystem::new(3),
         );
         assert_eq!(report_fingerprint(&scratch), report_fingerprint(&checked));
+    }
+
+    #[test]
+    fn reduced_search_still_finds_the_race_and_stamps_the_digest() {
+        let config = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 256,
+            dfs_depth: 5,
+            seed: 0,
+            reduce: ReduceMode::Sleep,
+            ..ExploreConfig::default()
+        };
+        let report = explore_fork(&config, &fixtures::RacySystem::new(3));
+        let failure = report.failure.expect("reduced dfs should find the race");
+        assert!(matches!(failure.origin, Origin::Dfs { .. }));
+        assert_eq!(report.stop, StopReason::Violation);
+        let digest = failure
+            .schedule
+            .meta("terminal-digest")
+            .expect("reduced failures carry the terminal digest");
+        assert_eq!(digest.len(), 16, "digest is 16 hex chars: {digest}");
+        // The stamped digest is the replayed run's actual terminal state.
+        let mut replay = ReplayScheduler::strict(&failure.schedule);
+        let mut runner = fixtures::racy_network(3);
+        runner.enqueue_wake_all(&mut replay);
+        while runner.step(&mut replay) {}
+        assert_eq!(format!("{:016x}", runner.state_digest()), digest);
+    }
+
+    #[test]
+    fn reduction_prunes_commuting_interleavings_without_losing_violations() {
+        // Tolerant fixture: no violation either way, so both searches run
+        // to completion and the run counts compare directly.
+        let base = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 4_000,
+            dfs_depth: 7,
+            seed: 0,
+            ..ExploreConfig::default()
+        };
+        let full = explore_fork(&base, &fixtures::RacySystem::tolerant(3));
+        let reduced = explore_fork(
+            &ExploreConfig {
+                reduce: ReduceMode::Sleep,
+                ..base.clone()
+            },
+            &fixtures::RacySystem::tolerant(3),
+        );
+        assert!(full.failure.is_none() && reduced.failure.is_none());
+        assert_eq!(full.stop, StopReason::FrontierExhausted, "{}", full.dfs_runs);
+        assert_eq!(reduced.stop, StopReason::FrontierExhausted);
+        assert!(
+            reduced.dfs_runs * 2 <= full.dfs_runs,
+            "reduction should at least halve the search: {} vs {}",
+            reduced.dfs_runs,
+            full.dfs_runs
+        );
+        assert!(reduced.sleep_pruned > 0, "sleep sets should fire");
+        assert_eq!(full.sleep_pruned, 0);
+        assert_eq!(full.digest_deduped, 0);
+
+        // And on the armed fixture the reduced search still finds the bug.
+        let armed = explore_fork(
+            &ExploreConfig {
+                reduce: ReduceMode::Sleep,
+                ..base
+            },
+            &fixtures::RacySystem::new(3),
+        );
+        assert!(armed.failure.is_some(), "reduction must not hide the race");
+    }
+
+    #[test]
+    fn stop_reason_distinguishes_budget_from_frontier() {
+        let base = ExploreConfig {
+            random_walks: 0,
+            dfs_depth: 5,
+            seed: 0,
+            ..ExploreConfig::default()
+        };
+        let starved = explore_fork(
+            &ExploreConfig {
+                dfs_budget: 3,
+                ..base.clone()
+            },
+            &fixtures::RacySystem::tolerant(3),
+        );
+        assert_eq!(starved.stop, StopReason::BudgetExhausted);
+        let done = explore_fork(
+            &ExploreConfig {
+                dfs_budget: 100_000,
+                ..base
+            },
+            &fixtures::RacySystem::tolerant(3),
+        );
+        assert_eq!(done.stop, StopReason::FrontierExhausted);
+        assert!(done.dfs_runs < 100_000);
+    }
+
+    #[test]
+    fn reduced_checkpointing_changes_nothing_and_verifies_against_scratch() {
+        let base = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 256,
+            dfs_depth: 6,
+            seed: 0,
+            reduce: ReduceMode::Sleep,
+            ..ExploreConfig::default()
+        };
+        let scratch = explore_fork(
+            &ExploreConfig {
+                checkpoint: false,
+                ..base.clone()
+            },
+            &fixtures::RacySystem::tolerant(3),
+        );
+        // verify_snapshots also re-runs every resumed run from scratch and
+        // panics on any divergence, including in the reduce-mode branch
+        // observations and terminal digests.
+        let checked = explore_fork(
+            &ExploreConfig {
+                verify_snapshots: true,
+                ..base
+            },
+            &fixtures::RacySystem::tolerant(3),
+        );
+        assert_eq!(report_fingerprint(&scratch), report_fingerprint(&checked));
+    }
+
+    #[test]
+    fn reduced_parallel_jobs_leave_the_report_byte_identical() {
+        for system in [fixtures::RacySystem::new(4), fixtures::RacySystem::tolerant(4)] {
+            let base = ExploreConfig {
+                random_walks: 8,
+                dfs_budget: 200,
+                dfs_depth: 6,
+                seed: 1,
+                reduce: ReduceMode::Sleep,
+                ..ExploreConfig::default()
+            };
+            let sequential = explore_fork(&base, &system);
+            for jobs in [2, 4, 8] {
+                let parallel = explore_fork(
+                    &ExploreConfig {
+                        jobs,
+                        ..base.clone()
+                    },
+                    &system,
+                );
+                assert_eq!(
+                    report_fingerprint(&sequential),
+                    report_fingerprint(&parallel),
+                    "jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_fault_search_still_finds_the_crash_fragile_bug() {
+        // With a fault plan the dedup arm is off and the fault layer
+        // widens footprints, but the reduced search must still reach the
+        // planted crash-dependent violation.
+        let config = ExploreConfig {
+            random_walks: 0,
+            dfs_budget: 512,
+            dfs_depth: 5,
+            seed: 0,
+            fault: Some(FaultPlan::new(1).with_crash(NodeId::new(0), 2, 2)),
+            reduce: ReduceMode::Sleep,
+            ..ExploreConfig::default()
+        };
+        let report = explore_fork(&config, &fixtures::FragileSystem::new(1));
+        let failure = report.failure.expect("crash search should silence the client");
+        assert!(failure.reason.contains("pongs"));
+        assert_eq!(report.digest_deduped, 0, "dedup is off under a fault plan");
+    }
+
+    #[test]
+    fn canonical_tail_drains_rounds_by_sort_key() {
+        // Beyond the branch window a reduced scheduler serves the round's
+        // events smallest-sort-key first (Wake(1) before Tick(0) — wakes
+        // order before ticks), and arrivals wait for the next round.
+        let mut s = DfsScheduler::reduced(vec![], 0);
+        s.note_tick(NodeId::new(0));
+        s.note_wake(NodeId::new(2));
+        s.note_wake(NodeId::new(1));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(1))));
+        // Mid-round arrival: joins the *next* round even though its key
+        // sorts before the tick.
+        s.note_wake(NodeId::new(0));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(2))));
+        assert_eq!(s.choose(), Some(Choice::Tick(NodeId::new(0))));
+        assert_eq!(s.choose(), Some(Choice::Wake(NodeId::new(0))));
+        assert_eq!(s.choose(), None);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::scheduler::{Choice, Scheduler, SendToken};
+use crate::scheduler::{Choice, Footprint, Scheduler, SendToken};
 use crate::NodeId;
 
 /// Per-link override of the global drop/duplicate probabilities.
@@ -552,6 +552,11 @@ pub struct FaultScheduler<S> {
     /// kept separate from the link-fault RNG so attaching a Byzantine plan
     /// never perturbs an existing fault plan's fates.
     byz_rng: StdRng,
+    /// Whether the last `choose` was answered by the fault layer itself
+    /// (timeline event or injected fault) rather than the inner scheduler —
+    /// such steps are position-pinned, so their footprints are reported as
+    /// dependent-with-everything.
+    served_fault: bool,
 }
 
 impl<S: Scheduler> FaultScheduler<S> {
@@ -577,6 +582,7 @@ impl<S: Scheduler> FaultScheduler<S> {
             byz_nodes: Vec::new(),
             churn: None,
             byz_rng: StdRng::seed_from_u64(0),
+            served_fault: false,
         }
     }
 
@@ -641,6 +647,27 @@ impl<S: Scheduler> FaultScheduler<S> {
         self.choice_index += 1;
         Some(choice)
     }
+
+    /// Whether this layer perturbs *sends* in an order-sensitive way: RNG
+    /// fates (drop/dup/silence draws advance a stream shared by all sends)
+    /// or partitions (a send's fate reads the global choice index). While
+    /// true, no two steps commute for the explorer's purposes, so every
+    /// footprint is reported as dependent-with-everything — reduction
+    /// degrades gracefully instead of pruning unsoundly. Pure-timeline
+    /// plans (crash/forge/churn at pinned indices) don't trip this: only
+    /// the event-served steps themselves are pinned.
+    fn perturbs_sends(&self) -> bool {
+        if let Some(plan) = &self.plan {
+            if plan.drop > 0.0
+                || plan.dup > 0.0
+                || plan.links.iter().any(|l| l.drop > 0.0 || l.dup > 0.0)
+                || !plan.partitions.is_empty()
+            {
+                return true;
+            }
+        }
+        self.byz.as_ref().is_some_and(|b| b.silence) && !self.byz_nodes.is_empty()
+    }
 }
 
 impl<S: Scheduler> Scheduler for FaultScheduler<S> {
@@ -690,6 +717,7 @@ impl<S: Scheduler> Scheduler for FaultScheduler<S> {
     fn choose(&mut self) -> Option<Choice> {
         // Due crash/restart events fire first, then queued link faults,
         // then the inner scheduler.
+        self.served_fault = true;
         if let Some(&(at, choice)) = self.events.front() {
             if at <= self.choice_index {
                 self.events.pop_front();
@@ -700,6 +728,7 @@ impl<S: Scheduler> Scheduler for FaultScheduler<S> {
             return self.bump(choice);
         }
         if let Some(choice) = self.inner.choose() {
+            self.served_fault = false;
             return self.bump(choice);
         }
         // Inner quiescence: flush not-yet-due events so every crash gets
@@ -712,6 +741,38 @@ impl<S: Scheduler> Scheduler for FaultScheduler<S> {
 
     fn pending(&self) -> usize {
         self.inner.pending() + self.injected.len() + self.events.len()
+    }
+
+    fn wants_footprints(&self) -> bool {
+        self.inner.wants_footprints()
+    }
+
+    fn note_footprint(&mut self, choice: Choice, footprint: &Footprint) {
+        // A step served by the fault layer is pinned to its choice index; a
+        // step under a send-perturbing plan couples with every other step
+        // through the RNG stream / partition clock. Either way the choice
+        // cannot be commuted, so its footprint widens to everything.
+        if self.served_fault || self.perturbs_sends() {
+            self.inner.note_footprint(choice, &Footprint::everything());
+        } else {
+            self.inner.note_footprint(choice, footprint);
+        }
+    }
+
+    fn wants_state_digest(&self) -> bool {
+        self.inner.wants_state_digest()
+    }
+
+    fn note_state_digest(&mut self, digest: u64) {
+        self.inner.note_state_digest(digest);
+    }
+
+    fn wants_terminal_digest(&self) -> bool {
+        self.inner.wants_terminal_digest()
+    }
+
+    fn note_terminal_digest(&mut self, digest: u64) {
+        self.inner.note_terminal_digest(digest);
     }
 }
 

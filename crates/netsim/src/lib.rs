@@ -100,6 +100,6 @@ pub use metrics::{ByzantineCounts, FaultCounts, KindCounts, Metrics};
 pub use record::{RecordingScheduler, ReplayScheduler, Schedule, ScheduleParseError};
 pub use runner::{LivelockError, Protocol, Runner};
 pub use scheduler::{
-    BoundedDelayScheduler, Choice, FifoScheduler, LifoScheduler, RandomScheduler, Scheduler,
-    SendToken,
+    BoundedDelayScheduler, Choice, FifoScheduler, Footprint, LifoScheduler, RandomScheduler,
+    Scheduler, SendToken, StateDigest,
 };

@@ -174,6 +174,49 @@ impl Metrics {
         entry.max_bits = entry.max_bits.max(bits);
     }
 
+    /// Mixes every counter into `d`. Metrics are part of the explorer's
+    /// canonical state digest because violation checks read them (budget
+    /// lemmas, fault-aware budgets): two branches only dedup as equivalent
+    /// if they agree on state *and* on everything the checks can observe.
+    pub(crate) fn digest_into(&self, d: &mut crate::scheduler::StateDigest) {
+        d.mix(self.id_bits);
+        d.mix(self.per_kind.len() as u64);
+        for (kind, counts) in &self.per_kind {
+            d.mix_bytes(kind.as_bytes());
+            d.mix(counts.messages);
+            d.mix(counts.bits);
+            d.mix(counts.max_bits);
+        }
+        d.mix(self.deliveries);
+        d.mix(self.wakeups);
+        d.mix(self.max_causal_depth);
+        d.mix(self.max_link_queue as u64);
+        let f = &self.faults;
+        for v in [
+            f.drops,
+            f.duplicates,
+            f.crashes,
+            f.restarts,
+            f.ticks,
+            f.crash_discards,
+        ] {
+            d.mix(v);
+        }
+        let b = &self.byzantine;
+        for v in [
+            b.forged,
+            b.forged_bits,
+            b.forge_noops,
+            b.silenced,
+            b.stale_restarts,
+            b.joins,
+            b.leaves,
+            b.leave_discards,
+        ] {
+            d.mix(v);
+        }
+    }
+
     pub(crate) fn record_delivery(&mut self, causal_depth: u64) {
         self.deliveries += 1;
         self.max_causal_depth = self.max_causal_depth.max(causal_depth);

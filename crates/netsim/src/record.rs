@@ -380,6 +380,7 @@ impl Error for ScheduleParseError {}
 pub struct RecordingScheduler<S> {
     inner: S,
     recorded: Vec<Choice>,
+    terminal_digest: Option<u64>,
 }
 
 impl<S> RecordingScheduler<S> {
@@ -388,12 +389,20 @@ impl<S> RecordingScheduler<S> {
         RecordingScheduler {
             inner,
             recorded: Vec::new(),
+            terminal_digest: None,
         }
     }
 
     /// The choices recorded so far, in execution order.
     pub fn recorded(&self) -> &[Choice] {
         &self.recorded
+    }
+
+    /// The canonical terminal-state digest of the recorded run, if it ran
+    /// to quiescence under a [`Runner`](crate::Runner) (reported via
+    /// [`Scheduler::note_terminal_digest`]).
+    pub fn terminal_digest(&self) -> Option<u64> {
+        self.terminal_digest
     }
 
     /// The wrapped scheduler.
@@ -438,6 +447,28 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
     }
     fn pending(&self) -> usize {
         self.inner.pending()
+    }
+    fn wants_footprints(&self) -> bool {
+        self.inner.wants_footprints()
+    }
+    fn note_footprint(&mut self, choice: Choice, footprint: &crate::Footprint) {
+        self.inner.note_footprint(choice, footprint);
+    }
+    fn wants_state_digest(&self) -> bool {
+        self.inner.wants_state_digest()
+    }
+    fn note_state_digest(&mut self, digest: u64) {
+        self.inner.note_state_digest(digest);
+    }
+    fn wants_terminal_digest(&self) -> bool {
+        // The recorder itself wants one (it rides into schedule meta and
+        // the digest-determinism tests), on top of whatever the inner
+        // scheduler asks for.
+        true
+    }
+    fn note_terminal_digest(&mut self, digest: u64) {
+        self.terminal_digest = Some(digest);
+        self.inner.note_terminal_digest(digest);
     }
 }
 

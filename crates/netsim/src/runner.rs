@@ -4,7 +4,7 @@ use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::envelope::Envelope;
-use crate::scheduler::{Choice, Scheduler, SendToken};
+use crate::scheduler::{Choice, Footprint, Scheduler, SendToken, StateDigest};
 use crate::intset::IntervalSet;
 use crate::table::{Knowledge, NodeTable};
 use crate::trace::{Trace, TraceEvent};
@@ -176,6 +176,20 @@ pub trait Protocol {
     fn on_stale_restart(&mut self, ctx: &mut Context<'_, Self::Message>) {
         self.on_restart(ctx);
     }
+
+    /// Mixes the node's protocol state into the runner's canonical state
+    /// digest ([`Runner::state_digest`]), which the explorer's reduced mode
+    /// uses to dedup converged branches and validate independence.
+    ///
+    /// The default mixes nothing. That is fine for protocols never searched
+    /// with `--reduce` (the engine-level state — knowledge, flags, queues —
+    /// is always digested), but a protocol explored under reduction should
+    /// mix every field that can influence its future behaviour or its
+    /// violation checks, or branches differing only in that field would
+    /// wrongly dedup as equivalent.
+    fn digest_state(&self, d: &mut StateDigest) {
+        let _ = d;
+    }
 }
 
 /// Error returned by [`Runner::run`] when the step budget is exhausted
@@ -243,6 +257,12 @@ pub struct Runner<P: Protocol> {
     /// knowledge absorbs them as a single merge, see
     /// [`Knowledge::absorb_scratch`]).
     scratch: IntervalSet,
+    /// Scratch footprint for the step being executed; populated by the
+    /// mutation sites (link pops/pushes) only while `fp_on` is set.
+    fp: Footprint,
+    /// Whether the current step records its footprint (the scheduler asked
+    /// via [`Scheduler::wants_footprints`]).
+    fp_on: bool,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -314,6 +334,8 @@ impl<P: Protocol> Runner<P> {
             trace: None,
             outbox: Vec::new(),
             scratch: IntervalSet::new(),
+            fp: Footprint::new(),
+            fp_on: false,
         }
     }
 
@@ -550,6 +572,9 @@ impl<P: Protocol> Runner<P> {
                 kind: msg.kind(),
             };
             self.seq += 1;
+            if self.fp_on {
+                self.fp.touch_link(link_key(src, dst));
+            }
             let slot = self.intern_link_slot(src, dst);
             let queue = &mut self.links[slot as usize];
             queue.push_back((msg, depth));
@@ -597,6 +622,9 @@ impl<P: Protocol> Runner<P> {
         let slot = self
             .existing_link_slot(src, dst)
             .unwrap_or_else(|| panic!("scheduler bug: no pending messages on {src} → {dst}"));
+        if self.fp_on {
+            self.fp.touch_link(link_key(src, dst));
+        }
         self.links[slot as usize]
             .pop_front()
             .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"))
@@ -609,26 +637,65 @@ impl<P: Protocol> Runner<P> {
     /// Panics if the scheduler returns a [`Choice`] with no matching pending
     /// event (a scheduler bug).
     pub fn step(&mut self, sched: &mut dyn Scheduler) -> bool {
-        match sched.choose() {
-            None => false,
-            Some(Choice::Wake(node)) => {
+        if sched.wants_state_digest() {
+            let digest = self.state_digest();
+            sched.note_state_digest(digest);
+        }
+        let Some(choice) = sched.choose() else {
+            return false;
+        };
+        let track = sched.wants_footprints();
+        if track {
+            self.fp.clear();
+            self.fp_on = true;
+            // The only node whose state a step can touch is the stepped /
+            // targeted one (dispatch never reaches into other nodes); link
+            // mutations are recorded at the pop/push sites.
+            match choice {
+                Choice::Wake(n)
+                | Choice::Crash(n)
+                | Choice::Restart(n)
+                | Choice::Tick(n)
+                | Choice::StaleRestart(n)
+                | Choice::Join(n)
+                | Choice::Leave(n) => self.fp.touch_node(n),
+                Choice::Deliver { dst, .. } => self.fp.touch_node(dst),
+                Choice::Drop { .. }
+                | Choice::Duplicate { .. }
+                | Choice::Silence { .. }
+                | Choice::Forge { .. } => {}
+            }
+        }
+        self.execute(choice, sched);
+        if track {
+            self.fp_on = false;
+            let fp = std::mem::take(&mut self.fp);
+            sched.note_footprint(choice, &fp);
+            self.fp = fp;
+        }
+        true
+    }
+
+    /// Executes one already-chosen event.
+    fn execute(&mut self, choice: Choice, sched: &mut dyn Scheduler) {
+        match choice {
+            Choice::Wake(node) => {
                 self.steps += 1;
                 if self.table.left(node.index()) {
                     self.table.set_wake_enqueued(node.index(), false);
                     self.metrics.record_leave_discard();
-                    return true;
+                    return;
                 }
                 if self.table.crashed(node.index()) {
                     // A crashed node loses its pending wake-up; Restart
                     // re-enqueues one so the node is not stranded asleep.
                     self.table.set_wake_enqueued(node.index(), false);
                     self.metrics.record_crash_discard();
-                    return true;
+                    return;
                 }
                 self.wake_inner(node, 0, sched);
-                true
             }
-            Some(Choice::Deliver { src, dst }) => {
+            Choice::Deliver { src, dst } => {
                 self.steps += 1;
                 let (msg, depth) = self.pop_link(src, dst);
                 if self.table.left(dst.index()) || self.table.crashed(dst.index()) {
@@ -647,7 +714,7 @@ impl<P: Protocol> Runner<P> {
                             step: self.steps,
                         });
                     }
-                    return true;
+                    return;
                 }
                 self.metrics.record_delivery(depth);
                 if let Some(trace) = &mut self.trace {
@@ -686,9 +753,8 @@ impl<P: Protocol> Runner<P> {
                 self.dispatch(dst, depth + 1, sched, |node, ctx| {
                     node.on_message(src, msg, ctx);
                 });
-                true
             }
-            Some(Choice::Drop { src, dst }) => {
+            Choice::Drop { src, dst } => {
                 self.steps += 1;
                 let (msg, _depth) = self.pop_link(src, dst);
                 self.metrics.record_drop();
@@ -700,10 +766,12 @@ impl<P: Protocol> Runner<P> {
                         step: self.steps,
                     });
                 }
-                true
             }
-            Some(Choice::Duplicate { src, dst }) => {
+            Choice::Duplicate { src, dst } => {
                 self.steps += 1;
+                if self.fp_on {
+                    self.fp.touch_link(link_key(src, dst));
+                }
                 let slot = self.existing_link_slot(src, dst).unwrap_or_else(|| {
                     panic!("scheduler bug: no pending messages on {src} → {dst}")
                 });
@@ -735,9 +803,8 @@ impl<P: Protocol> Runner<P> {
                 };
                 self.seq += 1;
                 sched.note_send(token);
-                true
             }
-            Some(Choice::Crash(node)) => {
+            Choice::Crash(node) => {
                 self.steps += 1;
                 self.table.set_crashed(node.index(), true);
                 self.metrics.record_crash();
@@ -747,15 +814,14 @@ impl<P: Protocol> Runner<P> {
                         step: self.steps,
                     });
                 }
-                true
             }
-            Some(Choice::Restart(node)) => {
+            Choice::Restart(node) => {
                 self.steps += 1;
                 let i = node.index();
                 if self.table.left(i) {
                     // A departed node never comes back.
                     self.metrics.record_leave_discard();
-                    return true;
+                    return;
                 }
                 self.table.set_crashed(i, false);
                 self.metrics.record_restart();
@@ -773,18 +839,17 @@ impl<P: Protocol> Runner<P> {
                     self.table.set_wake_enqueued(i, true);
                     sched.note_wake(node);
                 }
-                true
             }
-            Some(Choice::Tick(node)) => {
+            Choice::Tick(node) => {
                 self.steps += 1;
                 if self.table.left(node.index()) {
                     self.metrics.record_leave_discard();
-                    return true;
+                    return;
                 }
                 if self.table.crashed(node.index()) || !self.table.awake(node.index()) {
                     // A tick armed before the crash fires into the void.
                     self.metrics.record_crash_discard();
-                    return true;
+                    return;
                 }
                 self.metrics.record_tick();
                 if let Some(trace) = &mut self.trace {
@@ -794,15 +859,14 @@ impl<P: Protocol> Runner<P> {
                     });
                 }
                 self.dispatch(node, 1, sched, |n, ctx| n.on_tick(ctx));
-                true
             }
-            Some(Choice::Forge { src, dst, salt }) => {
+            Choice::Forge { src, dst, salt } => {
                 self.steps += 1;
                 let Some(msg) = P::Message::forge(src, dst, salt) else {
                     // The protocol has no forgery for this salt: the choice
                     // is a counted no-op so schedules stay replayable.
                     self.metrics.record_forge_noop();
-                    return true;
+                    return;
                 };
                 // A forged send bypasses the outbox (and thus the honest
                 // knowledge-violation assert in `flush`): a Byzantine node
@@ -829,14 +893,16 @@ impl<P: Protocol> Runner<P> {
                     kind,
                 };
                 self.seq += 1;
+                if self.fp_on {
+                    self.fp.touch_link(link_key(src, dst));
+                }
                 let slot = self.intern_link_slot(src, dst);
                 let queue = &mut self.links[slot as usize];
                 queue.push_back((msg, 0));
                 self.metrics.observe_link_queue(queue.len());
                 sched.note_send(token);
-                true
             }
-            Some(Choice::Silence { src, dst }) => {
+            Choice::Silence { src, dst } => {
                 self.steps += 1;
                 let (msg, _depth) = self.pop_link(src, dst);
                 self.metrics.record_silence();
@@ -848,14 +914,13 @@ impl<P: Protocol> Runner<P> {
                         step: self.steps,
                     });
                 }
-                true
             }
-            Some(Choice::StaleRestart(node)) => {
+            Choice::StaleRestart(node) => {
                 self.steps += 1;
                 let i = node.index();
                 if self.table.left(i) {
                     self.metrics.record_leave_discard();
-                    return true;
+                    return;
                 }
                 self.table.set_crashed(i, false);
                 self.metrics.record_stale_restart();
@@ -871,18 +936,17 @@ impl<P: Protocol> Runner<P> {
                     self.table.set_wake_enqueued(i, true);
                     sched.note_wake(node);
                 }
-                true
             }
-            Some(Choice::Join(node)) => {
+            Choice::Join(node) => {
                 self.steps += 1;
                 let i = node.index();
                 if self.table.left(i) {
                     self.metrics.record_leave_discard();
-                    return true;
+                    return;
                 }
                 if self.table.crashed(i) {
                     self.metrics.record_crash_discard();
-                    return true;
+                    return;
                 }
                 self.metrics.record_join();
                 if let Some(trace) = &mut self.trace {
@@ -897,9 +961,8 @@ impl<P: Protocol> Runner<P> {
                 // initial wake-up the churn plan withheld. No-op if the
                 // node already woke (e.g. via an incoming message).
                 self.wake_inner(node, 0, sched);
-                true
             }
-            Some(Choice::Leave(node)) => {
+            Choice::Leave(node) => {
                 self.steps += 1;
                 self.table.set_left(node.index(), true);
                 self.metrics.record_leave();
@@ -909,7 +972,6 @@ impl<P: Protocol> Runner<P> {
                         step: self.steps,
                     });
                 }
-                true
             }
         }
     }
@@ -923,17 +985,84 @@ impl<P: Protocol> Runner<P> {
         let mut steps = 0;
         while steps < max_steps {
             if !self.step(sched) {
+                self.report_terminal(sched);
                 return Ok(steps);
             }
             steps += 1;
         }
         if sched.pending() == 0 {
+            self.report_terminal(sched);
             return Ok(steps);
         }
         Err(LivelockError {
             steps,
             pending: sched.pending(),
         })
+    }
+
+    /// Hands the terminal-state digest to a scheduler that asked for one.
+    fn report_terminal(&self, sched: &mut dyn Scheduler) {
+        if sched.wants_terminal_digest() {
+            let digest = self.state_digest();
+            sched.note_terminal_digest(digest);
+        }
+    }
+
+    /// Canonical digest of the complete observable simulation state: per
+    /// node its liveness flags, knowledge membership and protocol state
+    /// (via [`Protocol::digest_state`]); every non-empty link queue with
+    /// its in-flight messages, iterated in `(src, dst)` key order so the
+    /// digest is independent of slot-interning history; and the metrics
+    /// (violation checks read them, so branch dedup must honour them).
+    ///
+    /// Excluded on purpose: the step counter and trace (observational),
+    /// and link-queue *capacity* or slot layout (execution-history
+    /// artifacts with no behavioural effect).
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(self.nodes.len() as u64);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let flags = u64::from(self.table.awake(i))
+                | u64::from(self.table.wake_enqueued(i)) << 1
+                | u64::from(self.table.crashed(i)) << 2
+                | u64::from(self.table.left(i)) << 3;
+            d.mix(flags);
+            self.table.knowledge[i].digest_into(&mut d);
+            node.digest_state(&mut d);
+        }
+        // Non-empty queues in canonical key order: a drained link must hash
+        // like a never-interned one (whether a slot exists is history, not
+        // state).
+        let mut keyed: Vec<(u64, u32)> = Vec::new();
+        for i in 0..self.csr.offsets.len().saturating_sub(1) {
+            let lo = self.csr.offsets[i] as usize;
+            let hi = self.csr.offsets[i + 1] as usize;
+            for p in lo..hi {
+                let slot = self.csr.slots[p];
+                if slot != u32::MAX && !self.links[slot as usize].is_empty() {
+                    keyed.push((((i as u64) << 32) | u64::from(self.csr.targets[p]), slot));
+                }
+            }
+        }
+        for (&key, &slot) in &self.link_slots {
+            if !self.links[slot as usize].is_empty() {
+                keyed.push((key, slot));
+            }
+        }
+        keyed.sort_unstable_by_key(|&(key, _)| key);
+        d.mix(keyed.len() as u64);
+        for (key, slot) in keyed {
+            d.mix(key);
+            let queue = &self.links[slot as usize];
+            d.mix(queue.len() as u64);
+            for (msg, depth) in queue {
+                msg.digest(&mut d);
+                d.mix(*depth);
+            }
+        }
+        self.metrics.digest_into(&mut d);
+        d.mix(self.seq);
+        d.finish()
     }
 
     /// Whether all link queues are empty (no in-flight messages).

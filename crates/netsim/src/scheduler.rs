@@ -97,6 +97,240 @@ pub enum Choice {
     Leave(NodeId),
 }
 
+impl Choice {
+    /// A total order over choices that depends only on the choice itself
+    /// (never on arrival order): variant tag, then node ids, then salt.
+    ///
+    /// The explorer's reduced mode drains the tail beyond the decision
+    /// window in this canonical order so that two schedules reaching the
+    /// same intermediate state (with the same pending multiset) finish
+    /// identically — a prerequisite for sound sleep-set pruning on
+    /// terminal-state checks.
+    pub fn sort_key(&self) -> (u8, u32, u32, u32) {
+        let n = |id: NodeId| u32::try_from(id.index()).expect("node id fits u32");
+        match *self {
+            Choice::Wake(a) => (0, n(a), 0, 0),
+            Choice::Deliver { src, dst } => (1, n(src), n(dst), 0),
+            Choice::Drop { src, dst } => (2, n(src), n(dst), 0),
+            Choice::Duplicate { src, dst } => (3, n(src), n(dst), 0),
+            Choice::Crash(a) => (4, n(a), 0, 0),
+            Choice::Restart(a) => (5, n(a), 0, 0),
+            Choice::Tick(a) => (6, n(a), 0, 0),
+            Choice::Forge { src, dst, salt } => (7, n(src), n(dst), salt),
+            Choice::Silence { src, dst } => (8, n(src), n(dst), 0),
+            Choice::StaleRestart(a) => (9, n(a), 0, 0),
+            Choice::Join(a) => (10, n(a), 0, 0),
+            Choice::Leave(a) => (11, n(a), 0, 0),
+        }
+    }
+}
+
+/// The state a single executed choice read or wrote, recorded by the
+/// runner: node states (protocol state, knowledge set, liveness flags) and
+/// link queues. Two choices whose footprints are disjoint commute — running
+/// them in either order reaches the same state — which is the independence
+/// relation driving the explorer's partial-order reduction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Node states touched (read or written).
+    pub nodes: Vec<u32>,
+    /// Link queues mutated, as runner link keys (`src << 32 | dst`).
+    pub links: Vec<u64>,
+    /// `Some(n)` marks a *may* wildcard: the step may push onto any
+    /// out-link of node `n`. Exact capture resolves these into `links`;
+    /// the wildcard form is used when predicting a not-yet-executed
+    /// choice's footprint without topology access.
+    pub sends_from: Option<u32>,
+    /// Dependent with everything. Set for choices served or perturbed by a
+    /// stateful fault/Byzantine/churn layer (RNG draws, position-pinned
+    /// timeline events, step-indexed partitions): their effect depends on
+    /// the global choice index, so they commute with nothing.
+    pub global: bool,
+}
+
+impl Footprint {
+    /// An empty footprint (conflicts with nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A footprint dependent with everything.
+    pub fn everything() -> Self {
+        Footprint {
+            global: true,
+            ..Self::default()
+        }
+    }
+
+    /// The *may* footprint of a not-yet-executed choice: everything the
+    /// choice could possibly touch, derived from the choice alone (no
+    /// topology). Sound over-approximation of the exact footprint the
+    /// runner records on execution.
+    pub fn may(choice: Choice) -> Self {
+        let n = |id: NodeId| u32::try_from(id.index()).expect("node id fits u32");
+        let key = |src: NodeId, dst: NodeId| ((n(src) as u64) << 32) | n(dst) as u64;
+        let mut fp = Footprint::new();
+        match choice {
+            Choice::Wake(a)
+            | Choice::Tick(a)
+            | Choice::Restart(a)
+            | Choice::StaleRestart(a)
+            | Choice::Join(a) => {
+                // Steps the node, which may send on any of its out-links.
+                fp.nodes.push(n(a));
+                fp.sends_from = Some(n(a));
+            }
+            Choice::Crash(a) | Choice::Leave(a) => {
+                // Touches liveness flags only: in-flight traffic toward the
+                // node is discarded lazily by the delivery attempt, which
+                // names its dst in `nodes`, so the conflict is still seen.
+                fp.nodes.push(n(a));
+            }
+            Choice::Deliver { src, dst } => {
+                fp.nodes.push(n(dst));
+                fp.links.push(key(src, dst));
+                fp.sends_from = Some(n(dst));
+            }
+            Choice::Drop { src, dst }
+            | Choice::Duplicate { src, dst }
+            | Choice::Silence { src, dst } => {
+                fp.links.push(key(src, dst));
+            }
+            Choice::Forge { src, dst, .. } => {
+                fp.links.push(key(src, dst));
+            }
+        }
+        fp
+    }
+
+    /// Clears the footprint for reuse without releasing its buffers.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.links.clear();
+        self.sends_from = None;
+        self.global = false;
+    }
+
+    /// Records a touched node state.
+    pub fn touch_node(&mut self, node: NodeId) {
+        let n = u32::try_from(node.index()).expect("node id fits u32");
+        if !self.nodes.contains(&n) {
+            self.nodes.push(n);
+        }
+    }
+
+    /// Records a mutated link queue by runner link key.
+    pub fn touch_link(&mut self, key: u64) {
+        if !self.links.contains(&key) {
+            self.links.push(key);
+        }
+    }
+
+    /// Unions `other` into `self`, so the merged footprint conflicts with
+    /// everything either part conflicts with. Merging two distinct
+    /// `sends_from` wildcards has no exact representation and degrades to
+    /// [`everything`](Footprint::everything) — conservative, and in
+    /// practice unreachable: the explorer merges one scheduler-decided
+    /// step (at most one wildcard) with fault-layer steps that are already
+    /// global.
+    pub fn merge(&mut self, other: &Footprint) {
+        if other.global {
+            self.global = true;
+        }
+        if self.global {
+            return;
+        }
+        for &n in &other.nodes {
+            if !self.nodes.contains(&n) {
+                self.nodes.push(n);
+            }
+        }
+        for &l in &other.links {
+            self.touch_link(l);
+        }
+        match (self.sends_from, other.sends_from) {
+            (_, None) => {}
+            (None, from) => self.sends_from = from,
+            (Some(a), Some(b)) if a == b => {}
+            (Some(_), Some(_)) => self.global = true,
+        }
+    }
+
+    /// Whether the two footprints are *dependent*: executing the two steps
+    /// in the other order could read or write different state. Disjoint
+    /// (non-conflicting) footprints commute.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        if self.global || other.global {
+            return true;
+        }
+        if self.nodes.iter().any(|n| other.nodes.contains(n)) {
+            return true;
+        }
+        if self.links.iter().any(|l| other.links.contains(l)) {
+            return true;
+        }
+        let src_of = |l: u64| (l >> 32) as u32;
+        if let Some(n) = self.sends_from {
+            if other.sends_from == Some(n) || other.links.iter().any(|&l| src_of(l) == n) {
+                return true;
+            }
+        }
+        if let Some(n) = other.sends_from {
+            if self.links.iter().any(|&l| src_of(l) == n) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Incremental 64-bit state digest: an FNV-1a seed with a splitmix64
+/// finalizer per word, giving order-sensitive, well-mixed hashes that are
+/// stable across platforms and job counts (no `RandomState`).
+#[derive(Clone, Copy, Debug)]
+pub struct StateDigest {
+    h: u64,
+}
+
+impl Default for StateDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateDigest {
+    /// Creates a fresh digest.
+    pub fn new() -> Self {
+        StateDigest {
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Mixes one word into the digest (order-sensitive).
+    pub fn mix(&mut self, v: u64) {
+        let mut z = self.h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.h = z ^ (z >> 31);
+    }
+
+    /// Mixes a byte string (length-prefixed, so concatenations can't
+    /// collide).
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        self.mix(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The digest value accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
 /// Message-delay and wake-up-order policy: the "adversary" of the
 /// asynchronous model.
 ///
@@ -124,6 +358,44 @@ pub trait Scheduler {
     fn choose(&mut self) -> Option<Choice>;
     /// Number of pending tokens (wake-ups plus messages).
     fn pending(&self) -> usize;
+
+    /// Whether the runner should record an exact [`Footprint`] for each
+    /// executed choice and report it via
+    /// [`note_footprint`](Scheduler::note_footprint). Defaults to `false`;
+    /// the runner skips all footprint bookkeeping when nobody listens.
+    fn wants_footprints(&self) -> bool {
+        false
+    }
+
+    /// Observes the exact footprint of the choice the runner just executed
+    /// (only called when [`wants_footprints`](Scheduler::wants_footprints)
+    /// returned `true` before the step).
+    fn note_footprint(&mut self, _choice: Choice, _footprint: &Footprint) {}
+
+    /// Whether the runner should compute a canonical state digest *before*
+    /// the next [`choose`](Scheduler::choose) and report it via
+    /// [`note_state_digest`](Scheduler::note_state_digest). Queried every
+    /// step, so implementations can switch it off once past the region
+    /// they care about (digests cost a full state walk).
+    fn wants_state_digest(&self) -> bool {
+        false
+    }
+
+    /// Observes the canonical digest of the current runner state, taken
+    /// just before the upcoming [`choose`](Scheduler::choose).
+    fn note_state_digest(&mut self, _digest: u64) {}
+
+    /// Whether the runner should digest the terminal state when a run
+    /// completes (one full state walk — too expensive to do unasked on
+    /// million-node runs). Defaults to `false`.
+    fn wants_terminal_digest(&self) -> bool {
+        false
+    }
+
+    /// Observes the canonical digest of the terminal (quiescent) runner
+    /// state, reported once when a run completes without livelock (only
+    /// when [`wants_terminal_digest`](Scheduler::wants_terminal_digest)).
+    fn note_terminal_digest(&mut self, _digest: u64) {}
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
@@ -142,6 +414,24 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn pending(&self) -> usize {
         (**self).pending()
     }
+    fn wants_footprints(&self) -> bool {
+        (**self).wants_footprints()
+    }
+    fn note_footprint(&mut self, choice: Choice, footprint: &Footprint) {
+        (**self).note_footprint(choice, footprint);
+    }
+    fn wants_state_digest(&self) -> bool {
+        (**self).wants_state_digest()
+    }
+    fn note_state_digest(&mut self, digest: u64) {
+        (**self).note_state_digest(digest);
+    }
+    fn wants_terminal_digest(&self) -> bool {
+        (**self).wants_terminal_digest()
+    }
+    fn note_terminal_digest(&mut self, digest: u64) {
+        (**self).note_terminal_digest(digest);
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -159,6 +449,24 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn pending(&self) -> usize {
         (**self).pending()
+    }
+    fn wants_footprints(&self) -> bool {
+        (**self).wants_footprints()
+    }
+    fn note_footprint(&mut self, choice: Choice, footprint: &Footprint) {
+        (**self).note_footprint(choice, footprint);
+    }
+    fn wants_state_digest(&self) -> bool {
+        (**self).wants_state_digest()
+    }
+    fn note_state_digest(&mut self, digest: u64) {
+        (**self).note_state_digest(digest);
+    }
+    fn wants_terminal_digest(&self) -> bool {
+        (**self).wants_terminal_digest()
+    }
+    fn note_terminal_digest(&mut self, digest: u64) {
+        (**self).note_terminal_digest(digest);
     }
 }
 

@@ -90,17 +90,18 @@ where
 {
     let jobs = jobs.max(1);
     // Runs a candidate leniently; on failure returns the re-recorded
-    // (normalized) sequence plus the failure reason.
-    let try_choices = |choices: &[Choice]| -> Option<(Vec<Choice>, String)> {
+    // (normalized) sequence, the failure reason and the terminal-state
+    // digest of the candidate run (when the system reports one).
+    let try_choices = |choices: &[Choice]| -> Option<(Vec<Choice>, String, Option<u64>)> {
         let mut run_one = factory();
         let mut sched = RecordingScheduler::new(ReplayScheduler::lenient(choices));
         let result = run_one(&mut sched);
         let reason = result.err()?;
-        Some((sched.recorded().to_vec(), reason))
+        Some((sched.recorded().to_vec(), reason, sched.terminal_digest()))
     };
 
     let mut attempts: u64 = 1; // the initial validation below
-    let (mut best, mut reason) = try_choices(schedule.choices())
+    let (mut best, mut reason, mut digest) = try_choices(schedule.choices())
         .expect("shrink: input schedule does not fail under run_one");
     let original_len = schedule.len();
 
@@ -136,9 +137,10 @@ where
             for (s, outcome) in starts.into_iter().zip(outcomes) {
                 attempts += 1;
                 match outcome {
-                    Some((normalized, r)) if normalized.len() < best.len() => {
+                    Some((normalized, r, d)) if normalized.len() < best.len() => {
                         best = normalized;
                         reason = r;
+                        digest = d;
                         shrunk_this_pass = true;
                         // Re-test the same position: the slice shifted left.
                         start = s;
@@ -164,6 +166,16 @@ where
         out.set_meta(k, v);
     }
     out.set_meta("shrunk-from", original_len.to_string());
+    // A `terminal-digest` on the input (reduction-mode explorations stamp
+    // one) describes the *unminimized* run; refresh it to the minimized
+    // run's digest so the corpus entry stays truthful. Schedules without
+    // the meta never gain one here — default-mode outputs stay
+    // byte-identical.
+    if schedule.meta("terminal-digest").is_some() {
+        if let Some(digest) = digest {
+            out.set_meta("terminal-digest", format!("{digest:016x}"));
+        }
+    }
     ShrinkResult {
         schedule: out,
         reason,
@@ -262,6 +274,32 @@ mod tests {
             assert_eq!(parallel.reason, sequential.reason, "jobs={jobs}");
             assert_eq!(parallel.attempts, sequential.attempts, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn shrink_refreshes_the_terminal_digest_of_reduced_finds() {
+        use crate::explore::{explore_fork, ReduceMode};
+        let config = ExploreConfig {
+            reduce: ReduceMode::Sleep,
+            ..ExploreConfig::default()
+        };
+        let report = explore_fork(&config, &fixtures::RacySystem::new(3));
+        let schedule = report.failure.expect("reduced explorer finds the race").schedule;
+        assert!(schedule.meta("terminal-digest").is_some());
+        let result = shrink(&schedule, || {
+            |sched: &mut dyn Scheduler| fixtures::run_racy(3, sched)
+        });
+        let stamped = result
+            .schedule
+            .meta("terminal-digest")
+            .expect("shrink refreshes the digest")
+            .to_string();
+        // Strict replay of the minimized schedule lands in exactly the
+        // state the stamp describes.
+        let mut replay = RecordingScheduler::new(ReplayScheduler::strict(&result.schedule));
+        let _ = fixtures::run_racy(3, &mut replay);
+        let replayed = replay.terminal_digest().expect("replay reports a digest");
+        assert_eq!(stamped, format!("{replayed:016x}"));
     }
 
     #[test]

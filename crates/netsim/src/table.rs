@@ -181,6 +181,37 @@ impl Knowledge {
         }
     }
 
+    /// Mixes the set's *membership* into `d`, independent of insertion
+    /// order and internal layout: dense sets digest their sorted members,
+    /// run-coded sets digest their merged runs (flushing a clone of the
+    /// overflow buffer first, so a buffered id and a merged id hash alike).
+    pub(crate) fn digest_into(&self, d: &mut crate::scheduler::StateDigest) {
+        match self {
+            Knowledge::Dense(s) => {
+                d.mix(s.len() as u64);
+                for i in s.iter() {
+                    d.mix(i as u64);
+                }
+            }
+            Knowledge::Runs(s) => {
+                let canonical;
+                let set = if s.pending.is_empty() {
+                    &s.set
+                } else {
+                    let mut merged = s.clone();
+                    merged.flush();
+                    canonical = merged.set;
+                    &canonical
+                };
+                d.mix(set.runs().len() as u64);
+                for &(lo, hi) in set.runs() {
+                    d.mix(u64::from(lo));
+                    d.mix(u64::from(hi));
+                }
+            }
+        }
+    }
+
     /// Absorbs one delivery's worth of ids — the sender plus every carried
     /// id, staged in `scratch` by the caller via [`IntervalSet::push`].
     ///

@@ -16,7 +16,11 @@
 # shrink the planted equivocation bug under a one-traitor plan, and a
 # seeded traitor + churn run must match its pinned guarantee-survival
 # report in scripts/byzantine-smoke.snapshot (regenerate with
-# --regen-byzantine). See docs/testing.md for the tiers.
+# --regen-byzantine), then a DPOR smoke: the sleep-set-reduced DFS
+# (--reduce) must find the same planted violations the unreduced DFS
+# finds on the racy and equivocation fixtures, and its output must match
+# the pinned snapshot scripts/dpor-smoke.snapshot (regenerate with
+# --regen-dpor). See docs/testing.md for the tiers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -121,6 +125,59 @@ if ! diff -u "$byz_snapshot" <(printf '%s\n' "$byz_actual"); then
     exit 1
 fi
 
+# DPOR smoke: a pure-DFS search (--walks 0) under sleep-set reduction
+# must find the planted race and the planted equivocation, report
+# non-trivial pruning on the racy fixture, and print the very same
+# violation line the unreduced DFS prints — reduction prunes redundant
+# interleavings, never the witnesses. The reduced output is fully seeded,
+# so it is byte-compared against the pinned snapshot.
+dpor_out=/tmp/ard-verify-dpor.schedule
+dpor_racy=(cargo run --offline --release -p ard-cli --bin ard -- \
+    explore --system racy:3 --budget 64 --walks 0 --depth 7 --seed 0 \
+    --stats --out "$dpor_out")
+dpor_equiv=(cargo run --offline --release -p ard-cli --bin ard -- \
+    explore --system equiv:3 --byzantine f=1,seed=3,class=equivocate \
+    --budget 64 --walks 0 --depth 4 --seed 0 --stats --out "$dpor_out")
+dpor_reduced() {
+    echo "=== dpor explore racy:3 (reduced) ==="
+    "${dpor_racy[@]}" --reduce
+    echo "=== dpor explore equiv:3 (reduced) ==="
+    "${dpor_equiv[@]}" --reduce
+}
+dpor_snapshot=scripts/dpor-smoke.snapshot
+if [[ "${1:-}" == "--regen-dpor" ]]; then
+    dpor_reduced > "$dpor_snapshot"
+    rm -f "$dpor_out"
+    echo "verify: regenerated $dpor_snapshot — review the diff"
+    exit 0
+fi
+dpor_actual="$(dpor_reduced)"
+if ! grep -Eq "reduction : mode=sleep, sleep-pruned=[1-9]" <<<"$dpor_actual"; then
+    echo "verify: dpor smoke pruned nothing on the racy fixture:" >&2
+    printf '%s\n' "$dpor_actual" >&2
+    exit 1
+fi
+for full in "$("${dpor_racy[@]}")" "$("${dpor_equiv[@]}")"; do
+    line="$(grep '^violation :' <<<"$full" || true)"
+    if [[ -z "$line" ]]; then
+        echo "verify: an unreduced dpor-smoke run found no violation:" >&2
+        printf '%s\n' "$full" >&2
+        exit 1
+    fi
+    if ! grep -qF "$line" <<<"$dpor_actual"; then
+        echo "verify: reduced search missed the violation the full search found:" >&2
+        printf 'full:    %s\n' "$line" >&2
+        printf 'reduced output:\n%s\n' "$dpor_actual" >&2
+        exit 1
+    fi
+done
+rm -f "$dpor_out"
+if ! diff -u "$dpor_snapshot" <(printf '%s\n' "$dpor_actual"); then
+    echo "verify: dpor smoke diverged from the pinned snapshot" >&2
+    echo "verify: if intentional, regenerate with scripts/verify.sh --regen-dpor" >&2
+    exit 1
+fi
+
 # Large-n smoke: a 10⁵-node discovery must complete inside a capped step
 # budget, and the sharded engine must produce byte-identical output.
 bign=(cargo run --offline --release -p ard-cli --bin ard -- \
@@ -139,4 +196,4 @@ if ! grep -q "requirements: satisfied" <<<"$big_seq"; then
     exit 1
 fi
 
-echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, byzantine smoke found+shrunk and matches snapshot, n=100000 sharded smoke byte-identical)"
+echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, byzantine smoke found+shrunk and matches snapshot, dpor smoke reduced=full and matches snapshot, n=100000 sharded smoke byte-identical)"

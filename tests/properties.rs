@@ -5,9 +5,10 @@ use proptest::prelude::*;
 
 use asynchronous_resource_discovery::core::{budgets, Discovery, Variant};
 use asynchronous_resource_discovery::graph::{components, gen, KnowledgeGraph};
+use asynchronous_resource_discovery::netsim::explore::{fixtures, run_fork_system};
 use asynchronous_resource_discovery::netsim::{
-    BoundedDelayScheduler, ByzantinePlan, ChurnPlan, FaultPlan, LifoScheduler, NodeId,
-    RandomScheduler, Schedule, Scheduler,
+    BoundedDelayScheduler, ByzantinePlan, ChurnPlan, FaultPlan, Footprint, LifoScheduler, NodeId,
+    RandomScheduler, RecordingScheduler, ReplayScheduler, Schedule, Scheduler,
 };
 use asynchronous_resource_discovery::union_find::{
     Compression, Op, OpSequence, UnionFind, UnionPolicy,
@@ -140,6 +141,13 @@ fn fail_with_artifact(
 ) -> TestCaseError {
     schedule.set_meta("topology", topology);
     schedule.set_meta("variant", variant.to_string());
+    write_artifact(schedule, reason)
+}
+
+/// Writes `schedule` (metadata already stamped) under
+/// `target/failed-schedules/` and returns a test failure naming the
+/// artifact.
+fn write_artifact(mut schedule: Schedule, reason: &str) -> TestCaseError {
     schedule.set_meta("reason", reason.replace('\n', " "));
     let text = schedule.to_text();
     // FNV-1a content hash: stable artifact names, no timestamp needed.
@@ -429,6 +437,51 @@ proptest! {
                     let reason = "byzantine replay diverged from the recording";
                     return Err(fail_with_artifact(&topology, variant, schedule, reason));
                 }
+            }
+        }
+    }
+
+    /// Soundness of the explorer's DPOR independence relation: swapping
+    /// two adjacent recorded choices whose may-footprints do not conflict
+    /// must leave the run's terminal-state digest (node state, knowledge,
+    /// in-flight queues, metrics) unchanged — that commutation is exactly
+    /// what sleep-set pruning assumes. Failing pairs land in
+    /// `target/failed-schedules/` with the swap position in the metadata
+    /// so `ard replay` can re-execute them.
+    #[test]
+    fn independent_adjacent_swaps_preserve_the_terminal_state(
+        clients in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        // Violation-tolerant mode: every interleaving runs to quiescence,
+        // so each swap compares full executions.
+        let system = fixtures::RacySystem::tolerant(clients);
+        let mut rec = RecordingScheduler::new(RandomScheduler::seeded(seed));
+        run_fork_system(&system, &mut rec).expect("tolerant fixture cannot fail");
+        let base_digest = rec.terminal_digest().expect("fixture reports a digest");
+        let choices = rec.recorded().to_vec();
+        for i in 0..choices.len().saturating_sub(1) {
+            let (a, b) = (choices[i], choices[i + 1]);
+            if a == b || Footprint::may(a).conflicts(&Footprint::may(b)) {
+                continue;
+            }
+            let mut swapped = choices.clone();
+            swapped.swap(i, i + 1);
+            let mut sched = RecordingScheduler::new(ReplayScheduler::lenient(&swapped));
+            run_fork_system(&system, &mut sched).expect("tolerant fixture cannot fail");
+            let executed = sched.recorded().len();
+            let digest = sched.terminal_digest();
+            if executed != choices.len() || digest != Some(base_digest) {
+                let mut schedule = Schedule::new(swapped);
+                schedule.set_meta("system", format!("racy:{clients}"));
+                schedule.set_meta("swapped-at", i.to_string());
+                schedule.set_meta("base-digest", format!("{base_digest:016x}"));
+                let reason = format!(
+                    "swapping independent adjacent choices {a:?} / {b:?} at {i} changed the \
+                     run: {executed}/{} choices executed, digest {digest:?} vs {base_digest:#x}",
+                    choices.len()
+                );
+                return Err(write_artifact(schedule, &reason));
             }
         }
     }

@@ -47,7 +47,28 @@ fn assert_sharded_matches(n: usize, extra: usize, seed: u64, variant: Variant) {
             &seq_trace[..],
             "trace at --shards {shards}"
         );
+        // The canonical state digest (the explorer's terminal-state /
+        // dedup hash) must agree too: sharding may not perturb anything
+        // the digest can see — node state, knowledge, queues, metrics.
+        assert_eq!(
+            shd.runner().state_digest(),
+            seq.runner().state_digest(),
+            "state digest at --shards {shards}"
+        );
         shd.check_requirements(&graph).unwrap();
+    }
+}
+
+#[test]
+fn sharded_terminal_state_digest_matches_sequential() {
+    let graph = gen::random_weakly_connected(40, 80, 13);
+    let mut seq = Discovery::new(&graph, Variant::AdHoc);
+    seq.run_all(&mut FifoScheduler::new()).unwrap();
+    let expected = seq.runner().state_digest();
+    for shards in SHARD_COUNTS {
+        let mut shd = Discovery::new(&graph, Variant::AdHoc);
+        shd.run_all_sharded(shards).unwrap();
+        assert_eq!(shd.runner().state_digest(), expected, "--shards {shards}");
     }
 }
 
