@@ -84,19 +84,39 @@ fn main() -> ExitCode {
     ard_bench::parallel::set_jobs(jobs);
 
     if let Some(path) = throughput_path {
-        let sizes = if quick {
-            vec![32, 64]
+        // --quick keeps the dense-knowledge grid (n ≤ 4096) and skips the
+        // large tail plus the multicore sweep: seconds instead of minutes.
+        let sizes: Vec<usize> = if quick {
+            ard_bench::throughput::THROUGHPUT_SIZES
+                .into_iter()
+                .filter(|&n| n <= 4096)
+                .collect()
         } else {
             ard_bench::throughput::THROUGHPUT_SIZES.to_vec()
         };
         let points = ard_bench::throughput::measure(&sizes, 3);
         for p in &points {
             println!(
-                "n={:<7} {:<7} {:>9} events in {:>8.3}s  ->  {:>12.0} events/s  ({:>7.1} knowledge B/node)",
-                p.n, p.scheduler, p.events, p.secs, p.events_per_sec, p.knowledge_bytes_per_node
+                "n={:<7} {:<7} {:>9} events in {:>8.3}s  ->  {:>12.0} events/s  ({:>7.1} knowledge B/node, {:>6.1} payload B/event, peak {} B)",
+                p.n, p.scheduler, p.events, p.secs, p.events_per_sec, p.knowledge_bytes_per_node,
+                p.payload_bytes_per_event, p.payload_peak_bytes
             );
         }
-        let json = ard_bench::throughput::to_json(&points);
+        let sharded = if quick {
+            Vec::new()
+        } else {
+            ard_bench::throughput::measure_sharded(
+                &ard_bench::throughput::SHARDED_SIZES,
+                &ard_bench::throughput::SHARD_COUNTS,
+            )
+        };
+        for p in &sharded {
+            println!(
+                "n={:<7} shards={:<2} {:>9} events in {:>8.3}s  ->  {:>12.0} events/s",
+                p.n, p.shards, p.events, p.secs, p.events_per_sec
+            );
+        }
+        let json = ard_bench::throughput::to_json(&points, &sharded);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;

@@ -22,6 +22,14 @@ pub const THROUGHPUT_SIZES: [usize; 5] = [256, 1024, 4096, 65536, 1_048_576];
 /// sweep for noise reduction the big numbers don't need).
 pub const SINGLE_REP_ABOVE: usize = 16_384;
 
+/// Shard counts the multicore sweep measures; `1` doubles as the
+/// round-engine baseline the speedups are computed against.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Network sizes the multicore sweep covers — the two sizes where the
+/// scale collapse lived.
+pub const SHARDED_SIZES: [usize; 2] = [65536, 1_048_576];
+
 /// One measured (n, scheduler) throughput point.
 #[derive(Clone, Debug)]
 pub struct ThroughputPoint {
@@ -38,6 +46,26 @@ pub struct ThroughputPoint {
     /// Heap bytes of per-node knowledge at quiescence, divided by `n` —
     /// the memory metric the interval-coded representation targets.
     pub knowledge_bytes_per_node: f64,
+    /// Payload heap bytes enqueued per executed event — the message-size
+    /// metric the run-length payload coding targets.
+    pub payload_bytes_per_event: f64,
+    /// High-water mark of payload heap bytes simultaneously in flight.
+    pub payload_peak_bytes: u64,
+}
+
+/// One measured (n, shards) point of the multicore sharded sweep.
+#[derive(Clone, Debug)]
+pub struct ShardedPoint {
+    /// Number of nodes in the random weakly connected topology.
+    pub n: usize,
+    /// Worker thread count of the sharded round engine.
+    pub shards: usize,
+    /// Simulator events executed (identical at every shard count).
+    pub events: u64,
+    /// Wall-clock seconds of the single measured run.
+    pub secs: f64,
+    /// `events / secs`.
+    pub events_per_sec: f64,
 }
 
 fn make_scheduler(name: &'static str, seed: u64) -> Box<dyn Scheduler> {
@@ -53,14 +81,24 @@ fn make_scheduler(name: &'static str, seed: u64) -> Box<dyn Scheduler> {
 /// caller re-using this via [`measure`]).
 pub fn run_events(n: usize, scheduler: &'static str) -> u64 {
     let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
-    let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
     let mut d = Discovery::new(&graph, Variant::Oblivious);
-    d.run_all(sched.as_mut()).expect("throughput run livelocked");
+    if scheduler == "fifo" {
+        let budget = d.default_step_budget();
+        d.run_all_sharded_capped(1, budget)
+            .expect("throughput run livelocked");
+    } else {
+        let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
+        d.run_all(sched.as_mut()).expect("throughput run livelocked");
+    }
     d.runner().steps_executed()
 }
 
 /// Measures events/sec for every `(n, scheduler)` pair in the sweep,
 /// taking the best of `reps` repetitions (graph generation excluded).
+///
+/// The `fifo` rows drive the single-shard round engine (byte-identical
+/// to a `FifoScheduler` run, and the fastest sequential path); `random`
+/// rows drive the sequential engine under the seeded random scheduler.
 pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
     let mut points = Vec::new();
     for &n in sizes {
@@ -70,14 +108,26 @@ pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
             let mut best_secs = f64::INFINITY;
             let mut events = 0u64;
             let mut knowledge_bytes = 0usize;
+            let mut payload_sent = 0u64;
+            let mut payload_peak = 0u64;
             for _ in 0..reps {
-                let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
                 let mut d = Discovery::new(&graph, Variant::Oblivious);
-                let start = Instant::now();
-                d.run_all(sched.as_mut()).expect("throughput run livelocked");
-                let secs = start.elapsed().as_secs_f64();
+                let secs = if scheduler == "fifo" {
+                    let budget = d.default_step_budget();
+                    let start = Instant::now();
+                    d.run_all_sharded_capped(1, budget)
+                        .expect("throughput run livelocked");
+                    start.elapsed().as_secs_f64()
+                } else {
+                    let mut sched = make_scheduler(scheduler, n as u64 ^ 0xa5a5);
+                    let start = Instant::now();
+                    d.run_all(sched.as_mut()).expect("throughput run livelocked");
+                    start.elapsed().as_secs_f64()
+                };
                 events = d.runner().steps_executed();
                 knowledge_bytes = d.runner().knowledge_bytes();
+                payload_sent = d.runner().payload_bytes_sent();
+                payload_peak = d.runner().payload_peak_bytes();
                 best_secs = best_secs.min(secs);
             }
             points.push(ThroughputPoint {
@@ -87,6 +137,35 @@ pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
                 secs: best_secs,
                 events_per_sec: events as f64 / best_secs,
                 knowledge_bytes_per_node: knowledge_bytes as f64 / n as f64,
+                payload_bytes_per_event: payload_sent as f64 / events as f64,
+                payload_peak_bytes: payload_peak,
+            });
+        }
+    }
+    points
+}
+
+/// Measures the sharded round engine at every `(n, shards)` pair — one
+/// run each (the large sizes dominate the sweep's wall clock; shard
+/// scaling differences dwarf single-run noise).
+pub fn measure_sharded(sizes: &[usize], shard_counts: &[usize]) -> Vec<ShardedPoint> {
+    let mut points = Vec::new();
+    for &n in sizes {
+        let graph = gen::random_weakly_connected(n, 2 * n, n as u64);
+        for &shards in shard_counts {
+            let mut d = Discovery::new(&graph, Variant::Oblivious);
+            let budget = d.default_step_budget();
+            let start = Instant::now();
+            d.run_all_sharded_capped(shards, budget)
+                .expect("sharded throughput run livelocked");
+            let secs = start.elapsed().as_secs_f64();
+            let events = d.runner().steps_executed();
+            points.push(ShardedPoint {
+                n,
+                shards,
+                events,
+                secs,
+                events_per_sec: events as f64 / secs,
             });
         }
     }
@@ -94,18 +173,32 @@ pub fn measure(sizes: &[usize], reps: u32) -> Vec<ThroughputPoint> {
 }
 
 /// Renders the points as the `BENCH_throughput.json` document.
-pub fn to_json(points: &[ThroughputPoint]) -> String {
+pub fn to_json(points: &[ThroughputPoint], sharded: &[ShardedPoint]) -> String {
     let mut out = String::from("{\n  \"metric\": \"events_per_sec\",\n  \"workload\": \"oblivious discovery on random G(n, 3n)\",\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"n\": {}, \"scheduler\": \"{}\", \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}, \"knowledge_bytes_per_node\": {:.1}}}{}\n",
+            "    {{\"n\": {}, \"scheduler\": \"{}\", \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}, \"knowledge_bytes_per_node\": {:.1}, \"payload_bytes_per_event\": {:.1}, \"payload_peak_bytes\": {}}}{}\n",
             p.n,
             p.scheduler,
             p.events,
             p.secs,
             p.events_per_sec,
             p.knowledge_bytes_per_node,
+            p.payload_bytes_per_event,
+            p.payload_peak_bytes,
             if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"sharded\": [\n");
+    for (i, p) in sharded.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"shards\": {}, \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.0}}}{}\n",
+            p.n,
+            p.shards,
+            p.events,
+            p.secs,
+            p.events_per_sec,
+            if i + 1 == sharded.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -129,10 +222,21 @@ mod tests {
     #[test]
     fn json_is_well_formed_enough() {
         let points = measure(&[24], 1);
-        let json = to_json(&points);
+        let sharded = measure_sharded(&[24], &[1, 2]);
+        let json = to_json(&points, &sharded);
         assert!(json.starts_with('{') && json.ends_with("}\n"));
         assert_eq!(json.matches("\"scheduler\"").count(), points.len());
+        assert_eq!(json.matches("\"shards\"").count(), sharded.len());
+        assert!(json.contains("\"payload_bytes_per_event\""));
+        assert!(json.contains("\"sharded\""));
         assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+
+    #[test]
+    fn sharded_sweep_executes_identical_event_counts() {
+        let points = measure_sharded(&[40], &[1, 2, 4]);
+        assert_eq!(points.len(), 3);
+        assert!(points.windows(2).all(|w| w[0].events == w[1].events));
     }
 
     #[test]

@@ -13,10 +13,10 @@
 //! plus non-id payload; see [`Message`](crate::Message)) on top of the
 //! paper's id-only accounting.
 
-use ard_netsim::Metrics;
+use ard_netsim::{Metrics, KIND_TAG_BITS};
 use ard_union_find::alpha;
 
-use crate::Variant;
+use crate::{Message, Variant};
 
 fn log2_ceil(n: u64) -> u64 {
     if n <= 1 {
@@ -123,7 +123,7 @@ pub fn check_lemma_5_9(metrics: &Metrics, e0: u64) -> Result<(), String> {
 
 fn check_lemma_5_9_overhead(metrics: &Metrics, e0: u64, extra: u64) -> Result<(), String> {
     let counts = metrics.kind("query reply");
-    let overhead_per_msg = 32 + 1 + 4 + extra; // aux bits + kind tag (+ envelope)
+    let overhead_per_msg = Message::QUERY_REPLY_AUX_BITS + KIND_TAG_BITS + extra;
     let bound = 2 * e0 * metrics.id_bits() + counts.messages * overhead_per_msg;
     check("query reply bits (Lemma 5.9)", counts.bits, bound)
 }
@@ -140,7 +140,7 @@ pub fn check_lemma_5_10(metrics: &Metrics, n: u64) -> Result<(), String> {
 
 fn check_lemma_5_10_overhead(metrics: &Metrics, n: u64, extra: u64) -> Result<(), String> {
     let counts = metrics.kind("info");
-    let overhead_per_msg = 8 + 4 * 32 + 4 + extra;
+    let overhead_per_msg = Message::INFO_AUX_BITS + KIND_TAG_BITS + extra;
     let bound = 4 * n * metrics.id_bits() * metrics.id_bits() + counts.messages * overhead_per_msg;
     check("info bits (Lemma 5.10)", counts.bits, bound)
 }
@@ -321,13 +321,13 @@ pub fn check_all_byzantine(
     check(
         "query reply bits (Lemma 5.9, net of forgery)",
         qr.bits,
-        2 * e0 * b + qr.messages * (32 + 1 + 4) + byz.forged_bits,
+        2 * e0 * b + qr.messages * (Message::QUERY_REPLY_AUX_BITS + KIND_TAG_BITS) + byz.forged_bits,
     )?;
     let info = metrics.kind("info");
     check(
         "info bits (Lemma 5.10, net of forgery)",
         info.bits,
-        4 * n * b * b + info.messages * (8 + 4 * 32 + 4) + byz.forged_bits,
+        4 * n * b * b + info.messages * (Message::INFO_AUX_BITS + KIND_TAG_BITS) + byz.forged_bits,
     )?;
     let net_msgs = metrics.total_messages().saturating_sub(forged);
     let msg_bound = match variant {

@@ -1,4 +1,21 @@
-use ard_netsim::{Envelope, NodeId};
+use ard_netsim::{Envelope, IdSeq, NodeId};
+
+/// Bits charged for a phase number in a message (`phase ≤ 64` over the
+/// simulator's whole feasible range, so 8 bits cover it).
+///
+/// These three constants are the single source of truth for every
+/// variant's non-id payload size: [`Envelope::aux_bits`] sums them per
+/// variant, and the budget checks in [`crate::budgets`] derive their
+/// per-message overhead terms from the same sums (via
+/// [`Message::QUERY_REPLY_AUX_BITS`] and [`Message::INFO_AUX_BITS`]), so
+/// metering and bounds cannot drift apart.
+pub const PHASE_BITS: u64 = 8;
+
+/// Bits charged for a counter or set-length prefix (`n ≤ 2³²`).
+pub const COUNT_BITS: u64 = 32;
+
+/// Bits charged for a boolean flag.
+pub const FLAG_BITS: u64 = 1;
 
 /// Answer carried by a [`Message::Release`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,7 +48,7 @@ pub enum Message {
     /// Member → leader: up to `want` previously unreported ids.
     QueryReply {
         /// The ids removed from the member's `local` set.
-        ids: Vec<NodeId>,
+        ids: IdSeq,
         /// Whether the member's `local` set is now empty (the leader then
         /// moves it from `more` to `done`).
         exhausted: bool,
@@ -109,28 +126,44 @@ pub enum Message {
         /// The requesting node.
         dest: NodeId,
         /// All ids the leader currently knows in its component.
-        ids: Vec<NodeId>,
+        ids: IdSeq,
     },
 }
 
 /// The state a surrendered leader ships to its conqueror in a
 /// [`Message::Info`].
+///
+/// The four sets are [`IdSeq`]s: built from ascending `BTreeSet`
+/// iteration, a whole cluster set run-codes into a handful of words, so
+/// the endgame's O(component)-sized handovers stop dominating allocation
+/// and memcpy traffic (the id *order*, and with it every digest and
+/// metering contract, is unchanged from the `Vec<NodeId>` representation).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InfoPayload {
     /// The surrendered leader's final phase.
     pub phase: u32,
     /// Its `more` set (members with unreported ids).
-    pub more: Vec<NodeId>,
+    pub more: IdSeq,
     /// Its `done` set (fully reported members).
-    pub done: Vec<NodeId>,
+    pub done: IdSeq,
     /// Its `unaware` set (always empty in practice; a conqueror cannot
     /// be conquered mid-conquest).
-    pub unaware: Vec<NodeId>,
+    pub unaware: IdSeq,
     /// Its `unexplored` set (ids known but not yet searched).
-    pub unexplored: Vec<NodeId>,
+    pub unexplored: IdSeq,
 }
 
 impl Message {
+    /// Non-id payload bits of a [`Message::QueryReply`]: the set-length
+    /// prefix plus the `exhausted` flag. Shared with the Lemma 5.9 budget
+    /// checks.
+    pub const QUERY_REPLY_AUX_BITS: u64 = COUNT_BITS + FLAG_BITS;
+
+    /// Non-id payload bits of a [`Message::Info`]: the phase plus one
+    /// length prefix per shipped set. Shared with the Lemma 5.10 budget
+    /// checks (previously a hand-copied `8 + 4 * 32` on both sides).
+    pub const INFO_AUX_BITS: u64 = PHASE_BITS + 4 * COUNT_BITS;
+
     /// Whether this message is routed leaf-to-leader along `next` pointers
     /// (and therefore serialized through relays' `previous` queues).
     pub fn is_routable_request(&self) -> bool {
@@ -162,7 +195,7 @@ impl Envelope for Message {
             | Message::MergeFail
             | Message::Conquer { .. }
             | Message::MoreDone { .. } => {}
-            Message::QueryReply { ids, .. } => ids.iter().copied().for_each(f),
+            Message::QueryReply { ids, .. } => ids.for_each(f),
             Message::Search { origin, target, .. } => {
                 f(*origin);
                 f(*target);
@@ -171,22 +204,71 @@ impl Envelope for Message {
                 f(*leader);
                 f(*dest);
             }
-            Message::Info(p) => p
-                .more
-                .iter()
-                .chain(&p.done)
-                .chain(&p.unaware)
-                .chain(&p.unexplored)
-                .copied()
-                .for_each(f),
+            Message::Info(p) => {
+                p.more.for_each(f);
+                p.done.for_each(f);
+                p.unaware.for_each(f);
+                p.unexplored.for_each(f);
+            }
             Message::Probe { origin } => f(*origin),
             Message::ProbeReply {
                 leader, dest, ids, ..
             } => {
                 f(*leader);
                 f(*dest);
-                ids.iter().copied().for_each(f);
+                ids.for_each(f);
             }
+        }
+    }
+
+    fn for_each_carried_run(&self, f: &mut dyn FnMut(u32, u32)) {
+        let one = |id: NodeId, f: &mut dyn FnMut(u32, u32)| {
+            let i = id.index() as u32;
+            f(i, i + 1);
+        };
+        match self {
+            Message::Query { .. }
+            | Message::MergeAccept
+            | Message::MergeFail
+            | Message::Conquer { .. }
+            | Message::MoreDone { .. } => {}
+            Message::QueryReply { ids, .. } => ids.for_each_run(f),
+            Message::Search { origin, target, .. } => {
+                one(*origin, f);
+                one(*target, f);
+            }
+            Message::Release { leader, dest, .. } => {
+                one(*leader, f);
+                one(*dest, f);
+            }
+            Message::Info(p) => {
+                p.more.for_each_run(f);
+                p.done.for_each_run(f);
+                p.unaware.for_each_run(f);
+                p.unexplored.for_each_run(f);
+            }
+            Message::Probe { origin } => one(*origin, f),
+            Message::ProbeReply {
+                leader, dest, ids, ..
+            } => {
+                one(*leader, f);
+                one(*dest, f);
+                ids.for_each_run(f);
+            }
+        }
+    }
+
+    fn payload_heap_bytes(&self) -> usize {
+        match self {
+            Message::QueryReply { ids, .. } | Message::ProbeReply { ids, .. } => ids.heap_bytes(),
+            Message::Info(p) => {
+                std::mem::size_of::<InfoPayload>()
+                    + p.more.heap_bytes()
+                    + p.done.heap_bytes()
+                    + p.unaware.heap_bytes()
+                    + p.unexplored.heap_bytes()
+            }
+            _ => 0,
         }
     }
 
@@ -209,16 +291,16 @@ impl Envelope for Message {
 
     fn aux_bits(&self) -> u64 {
         match self {
-            Message::Query { .. } => 32,
-            Message::QueryReply { .. } => 32 + 1,
-            Message::Search { .. } => 8 + 1,
-            Message::Release { .. } => 8 + 1,
+            Message::Query { .. } => COUNT_BITS,
+            Message::QueryReply { .. } => Message::QUERY_REPLY_AUX_BITS,
+            Message::Search { .. } => PHASE_BITS + FLAG_BITS,
+            Message::Release { .. } => PHASE_BITS + FLAG_BITS,
             Message::MergeAccept | Message::MergeFail => 0,
-            Message::Info { .. } => 8 + 4 * 32,
-            Message::Conquer { .. } => 8,
-            Message::MoreDone { .. } => 1,
+            Message::Info { .. } => Message::INFO_AUX_BITS,
+            Message::Conquer { .. } => PHASE_BITS,
+            Message::MoreDone { .. } => FLAG_BITS,
             Message::Probe { .. } => 0,
-            Message::ProbeReply { .. } => 8 + 32,
+            Message::ProbeReply { .. } => PHASE_BITS + COUNT_BITS,
         }
     }
 
@@ -299,12 +381,16 @@ impl Envelope for Message {
 mod tests {
     use super::*;
 
+    fn seq(indices: &[usize]) -> IdSeq {
+        indices.iter().copied().map(NodeId::new).collect()
+    }
+
     #[test]
     fn kinds_are_distinct() {
         let msgs = [
             Message::Query { want: 1 },
             Message::QueryReply {
-                ids: vec![],
+                ids: IdSeq::new(),
                 exhausted: false,
             },
             Message::Search {
@@ -323,10 +409,10 @@ mod tests {
             Message::MergeFail,
             Message::Info(Box::new(InfoPayload {
                 phase: 1,
-                more: vec![],
-                done: vec![],
-                unaware: vec![],
-                unexplored: vec![],
+                more: IdSeq::new(),
+                done: IdSeq::new(),
+                unaware: IdSeq::new(),
+                unexplored: IdSeq::new(),
             })),
             Message::Conquer { phase: 2 },
             Message::MoreDone { exhausted: true },
@@ -337,7 +423,7 @@ mod tests {
                 leader: NodeId::new(0),
                 leader_phase: 1,
                 dest: NodeId::new(1),
-                ids: vec![],
+                ids: IdSeq::new(),
             },
         ];
         let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
@@ -350,10 +436,10 @@ mod tests {
     fn carried_ids_cover_payload() {
         let info = Message::Info(Box::new(InfoPayload {
             phase: 3,
-            more: vec![NodeId::new(1)],
-            done: vec![NodeId::new(2), NodeId::new(3)],
-            unaware: vec![],
-            unexplored: vec![NodeId::new(4)],
+            more: seq(&[1]),
+            done: seq(&[2, 3]),
+            unaware: IdSeq::new(),
+            unexplored: seq(&[4]),
         }));
         // Set order: more, done, unaware, unexplored.
         let expected: Vec<NodeId> = [1, 2, 3, 4].map(NodeId::new).to_vec();
@@ -390,7 +476,7 @@ mod tests {
                 any::<u32>().prop_map(|want| (Message::Query { want }, vec![])),
                 (id_vec(8), any::<bool>()).prop_map(|(ids, exhausted)| (
                     Message::QueryReply {
-                        ids: ids.clone(),
+                        ids: ids.iter().copied().collect(),
                         exhausted
                     },
                     ids
@@ -431,10 +517,10 @@ mod tests {
                         (
                             Message::Info(Box::new(InfoPayload {
                                 phase,
-                                more,
-                                done,
-                                unaware,
-                                unexplored,
+                                more: more.into_iter().collect(),
+                                done: done.into_iter().collect(),
+                                unaware: unaware.into_iter().collect(),
+                                unexplored: unexplored.into_iter().collect(),
                             })),
                             expected,
                         )
@@ -452,7 +538,7 @@ mod tests {
                                 leader,
                                 leader_phase,
                                 dest,
-                                ids,
+                                ids: ids.into_iter().collect(),
                             },
                             expected,
                         )
@@ -474,6 +560,14 @@ mod tests {
                 prop_assert_eq!(&visited, &expected);
                 prop_assert_eq!(msg.carried_ids(), expected);
                 prop_assert_eq!(msg.carried_id_count(), visited.len());
+                // The run decomposition concatenates to the very same id
+                // sequence, so run-based knowledge absorption learns
+                // exactly what the id visitor teaches.
+                let mut by_runs = Vec::new();
+                msg.for_each_carried_run(&mut |s, e| {
+                    by_runs.extend((s..e).map(|i| NodeId::new(i as usize)));
+                });
+                prop_assert_eq!(by_runs, visited);
             }
         }
     }
@@ -505,7 +599,7 @@ mod tests {
     #[test]
     fn query_reply_bits_scale_with_ids() {
         let small = Message::QueryReply {
-            ids: vec![NodeId::new(0)],
+            ids: seq(&[0]),
             exhausted: false,
         };
         let large = Message::QueryReply {
@@ -514,5 +608,24 @@ mod tests {
         };
         assert!(large.bits(16) > small.bits(16));
         assert_eq!(large.bits(16) - small.bits(16), 99 * 16);
+    }
+
+    #[test]
+    fn payload_heap_bytes_follow_the_buffers() {
+        assert_eq!(Message::Query { want: 3 }.payload_heap_bytes(), 0);
+        let reply = Message::QueryReply {
+            ids: seq(&[1, 2, 3]),
+            exhausted: false,
+        };
+        assert!(reply.payload_heap_bytes() >= 3 * 8);
+        // A run-coded info payload reports a few words, not O(component).
+        let info = Message::Info(Box::new(InfoPayload {
+            phase: 3,
+            more: (0..10_000).map(NodeId::new).collect(),
+            done: IdSeq::new(),
+            unaware: IdSeq::new(),
+            unexplored: IdSeq::new(),
+        }));
+        assert!(info.payload_heap_bytes() < 1024, "one long run stays compact");
     }
 }

@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeSet, VecDeque};
 
-use ard_netsim::{Context, Envelope, MessageArena, NodeId, Protocol, StateDigest};
+use ard_netsim::{Context, Envelope, IdSeq, MessageArena, NodeId, Protocol, StateDigest};
 
 use crate::msg::{InfoPayload, Message, Verdict};
 use crate::status::{Status, Transition};
@@ -109,9 +109,9 @@ pub struct ArdNode {
     probe_results: Vec<Vec<NodeId>>,
     probes_outstanding: usize,
 
-    /// Recycled id-list buffers for outgoing payloads (query replies, info
-    /// handovers); consumed payloads are returned here.
-    arena: MessageArena<NodeId>,
+    /// Recycled word buffers for outgoing [`IdSeq`] payloads (query
+    /// replies, info handovers); consumed payloads are returned here.
+    arena: MessageArena<u64>,
 }
 
 impl ArdNode {
@@ -307,7 +307,8 @@ impl ArdNode {
             Status::Explore | Status::Wait | Status::Passive => {
                 // We are our own (possibly provisional) leader.
                 let snap = self.snapshot();
-                self.probe_results.push(snap);
+                self.probe_results.push(snap.to_vec());
+                self.arena.recycle(snap.into_words());
             }
             Status::Inactive => {
                 self.probes_outstanding += 1;
@@ -450,33 +451,34 @@ impl ArdNode {
     }
 
     /// Removes up to `want` ids from `local` (the queried member's side).
-    fn take_local(&mut self, want: u32) -> (Vec<NodeId>, bool) {
+    /// `local` iterates ascending, so the payload run-codes maximally.
+    fn take_local(&mut self, want: u32) -> (IdSeq, bool) {
         let take = if want == WANT_ALL {
             self.local.len()
         } else {
             (want as usize).min(self.local.len())
         };
-        let mut ids = self.arena.alloc();
+        let mut ids = IdSeq::with_buffer(self.arena.alloc());
         ids.extend(self.local.iter().take(take).copied());
-        for v in &ids {
-            self.local.remove(v);
+        for v in ids.iter() {
+            self.local.remove(&v);
         }
         (ids, self.local.is_empty())
     }
 
     /// Leader-side bookkeeping for a query reply from `w`. The consumed id
     /// buffer is recycled into this node's arena.
-    fn absorb_query_reply(&mut self, w: NodeId, mut ids: Vec<NodeId>, exhausted: bool) {
+    fn absorb_query_reply(&mut self, w: NodeId, ids: IdSeq, exhausted: bool) {
         if exhausted {
             self.more.remove(&w);
             self.done.insert(w);
         }
-        for v in ids.drain(..) {
+        ids.for_each(&mut |v| {
             if v != self.id && !self.in_cluster(v) {
                 self.unexplored.insert(v);
             }
-        }
-        self.arena.recycle(ids);
+        });
+        self.arena.recycle(ids.into_words());
     }
 
     /// Bounded variant: check `|done| = n` and, if reached, broadcast the
@@ -732,8 +734,9 @@ impl ArdNode {
     }
 
     /// The ids this (possibly provisional) leader knows of its component.
-    fn snapshot(&mut self) -> Vec<NodeId> {
-        let mut ids = self.arena.alloc();
+    /// Three ascending segments, so the sequence run-codes well.
+    fn snapshot(&mut self) -> IdSeq {
+        let mut ids = IdSeq::with_buffer(self.arena.alloc());
         ids.extend(
             self.more
                 .iter()
@@ -773,13 +776,13 @@ impl ArdNode {
             }
             Message::MergeAccept => {
                 self.next = from;
-                let mut more = self.arena.alloc();
+                let mut more = IdSeq::with_buffer(self.arena.alloc());
                 more.extend(self.more.iter().copied());
-                let mut done = self.arena.alloc();
+                let mut done = IdSeq::with_buffer(self.arena.alloc());
                 done.extend(self.done.iter().copied());
-                let mut unaware = self.arena.alloc();
+                let mut unaware = IdSeq::with_buffer(self.arena.alloc());
                 unaware.extend(self.unaware.iter().copied());
-                let mut unexplored = self.arena.alloc();
+                let mut unexplored = IdSeq::with_buffer(self.arena.alloc());
                 unexplored.extend(self.unexplored.iter().copied());
                 ctx.send(
                     from,
@@ -853,10 +856,10 @@ impl ArdNode {
     fn merge_info(
         &mut self,
         l_phase: u32,
-        l_more: Vec<NodeId>,
-        l_done: Vec<NodeId>,
-        l_unaware: Vec<NodeId>,
-        mut l_unexplored: Vec<NodeId>,
+        l_more: IdSeq,
+        l_done: IdSeq,
+        l_unaware: IdSeq,
+        l_unexplored: IdSeq,
         ctx: &mut Context<'_, Message>,
     ) {
         debug_assert!(
@@ -866,9 +869,9 @@ impl ArdNode {
         if self.variant.broadcasts_each_merge() {
             // Generic: every acquired member goes through `unaware` and gets
             // a conquer message.
-            self.unaware.extend(l_more.iter().copied());
-            self.unaware.extend(l_done.iter().copied());
-            self.unaware.extend(l_unaware.iter().copied());
+            self.unaware.extend(l_more.iter());
+            self.unaware.extend(l_done.iter());
+            self.unaware.extend(l_unaware.iter());
         } else {
             // Variants (§4.5): set unions, no broadcast.
             //
@@ -881,28 +884,28 @@ impl ArdNode {
             // merge O(shipped log n) — the conqueror's own sets are O(n) in
             // the endgame, and an O(n) scan per merge is quadratic overall.
             debug_assert!(self.more.is_disjoint(&self.done));
-            self.more.extend(l_more.iter().copied());
-            self.done.extend(l_done.iter().copied());
-            for v in l_more.iter().chain(&l_done) {
-                if self.more.contains(v) {
-                    self.done.remove(v);
+            self.more.extend(l_more.iter());
+            self.done.extend(l_done.iter());
+            for v in l_more.iter().chain(l_done.iter()) {
+                if self.more.contains(&v) {
+                    self.done.remove(&v);
                 }
             }
         }
-        for v in l_unexplored.drain(..) {
+        l_unexplored.for_each(&mut |v| {
             if v != self.id && !self.in_cluster(v) {
                 self.unexplored.insert(v);
             }
-        }
+        });
         // [D4] newly acquired members must leave `unexplored`.
-        for v in l_more.iter().chain(&l_done).chain(&l_unaware) {
-            self.unexplored.remove(v);
+        for v in l_more.iter().chain(l_done.iter()).chain(l_unaware.iter()) {
+            self.unexplored.remove(&v);
         }
         // The shipped buffers are consumed; keep them for future payloads.
-        self.arena.recycle(l_more);
-        self.arena.recycle(l_done);
-        self.arena.recycle(l_unaware);
-        self.arena.recycle(l_unexplored);
+        self.arena.recycle(l_more.into_words());
+        self.arena.recycle(l_done.into_words());
+        self.arena.recycle(l_unaware.into_words());
+        self.arena.recycle(l_unexplored.into_words());
         // Phase advance (doubling rule, Lemma 5.10's invariant).
         if self.phase == l_phase || self.cluster_size() as u64 >= 1u64 << (self.phase + 1) {
             self.phase += 1;
@@ -1012,7 +1015,8 @@ impl ArdNode {
                     if self.config.path_compression && leader_phase >= self.inactive_phase {
                         self.next = leader;
                     }
-                    self.probe_results.push(ids);
+                    self.probe_results.push(ids.to_vec());
+                    self.arena.recycle(ids.into_words());
                 } else {
                     self.route_reply_back(
                         leader,
@@ -1256,7 +1260,11 @@ mod tests {
     fn absorb_reply_moves_member_and_collects_unexplored() {
         let mut n = node(0, &[]);
         n.more.insert(NodeId::new(5));
-        n.absorb_query_reply(NodeId::new(5), vec![NodeId::new(7), NodeId::new(0)], true);
+        n.absorb_query_reply(
+            NodeId::new(5),
+            [NodeId::new(7), NodeId::new(0)].into_iter().collect(),
+            true,
+        );
         assert!(n.done().contains(&NodeId::new(5)));
         assert!(!n.more().contains(&NodeId::new(5)));
         // Own id filtered; 7 collected.
@@ -1272,9 +1280,9 @@ mod tests {
         n.done.insert(NodeId::new(2));
         n.unaware.insert(NodeId::new(4));
         let snap = n.snapshot();
-        assert!(snap.contains(&NodeId::new(0)));
-        assert!(snap.contains(&NodeId::new(2)));
-        assert!(snap.contains(&NodeId::new(4)));
+        assert!(snap.contains(NodeId::new(0)));
+        assert!(snap.contains(NodeId::new(2)));
+        assert!(snap.contains(NodeId::new(4)));
         assert_eq!(snap.len(), 3);
     }
 

@@ -4,8 +4,10 @@ use crate::NodeId;
 ///
 /// Every message carries a constant-size type discriminator; the paper's bit
 /// accounting treats all non-id message content as `O(log n)` bits, so a
-/// small constant tag is consistent with every bound we reproduce.
-pub(crate) const KIND_TAG_BITS: u64 = 4;
+/// small constant tag is consistent with every bound we reproduce. Public so
+/// the budget checks derive their per-message overhead from the same
+/// constant the metering charges (they must not drift apart).
+pub const KIND_TAG_BITS: u64 = 4;
 
 /// Metering interface implemented by protocol message types.
 ///
@@ -80,6 +82,32 @@ pub trait Envelope: Clone + std::fmt::Debug {
     /// prefixes, and similar. Ids are charged separately via
     /// [`for_each_carried_id`](Envelope::for_each_carried_id).
     fn aux_bits(&self) -> u64;
+
+    /// Calls `f` with half-open `[start, end)` index runs that together
+    /// cover exactly the ids [`for_each_carried_id`] yields (same
+    /// multiset of ids; runs need not be maximal or sorted). Knowledge
+    /// absorption at delivery uses this to learn a whole run per call —
+    /// for run-coded payloads that is O(runs), not O(ids).
+    ///
+    /// The default decomposes the id visitor into singleton runs; override
+    /// when the payload representation stores runs natively.
+    ///
+    /// [`for_each_carried_id`]: Envelope::for_each_carried_id
+    fn for_each_carried_run(&self, f: &mut dyn FnMut(u32, u32)) {
+        self.for_each_carried_id(&mut |id| {
+            let i = id.index() as u32;
+            f(i, i + 1);
+        });
+    }
+
+    /// Heap bytes currently backing this message's payload (capacity, not
+    /// occupancy). Purely observability — the bench reports payload bytes
+    /// per event and the peak in-flight payload footprint; nothing in the
+    /// simulation branches on it. The default (no heap payload) suits
+    /// scalar-only messages.
+    fn payload_heap_bytes(&self) -> usize {
+        0
+    }
 
     /// Number of ids the visitor yields; used for metering.
     ///
@@ -171,6 +199,15 @@ mod tests {
     fn empty_message_still_costs_tag() {
         let m = Fixed(Vec::new(), 0);
         assert_eq!(m.bits(16), KIND_TAG_BITS);
+    }
+
+    #[test]
+    fn default_run_visitor_covers_the_ids() {
+        let m = Fixed(vec![NodeId::new(4), NodeId::new(2), NodeId::new(3)], 0);
+        let mut covered = Vec::new();
+        m.for_each_carried_run(&mut |s, e| covered.extend((s..e).map(|i| NodeId::new(i as usize))));
+        assert_eq!(covered, m.carried_ids());
+        assert_eq!(m.payload_heap_bytes(), 0, "default reports no heap payload");
     }
 
     #[test]

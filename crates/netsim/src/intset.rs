@@ -91,6 +91,16 @@ impl IntervalSet {
         at > 0 && i < self.runs[at - 1].1
     }
 
+    /// Whether every index in the half-open run `[start, end)` is present
+    /// (one binary search: a covered run lies inside a single stored run).
+    pub fn covers(&self, start: u32, end: u32) -> bool {
+        if start >= end {
+            return true;
+        }
+        let at = self.runs.partition_point(|&(s, _)| s <= start);
+        at > 0 && end <= self.runs[at - 1].1
+    }
+
     /// Number of indices in the set.
     pub fn len(&self) -> usize {
         self.len as usize
@@ -147,6 +157,68 @@ impl IntervalSet {
                 }
             }
             Some(_) => self.insert(index),
+        }
+    }
+
+    /// Inserts every index in the half-open run `[start, end)`, merging
+    /// with any overlapping or adjacent runs, in O(log runs + runs moved).
+    /// Learning a delivered payload's whole run this way is O(1) amortized
+    /// where per-id insertion would be O(run length).
+    pub fn insert_run(&mut self, start: u32, end: u32) {
+        if start >= end {
+            return;
+        }
+        // Runs strictly left of `start` (no overlap, not adjacent) …
+        let lo = self.runs.partition_point(|&(_, e)| e < start);
+        // … and the first run strictly right of `end`.
+        let hi = self.runs.partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            self.runs.insert(lo, (start, end));
+            self.len += u64::from(end - start);
+            return;
+        }
+        // Every run in `lo..hi` overlaps or touches `[start, end)`, so the
+        // union of all of them with it is one contiguous span `[s, e)`; the
+        // net growth is that span minus what those runs already covered.
+        let mut covered = 0u64;
+        let mut s = start;
+        let mut e = end;
+        for &(rs, re) in &self.runs[lo..hi] {
+            covered += u64::from(re - rs);
+            s = s.min(rs);
+            e = e.max(re);
+        }
+        self.runs[lo] = (s, e);
+        self.runs.drain(lo + 1..hi);
+        self.len += u64::from(e - s) - covered;
+    }
+
+    /// Inserts the run `[start, end)`, optimized for (mostly) ascending
+    /// streams: a run starting at or past the end of the last stored run
+    /// is handled in O(1); anything else falls back to
+    /// [`insert_run`](IntervalSet::insert_run). The delivery path builds
+    /// its scratch set from a payload's run decomposition this way.
+    pub fn push_run(&mut self, start: u32, end: u32) {
+        if start >= end {
+            return;
+        }
+        match self.runs.last_mut() {
+            None => {
+                self.runs.push((start, end));
+                self.len += u64::from(end - start);
+            }
+            Some((_, last_end)) if start >= *last_end => {
+                if start == *last_end {
+                    *last_end = end;
+                } else {
+                    self.runs.push((start, end));
+                }
+                self.len += u64::from(end - start);
+            }
+            Some(&mut (ls, le)) if start >= ls && end <= le => {
+                // Fully covered: nothing to learn.
+            }
+            _ => self.insert_run(start, end),
         }
     }
 
@@ -270,6 +342,65 @@ mod tests {
         let b: IntervalSet = (5usize..9).collect();
         a.union_with(&b);
         assert_eq!(a.runs(), &[(0, 9)]);
+    }
+
+    #[test]
+    fn insert_run_merges_overlaps_and_adjacency() {
+        let mut s = IntervalSet::new();
+        s.insert_run(10, 20);
+        assert_eq!(s.runs(), &[(10, 20)]);
+        assert_eq!(s.len(), 10);
+        // Disjoint run before.
+        s.insert_run(0, 3);
+        assert_eq!(s.runs(), &[(0, 3), (10, 20)]);
+        // Overlapping both plus the gap: one merged span.
+        s.insert_run(2, 15);
+        assert_eq!(s.runs(), &[(0, 20)]);
+        assert_eq!(s.len(), 20);
+        // Fully covered: no change.
+        s.insert_run(5, 10);
+        assert_eq!(s.len(), 20);
+        // Adjacent on the right coalesces.
+        s.insert_run(20, 25);
+        assert_eq!(s.runs(), &[(0, 25)]);
+        assert_eq!(s.len(), 25);
+        // Empty run is a no-op.
+        s.insert_run(30, 30);
+        assert_eq!(s.runs(), &[(0, 25)]);
+    }
+
+    #[test]
+    fn insert_run_matches_per_id_inserts() {
+        // Oracle: the same memberships built id-by-id.
+        let runs = [(5u32, 9u32), (0, 2), (8, 20), (30, 31), (19, 30), (2, 5)];
+        let mut by_run = IntervalSet::new();
+        let mut by_id = IntervalSet::new();
+        for &(a, b) in &runs {
+            by_run.insert_run(a, b);
+            for i in a..b {
+                by_id.insert(i as usize);
+            }
+            assert_eq!(by_run, by_id);
+            assert_eq!(by_run.len(), by_id.len());
+        }
+        assert_eq!(by_run.runs(), &[(0, 31)]);
+    }
+
+    #[test]
+    fn push_run_fast_path_and_fallback() {
+        let mut s = IntervalSet::new();
+        s.push_run(0, 4); // empty-set path
+        s.push_run(4, 8); // adjacent extend
+        assert_eq!(s.runs(), &[(0, 8)]);
+        s.push_run(10, 12); // disjoint append
+        assert_eq!(s.runs(), &[(0, 8), (10, 12)]);
+        s.push_run(10, 12); // fully covered no-op
+        assert_eq!(s.len(), 10);
+        s.push_run(5, 11); // overlapping fallback to insert_run
+        assert_eq!(s.runs(), &[(0, 12)]);
+        assert_eq!(s.len(), 12);
+        s.push_run(1, 2); // covered by first (non-last) run
+        assert_eq!(s.len(), 12);
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod envelope;
 pub mod explore;
 pub mod fault;
 mod id;
+mod idseq;
 mod intset;
 mod metrics;
 pub mod par;
@@ -92,9 +93,10 @@ pub mod trace;
 pub use arena::MessageArena;
 pub use bitset::BitSet;
 pub use context::Context;
-pub use envelope::Envelope;
+pub use envelope::{Envelope, KIND_TAG_BITS};
 pub use fault::{ByzantinePlan, ChurnPlan, FaultPlan, FaultScheduler};
 pub use id::NodeId;
+pub use idseq::IdSeq;
 pub use intset::IntervalSet;
 pub use metrics::{ByzantineCounts, FaultCounts, KindCounts, Metrics};
 pub use record::{RecordingScheduler, ReplayScheduler, Schedule, ScheduleParseError};

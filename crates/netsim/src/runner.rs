@@ -5,7 +5,6 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::envelope::Envelope;
 use crate::scheduler::{Choice, Footprint, Scheduler, SendToken, StateDigest};
-use crate::intset::IntervalSet;
 use crate::table::{Knowledge, NodeTable};
 use crate::trace::{Trace, TraceEvent};
 use crate::{Context, Metrics, NodeId};
@@ -253,16 +252,19 @@ pub struct Runner<P: Protocol> {
     pub(crate) steps: u64,
     pub(crate) trace: Option<Trace>,
     outbox: Vec<(NodeId, P::Message)>,
-    /// Reusable staging set for one delivery's carried ids (run-coded
-    /// knowledge absorbs them as a single merge, see
-    /// [`Knowledge::absorb_scratch`]).
-    scratch: IntervalSet,
     /// Scratch footprint for the step being executed; populated by the
     /// mutation sites (link pops/pushes) only while `fp_on` is set.
     fp: Footprint,
     /// Whether the current step records its footprint (the scheduler asked
     /// via [`Scheduler::wants_footprints`]).
     fp_on: bool,
+    /// Cumulative heap bytes of every enqueued message payload
+    /// ([`Envelope::payload_heap_bytes`] at send time). Observability only.
+    pub(crate) payload_bytes_sent: u64,
+    /// Heap bytes of payloads currently sitting in link queues.
+    pub(crate) payload_inflight: u64,
+    /// High-water mark of [`payload_inflight`](Runner::payload_inflight).
+    pub(crate) payload_peak: u64,
 }
 
 impl<P: Protocol> Runner<P> {
@@ -333,9 +335,11 @@ impl<P: Protocol> Runner<P> {
             steps: 0,
             trace: None,
             outbox: Vec::new(),
-            scratch: IntervalSet::new(),
             fp: Footprint::new(),
             fp_on: false,
+            payload_bytes_sent: 0,
+            payload_inflight: 0,
+            payload_peak: 0,
         }
     }
 
@@ -404,6 +408,29 @@ impl<P: Protocol> Runner<P> {
     /// the scale benchmarks report this as bytes/node.
     pub fn knowledge_bytes(&self) -> usize {
         self.table.knowledge_bytes()
+    }
+
+    /// Cumulative heap bytes of every message payload enqueued so far
+    /// ([`Envelope::payload_heap_bytes`] measured at send time). Dividing
+    /// by the executed step count gives the bench's bytes-per-event figure.
+    pub fn payload_bytes_sent(&self) -> u64 {
+        self.payload_bytes_sent
+    }
+
+    /// High-water mark of payload heap bytes simultaneously in flight
+    /// (enqueued on link queues). This is the arena pressure a run exerts:
+    /// before run-length payloads it grew with O(component)-sized handovers.
+    pub fn payload_peak_bytes(&self) -> u64 {
+        self.payload_peak
+    }
+
+    /// Records `bytes` of payload entering a link queue.
+    #[inline]
+    pub(crate) fn note_payload_enqueued(&mut self, bytes: usize) {
+        let bytes = bytes as u64;
+        self.payload_bytes_sent += bytes;
+        self.payload_inflight += bytes;
+        self.payload_peak = self.payload_peak.max(self.payload_inflight);
     }
 
     /// Teaches node `u` the id of `v` out of band.
@@ -575,6 +602,7 @@ impl<P: Protocol> Runner<P> {
             if self.fp_on {
                 self.fp.touch_link(link_key(src, dst));
             }
+            self.note_payload_enqueued(msg.payload_heap_bytes());
             let slot = self.intern_link_slot(src, dst);
             let queue = &mut self.links[slot as usize];
             queue.push_back((msg, depth));
@@ -587,7 +615,7 @@ impl<P: Protocol> Runner<P> {
     /// the link's first send. Initial-topology links resolve through the
     /// CSR row (binary search, no hashing); runtime-learned links fall back
     /// to the hash map.
-    fn intern_link_slot(&mut self, src: NodeId, dst: NodeId) -> u32 {
+    pub(crate) fn intern_link_slot(&mut self, src: NodeId, dst: NodeId) -> u32 {
         if let Some(pos) = self.csr.find(src, dst) {
             let slot = self.csr.slots[pos];
             if slot != u32::MAX {
@@ -609,7 +637,7 @@ impl<P: Protocol> Runner<P> {
     }
 
     /// Slot of a link that has already sent at least once, if any.
-    fn existing_link_slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+    pub(crate) fn existing_link_slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
         if let Some(pos) = self.csr.find(src, dst) {
             let slot = self.csr.slots[pos];
             return (slot != u32::MAX).then_some(slot);
@@ -625,9 +653,11 @@ impl<P: Protocol> Runner<P> {
         if self.fp_on {
             self.fp.touch_link(link_key(src, dst));
         }
-        self.links[slot as usize]
+        let popped = self.links[slot as usize]
             .pop_front()
-            .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"))
+            .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"));
+        self.payload_inflight -= popped.0.payload_heap_bytes() as u64;
+        popped
     }
 
     /// Executes one scheduler-chosen event. Returns `false` when quiescent.
@@ -727,25 +757,15 @@ impl<P: Protocol> Runner<P> {
                 }
                 // Knowledge-graph growth: the receiver learns the sender and
                 // every id in the payload (visited, not collected; run-coded
-                // sets stage the batch and absorb it as one merge).
+                // sets absorb whole payload runs, so a run-coded handover
+                // costs O(runs), not O(ids)).
                 let n = self.nodes.len();
                 let know = &mut self.table.knowledge[dst.index()];
-                if let Knowledge::Dense(bits) = know {
-                    bits.insert(src.index());
-                    msg.for_each_carried_id(&mut |id| {
-                        debug_assert!(id.index() < n);
-                        bits.insert(id.index());
-                    });
-                } else {
-                    let scratch = &mut self.scratch;
-                    scratch.clear();
-                    scratch.push(src.index());
-                    msg.for_each_carried_id(&mut |id| {
-                        debug_assert!(id.index() < n);
-                        scratch.push(id.index());
-                    });
-                    know.absorb_scratch(scratch);
-                }
+                know.insert(src.index());
+                msg.for_each_carried_run(&mut |start, end| {
+                    debug_assert!((end as usize) <= n);
+                    know.insert_run(start, end);
+                });
                 // A message wakes a sleeping receiver.
                 if !self.table.awake(dst.index()) {
                     self.wake_inner(dst, depth, sched);
@@ -781,8 +801,10 @@ impl<P: Protocol> Runner<P> {
                     .cloned()
                     .unwrap_or_else(|| panic!("scheduler bug: empty link {src} → {dst}"));
                 let kind = msg.kind();
+                let payload_bytes = msg.payload_heap_bytes();
                 queue.push_back((msg, depth));
                 let queue_len = queue.len();
+                self.note_payload_enqueued(payload_bytes);
                 self.metrics.observe_link_queue(queue_len);
                 self.metrics.record_duplicate();
                 if let Some(trace) = &mut self.trace {
@@ -896,6 +918,7 @@ impl<P: Protocol> Runner<P> {
                 if self.fp_on {
                     self.fp.touch_link(link_key(src, dst));
                 }
+                self.note_payload_enqueued(msg.payload_heap_bytes());
                 let slot = self.intern_link_slot(src, dst);
                 let queue = &mut self.links[slot as usize];
                 queue.push_back((msg, 0));

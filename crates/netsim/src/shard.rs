@@ -27,19 +27,38 @@
 //! duplicates, crashes, restarts) and adversarial schedulers remain the
 //! sequential engine's job; determinism there is already covered by
 //! record/replay.
+//!
+//! Two engine-level optimizations keep the round loop fast at n = 10⁶:
+//!
+//! * **Destination-ordered rounds.** Within a round, events on different
+//!   destinations are independent (each touches only its target's node
+//!   state), so every shard executes its slice sorted by destination —
+//!   streaming node-table access instead of a random walk — and reorders
+//!   the outputs back to round order before the merge, which keeps the
+//!   byte-identity contract intact.
+//! * **A thread-free single-shard path.** At `shards == 1` the round loop
+//!   runs inline with every per-round buffer reused, so the bulk-
+//!   synchronous engine is also the fastest *sequential* FIFO engine (the
+//!   throughput bench drives it); the merge resolves links to dense
+//!   interned slots instead of hashing per event.
 
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
 use std::sync::mpsc;
 
 use crate::envelope::Envelope;
 use crate::record::Schedule;
-use crate::runner::{link_key, LinkHasher, LivelockError, Protocol, Runner};
+use crate::runner::{LivelockError, Protocol, Runner};
 use crate::scheduler::Choice;
-use crate::intset::IntervalSet;
 use crate::table::Knowledge;
 use crate::trace::TraceEvent;
 use crate::{Context, NodeId};
+
+/// Largest round the single-shard loop executes through
+/// [`Runner::fused_round`] (one pass, round order) instead of the
+/// stage/sort/merge batch path. Small rounds dominate the causal-chain
+/// tail of a discovery run — hundreds of thousands of rounds averaging a
+/// handful of events — where destination sorting cannot buy locality and
+/// the batch machinery is pure per-event overhead.
+const FUSE_MAX: usize = 32;
 
 /// One event of the current round, carrying its message payload (the
 /// sharded loop needs no link queues: FIFO order *is* emission order).
@@ -52,6 +71,10 @@ enum Ev<M> {
         dst: NodeId,
         msg: M,
         depth: u64,
+        /// Interned slot of the `src → dst` link, captured at send time.
+        /// Slots are append-only for the life of the run, so the merge can
+        /// decrement the in-flight counter without a per-delivery lookup.
+        slot: u32,
     },
     /// A timer tick armed by `node`.
     Tick(NodeId),
@@ -68,7 +91,7 @@ impl<M> Ev<M> {
 }
 
 /// Merge-side descriptor of a dispatched event (the payload went to the
-/// worker; the merge still needs identity, kind and depth).
+/// worker; the merge still needs identity, kind, depth and payload size).
 enum EvMeta {
     Wake(NodeId),
     Deliver {
@@ -76,17 +99,49 @@ enum EvMeta {
         dst: NodeId,
         kind: &'static str,
         depth: u64,
+        /// Payload heap bytes leaving flight on delivery (observability).
+        payload_bytes: usize,
+        /// Interned link slot, carried over from the [`Ev`].
+        slot: u32,
     },
     Tick(NodeId),
 }
 
-/// What one event did, in execution order (parallel to the round's emit
-/// stream: each event's emissions are the next `emits` entries).
+impl EvMeta {
+    /// Captures the merge-side view of a round event.
+    fn of<M: Envelope>(ev: &Ev<M>) -> EvMeta {
+        match *ev {
+            Ev::Wake(node) => EvMeta::Wake(node),
+            Ev::Deliver {
+                src,
+                dst,
+                ref msg,
+                depth,
+                slot,
+            } => EvMeta::Deliver {
+                src,
+                dst,
+                kind: msg.kind(),
+                depth,
+                payload_bytes: msg.payload_heap_bytes(),
+                slot,
+            },
+            Ev::Tick(node) => EvMeta::Tick(node),
+        }
+    }
+}
+
+/// What one event did, written at the event's *round-order* index (shards
+/// execute destination-sorted, so emissions are located by range, not by
+/// stream position).
+#[derive(Clone, Copy, Default)]
 struct EvOut {
     /// Whether the event woke a sleeping node.
     woke: bool,
+    /// First index of the event's emissions in the shard's emit buffer.
+    emit_start: u32,
     /// Number of emissions ([`Emit`]s) the event produced.
-    emits: u32,
+    emit_count: u32,
 }
 
 /// One side effect emitted while executing an event; the source node is
@@ -116,54 +171,67 @@ struct Shard<P: Protocol> {
     knowledge: Vec<Knowledge>,
     awake: Vec<bool>,
     outbox: Vec<(NodeId, P::Message)>,
-    /// Reusable staging set for one delivery's carried ids (mirrors the
-    /// sequential engine's batch absorption).
-    scratch: IntervalSet,
+    /// Reusable checkout buffer: the round's events, each taken exactly
+    /// once in destination order.
+    staged: Vec<Option<Ev<P::Message>>>,
+    /// Reusable destination-sort permutation of the round's event indices.
+    order: Vec<u32>,
 }
 
 impl<P: Protocol> Shard<P> {
-    /// Executes this shard's slice of one round, appending one [`EvOut`]
-    /// per event and its emissions to `emits`.
+    /// Executes this shard's slice of one round in *destination order*
+    /// (stable within a destination, so per-link FIFO holds), writing one
+    /// [`EvOut`] per event at its round-order index and the emissions into
+    /// `emits` located by `(emit_start, emit_count)` ranges.
+    ///
+    /// Same-round events on different destinations commute — a handler
+    /// only reads and writes its target's node state — so sorting by
+    /// destination changes the memory access pattern (streaming instead of
+    /// random) without changing any output the merge observes.
     fn exec_round(
         &mut self,
-        events: Vec<Ev<P::Message>>,
+        events: &mut Vec<Ev<P::Message>>,
         outs: &mut Vec<EvOut>,
-        emits: &mut Vec<Emit<P::Message>>,
+        emits: &mut Vec<Option<Emit<P::Message>>>,
     ) {
-        for ev in events {
-            let before = emits.len();
+        let k = events.len();
+        outs.clear();
+        outs.resize(k, EvOut::default());
+        emits.clear();
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.clear();
+        staged.extend(events.drain(..).map(Some));
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        order.extend(0..u32::try_from(k).expect("round events fit u32"));
+        order.sort_unstable_by_key(|&i| {
+            let target = staged[i as usize].as_ref().expect("staged event").target();
+            ((target.index() as u64) << 32) | u64::from(i)
+        });
+        for &i in &order {
+            let ev = staged[i as usize].take().expect("each event executes once");
+            let emit_start = u32::try_from(emits.len()).expect("emissions per round fit u32");
             let mut woke = false;
             match ev {
                 Ev::Wake(node) => {
-                    let i = node.index() - self.base;
-                    if !self.awake[i] {
-                        self.awake[i] = true;
+                    let j = node.index() - self.base;
+                    if !self.awake[j] {
+                        self.awake[j] = true;
                         woke = true;
                         self.dispatch(node, emits, |n, ctx| n.on_wake(ctx));
                     }
                 }
                 Ev::Deliver { src, dst, msg, .. } => {
-                    let i = dst.index() - self.base;
+                    let j = dst.index() - self.base;
                     let network = self.network;
-                    let know = &mut self.knowledge[i];
-                    if let Knowledge::Dense(bits) = know {
-                        bits.insert(src.index());
-                        msg.for_each_carried_id(&mut |id| {
-                            debug_assert!(id.index() < network);
-                            bits.insert(id.index());
-                        });
-                    } else {
-                        let scratch = &mut self.scratch;
-                        scratch.clear();
-                        scratch.push(src.index());
-                        msg.for_each_carried_id(&mut |id| {
-                            debug_assert!(id.index() < network);
-                            scratch.push(id.index());
-                        });
-                        know.absorb_scratch(scratch);
-                    }
-                    if !self.awake[i] {
-                        self.awake[i] = true;
+                    let know = &mut self.knowledge[j];
+                    know.insert(src.index());
+                    msg.for_each_carried_run(&mut |start, end| {
+                        debug_assert!((end as usize) <= network);
+                        know.insert_run(start, end);
+                    });
+                    if !self.awake[j] {
+                        self.awake[j] = true;
                         woke = true;
                         self.dispatch(dst, emits, |n, ctx| n.on_wake(ctx));
                     }
@@ -173,11 +241,15 @@ impl<P: Protocol> Shard<P> {
                     self.dispatch(node, emits, |n, ctx| n.on_tick(ctx));
                 }
             }
-            outs.push(EvOut {
+            outs[i as usize] = EvOut {
                 woke,
-                emits: u32::try_from(emits.len() - before).expect("emissions per event fit u32"),
-            });
+                emit_start,
+                emit_count: u32::try_from(emits.len()).expect("emissions per round fit u32")
+                    - emit_start,
+            };
         }
+        self.staged = staged;
+        self.order = order;
     }
 
     /// Runs a handler with a live [`Context`] and converts its sends (and
@@ -186,7 +258,7 @@ impl<P: Protocol> Shard<P> {
     fn dispatch(
         &mut self,
         node: NodeId,
-        emits: &mut Vec<Emit<P::Message>>,
+        emits: &mut Vec<Option<Emit<P::Message>>>,
         f: impl FnOnce(&mut P, &mut Context<'_, P::Message>),
     ) {
         debug_assert!(self.outbox.is_empty());
@@ -196,23 +268,31 @@ impl<P: Protocol> Shard<P> {
         let tick = ctx.tick_armed();
         self.outbox = outbox;
         for (dst, msg) in self.outbox.drain(..) {
-            assert!(
-                self.knowledge[node.index() - self.base].contains(dst.index()),
-                "knowledge violation: {node} sent a {:?} to {dst} without knowing its id",
-                msg.kind()
-            );
-            emits.push(Emit::Send {
+            emits.push(Some(Emit::Send {
                 dst,
                 ids: msg.carried_id_count(),
                 aux_bits: msg.aux_bits(),
                 kind: msg.kind(),
                 msg,
-            });
+            }));
         }
         if tick {
-            emits.push(Emit::Tick);
+            emits.push(Some(Emit::Tick));
         }
     }
+}
+
+/// One shard's owned outputs for a round, as shipped through the worker
+/// channel.
+type RoundOutput<M> = (Vec<EvOut>, Vec<Option<Emit<M>>>);
+
+/// One shard's outputs for the round being merged: [`EvOut`]s at
+/// round-order indices, emissions taken by range, and the merge's cursor
+/// into the outs.
+struct RoundSlice<'a, M> {
+    outs: &'a [EvOut],
+    emits: &'a mut [Option<Emit<M>>],
+    cursor: usize,
 }
 
 impl<P> Runner<P>
@@ -292,7 +372,8 @@ where
                 knowledge,
                 awake,
                 outbox: Vec::new(),
-                scratch: IntervalSet::new(),
+                staged: Vec::new(),
+                order: Vec::new(),
             });
             nodes = rest_nodes;
             knowledge = rest_knowledge;
@@ -310,38 +391,26 @@ where
         }
 
         let mut executed: u64 = 0;
-        let mut link_pending: HashMap<u64, usize, BuildHasherDefault<LinkHasher>> =
-            HashMap::default();
+        // Dense in-flight counters indexed by interned link slot — the
+        // merge's analogue of the sequential engine's queue lengths,
+        // without a hash probe per send and delivery.
+        let mut pending: Vec<u32> = Vec::new();
+        let mut metas: Vec<EvMeta> = Vec::new();
+        let mut next_round: Vec<Ev<P::Message>> = Vec::new();
 
-        let result = std::thread::scope(|scope| {
-            let mut to_workers = Vec::with_capacity(shards);
-            let mut from_workers = Vec::with_capacity(shards);
-            let mut handles = Vec::with_capacity(shards);
-            for shard in shard_states.drain(..) {
-                let (tx_ev, rx_ev) = mpsc::channel::<Vec<Ev<P::Message>>>();
-                let (tx_out, rx_out) = mpsc::channel();
-                to_workers.push(tx_ev);
-                from_workers.push(rx_out);
-                handles.push(scope.spawn(move || {
-                    let mut shard = shard;
-                    while let Ok(events) = rx_ev.recv() {
-                        let mut outs = Vec::with_capacity(events.len());
-                        let mut emits = Vec::new();
-                        shard.exec_round(events, &mut outs, &mut emits);
-                        if tx_out.send((outs, emits)).is_err() {
-                            break;
-                        }
-                    }
-                    shard
-                }));
-            }
-
+        let result = if shards == 1 {
+            // Thread-free single-shard path: same rounds, same merge, every
+            // per-round buffer reused. This is the engine the sequential
+            // throughput bench drives, so per-round overhead must stay at a
+            // few buffer clears even when rounds carry one event each.
+            let mut shard = shard_states.pop().expect("exactly one shard");
+            let mut outs: Vec<EvOut> = Vec::new();
+            let mut emits: Vec<Option<Emit<P::Message>>> = Vec::new();
             let outcome = loop {
                 if round.is_empty() {
                     break Ok(executed);
                 }
-                let remaining =
-                    usize::try_from(max_steps - executed).unwrap_or(usize::MAX);
+                let remaining = usize::try_from(max_steps - executed).unwrap_or(usize::MAX);
                 if remaining == 0 {
                     break Err(LivelockError {
                         steps: executed,
@@ -355,191 +424,471 @@ where
                 } else {
                     Vec::new()
                 };
+                if round.len() <= FUSE_MAX {
+                    self.fused_round(
+                        &mut shard,
+                        &mut round,
+                        &mut emits,
+                        &mut pending,
+                        &mut next_round,
+                        &mut record,
+                        &mut executed,
+                    );
+                } else {
+                    metas.clear();
+                    metas.extend(round.iter().map(EvMeta::of));
+                    shard.exec_round(&mut round, &mut outs, &mut emits);
+                    let mut slices = [Some(RoundSlice {
+                        outs: &outs[..],
+                        emits: &mut emits[..],
+                        cursor: 0,
+                    })];
+                    self.merge_round(
+                        &mut metas,
+                        chunk,
+                        &mut slices,
+                        &mut pending,
+                        &mut next_round,
+                        &mut record,
+                        &mut executed,
+                    );
+                }
+                // `round` was drained by exec_round; swap in the next
+                // round's events so both buffers recycle.
+                if leftover.is_empty() {
+                    std::mem::swap(&mut round, &mut next_round);
+                } else {
+                    round = leftover;
+                    round.append(&mut next_round);
+                }
+            };
+            for (j, awake) in shard.awake.iter().enumerate() {
+                self.table.set_awake(shard.base + j, *awake);
+            }
+            self.nodes = shard.nodes;
+            self.table.knowledge = shard.knowledge;
+            outcome
+        } else {
+            std::thread::scope(|scope| {
+                let mut to_workers = Vec::with_capacity(shards);
+                let mut from_workers = Vec::with_capacity(shards);
+                let mut handles = Vec::with_capacity(shards);
+                for shard in shard_states.drain(..) {
+                    let (tx_ev, rx_ev) = mpsc::channel::<Vec<Ev<P::Message>>>();
+                    let (tx_out, rx_out) = mpsc::channel();
+                    to_workers.push(tx_ev);
+                    from_workers.push(rx_out);
+                    handles.push(scope.spawn(move || {
+                        let mut shard = shard;
+                        while let Ok(mut events) = rx_ev.recv() {
+                            let mut outs = Vec::new();
+                            let mut emits = Vec::new();
+                            shard.exec_round(&mut events, &mut outs, &mut emits);
+                            if tx_out.send((outs, emits)).is_err() {
+                                break;
+                            }
+                        }
+                        shard
+                    }));
+                }
 
-                // Partition the prefix by destination shard (order within a
-                // shard is preserved, so per-link FIFO holds).
-                let mut metas = Vec::with_capacity(round.len());
-                let mut per_shard: Vec<Vec<Ev<P::Message>>> =
-                    (0..shards).map(|_| Vec::new()).collect();
-                for ev in round.drain(..) {
-                    metas.push(match ev {
-                        Ev::Wake(node) => EvMeta::Wake(node),
-                        Ev::Deliver {
-                            src,
-                            dst,
-                            ref msg,
-                            depth,
-                        } => EvMeta::Deliver {
+                let outcome = loop {
+                    if round.is_empty() {
+                        break Ok(executed);
+                    }
+                    let remaining = usize::try_from(max_steps - executed).unwrap_or(usize::MAX);
+                    if remaining == 0 {
+                        break Err(LivelockError {
+                            steps: executed,
+                            pending: round.len(),
+                        });
+                    }
+                    let leftover = if round.len() > remaining {
+                        round.split_off(remaining)
+                    } else {
+                        Vec::new()
+                    };
+
+                    // Partition the prefix by destination shard (order
+                    // within a shard is preserved, so per-link FIFO holds).
+                    metas.clear();
+                    let mut per_shard: Vec<Vec<Ev<P::Message>>> =
+                        (0..shards).map(|_| Vec::new()).collect();
+                    for ev in round.drain(..) {
+                        metas.push(EvMeta::of(&ev));
+                        per_shard[ev.target().index() / chunk].push(ev);
+                    }
+                    // Only shards with events this round get woken; idle
+                    // shards cost no channel round-trip.
+                    let mut outs: Vec<Option<RoundOutput<P::Message>>> =
+                        (0..shards).map(|_| None).collect();
+                    let mut got_all = true;
+                    for (s, events) in per_shard.into_iter().enumerate() {
+                        if events.is_empty() {
+                            continue;
+                        }
+                        to_workers[s].send(events).expect("shard worker alive");
+                        outs[s] = Some(Default::default());
+                    }
+                    for (s, out) in outs.iter_mut().enumerate() {
+                        if out.is_none() {
+                            continue;
+                        }
+                        match from_workers[s].recv() {
+                            Ok(o) => *out = Some(o),
+                            Err(_) => {
+                                got_all = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !got_all {
+                        // A worker died mid-round (protocol panic); surface
+                        // it below by joining.
+                        break Err(LivelockError {
+                            steps: executed,
+                            pending: metas.len(),
+                        });
+                    }
+                    let mut slices: Vec<Option<RoundSlice<'_, P::Message>>> = outs
+                        .iter_mut()
+                        .map(|o| {
+                            o.as_mut().map(|(outs, emits)| RoundSlice {
+                                outs: &outs[..],
+                                emits: &mut emits[..],
+                                cursor: 0,
+                            })
+                        })
+                        .collect();
+                    self.merge_round(
+                        &mut metas,
+                        chunk,
+                        &mut slices,
+                        &mut pending,
+                        &mut next_round,
+                        &mut record,
+                        &mut executed,
+                    );
+
+                    // Budget leftovers were enqueued before this round's
+                    // emissions, so they come first in the next queue.
+                    if leftover.is_empty() {
+                        std::mem::swap(&mut round, &mut next_round);
+                        next_round.clear();
+                    } else {
+                        round = leftover;
+                        round.append(&mut next_round);
+                    }
+                };
+
+                // Check the per-node state back in (joining surfaces any
+                // worker panic with its original message).
+                drop(to_workers);
+                for handle in handles {
+                    match handle.join() {
+                        Ok(shard) => {
+                            for (j, awake) in shard.awake.iter().enumerate() {
+                                self.table.set_awake(shard.base + j, *awake);
+                            }
+                            self.nodes.extend(shard.nodes);
+                            self.table.knowledge.extend(shard.knowledge);
+                        }
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+                outcome
+            })
+        };
+        debug_assert_eq!(self.nodes.len(), n);
+        result
+    }
+
+    /// Deterministic merge of one round: walks the round in its original
+    /// order, replaying each event's bookkeeping (steps, seq numbers,
+    /// metrics, traces, recorded choices) exactly as the sequential engine
+    /// interleaves it, and queues the emissions as the next round.
+    #[allow(clippy::too_many_arguments)]
+    /// Executes and merges one (budget-capped) round of at most
+    /// [`FUSE_MAX`] events in a single pass, event by event in round
+    /// order — the single-shard fast path for the causal-chain tail,
+    /// where rounds carry only a handful of events and the
+    /// stage/sort/merge machinery of [`Shard::exec_round`] +
+    /// [`Runner::merge_round`] is pure overhead.
+    ///
+    /// Byte-identity: executing in round order is one valid destination
+    /// order (same-destination events keep their relative order, and
+    /// handlers on different destinations commute), and every merge-side
+    /// effect below — recorded choices, metrics, trace entries, `seq`
+    /// numbers, pending-counter updates and `next_round` pushes — happens
+    /// in exactly the sequence [`Runner::merge_round`] would produce for
+    /// the same round. The two paths must stay in lockstep; the pinned
+    /// sharded-vs-sequential suites diff them at every shard count.
+    #[allow(clippy::too_many_arguments)]
+    fn fused_round(
+        &mut self,
+        shard: &mut Shard<P>,
+        round: &mut Vec<Ev<P::Message>>,
+        emits: &mut Vec<Option<Emit<P::Message>>>,
+        pending: &mut Vec<u32>,
+        next_round: &mut Vec<Ev<P::Message>>,
+        record: &mut Option<&mut Vec<Choice>>,
+        executed: &mut u64,
+    ) {
+        for ev in round.drain(..) {
+            *executed += 1;
+            self.steps += 1;
+            emits.clear();
+            let (src_node, next_depth) = match ev {
+                Ev::Wake(node) => {
+                    if let Some(choices) = record.as_deref_mut() {
+                        choices.push(Choice::Wake(node));
+                    }
+                    let j = node.index() - shard.base;
+                    if !shard.awake[j] {
+                        shard.awake[j] = true;
+                        shard.dispatch(node, emits, |n, ctx| n.on_wake(ctx));
+                        self.metrics.record_wakeup();
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Wake {
+                                node,
+                                step: self.steps,
+                            });
+                        }
+                    }
+                    (node, 1)
+                }
+                Ev::Deliver {
+                    src,
+                    dst,
+                    msg,
+                    depth,
+                    slot,
+                } => {
+                    if let Some(choices) = record.as_deref_mut() {
+                        choices.push(Choice::Deliver { src, dst });
+                    }
+                    debug_assert_eq!(self.existing_link_slot(src, dst), Some(slot));
+                    pending[slot as usize] -= 1;
+                    self.payload_inflight -= msg.payload_heap_bytes() as u64;
+                    self.metrics.record_delivery(depth);
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent::Deliver {
                             src,
                             dst,
                             kind: msg.kind(),
-                            depth,
-                        },
-                        Ev::Tick(node) => EvMeta::Tick(node),
+                            step: self.steps,
+                        });
+                    }
+                    let j = dst.index() - shard.base;
+                    let network = shard.network;
+                    let know = &mut shard.knowledge[j];
+                    know.insert(src.index());
+                    msg.for_each_carried_run(&mut |start, end| {
+                        debug_assert!((end as usize) <= network);
+                        know.insert_run(start, end);
                     });
-                    per_shard[ev.target().index() / chunk].push(ev);
-                }
-                for (tx, events) in to_workers.iter().zip(per_shard) {
-                    tx.send(events).expect("shard worker alive");
-                }
-                let mut outs = Vec::with_capacity(shards);
-                let mut got_all = true;
-                for rx in &from_workers {
-                    match rx.recv() {
-                        Ok(out) => outs.push(out),
-                        Err(_) => {
-                            got_all = false;
-                            break;
+                    let woke = !shard.awake[j];
+                    if woke {
+                        shard.awake[j] = true;
+                        shard.dispatch(dst, emits, |n, ctx| n.on_wake(ctx));
+                    }
+                    shard.dispatch(dst, emits, |n, ctx| n.on_message(src, msg, ctx));
+                    if woke {
+                        self.metrics.record_wakeup();
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Wake {
+                                node: dst,
+                                step: self.steps,
+                            });
                         }
                     }
+                    (dst, depth + 1)
                 }
-                if !got_all {
-                    // A worker died mid-round (protocol panic); surface it
-                    // below by joining.
-                    break Err(LivelockError {
-                        steps: executed,
-                        pending: metas.len(),
-                    });
-                }
-                let mut out_iters: Vec<_> = outs
-                    .into_iter()
-                    .map(|(o, e)| (o.into_iter(), e.into_iter()))
-                    .collect();
-
-                // Deterministic merge: walk the round in its original
-                // order, replaying each event's bookkeeping exactly as the
-                // sequential engine interleaves it.
-                let mut next_round = Vec::new();
-                for meta in metas {
-                    executed += 1;
-                    self.steps += 1;
-                    let (shard_of, next_depth) = match meta {
-                        EvMeta::Wake(node) | EvMeta::Tick(node) => (node.index() / chunk, 1),
-                        EvMeta::Deliver { dst, depth, .. } => (dst.index() / chunk, depth + 1),
-                    };
-                    let (ref mut out_it, ref mut emit_it) = out_iters[shard_of];
-                    let out = out_it.next().expect("one output per dispatched event");
-                    let src_node = match meta {
-                        EvMeta::Wake(node) => {
-                            if let Some(choices) = record.as_deref_mut() {
-                                choices.push(Choice::Wake(node));
-                            }
-                            if out.woke {
-                                self.metrics.record_wakeup();
-                                if let Some(trace) = &mut self.trace {
-                                    trace.push(TraceEvent::Wake {
-                                        node,
-                                        step: self.steps,
-                                    });
-                                }
-                            }
-                            node
-                        }
-                        EvMeta::Deliver {
-                            src, dst, kind, depth,
-                        } => {
-                            if let Some(choices) = record.as_deref_mut() {
-                                choices.push(Choice::Deliver { src, dst });
-                            }
-                            let pending = link_pending
-                                .get_mut(&link_key(src, dst))
-                                .expect("delivery on a link with pending messages");
-                            *pending -= 1;
-                            self.metrics.record_delivery(depth);
-                            if let Some(trace) = &mut self.trace {
-                                trace.push(TraceEvent::Deliver {
-                                    src,
-                                    dst,
-                                    kind,
-                                    step: self.steps,
-                                });
-                            }
-                            if out.woke {
-                                self.metrics.record_wakeup();
-                                if let Some(trace) = &mut self.trace {
-                                    trace.push(TraceEvent::Wake {
-                                        node: dst,
-                                        step: self.steps,
-                                    });
-                                }
-                            }
-                            dst
-                        }
-                        EvMeta::Tick(node) => {
-                            if let Some(choices) = record.as_deref_mut() {
-                                choices.push(Choice::Tick(node));
-                            }
-                            self.metrics.record_tick();
-                            if let Some(trace) = &mut self.trace {
-                                trace.push(TraceEvent::Tick {
-                                    node,
-                                    step: self.steps,
-                                });
-                            }
-                            node
-                        }
-                    };
-                    for _ in 0..out.emits {
-                        match emit_it.next().expect("one entry per emission") {
-                            Emit::Send {
-                                dst,
-                                msg,
-                                ids,
-                                aux_bits,
-                                kind,
-                            } => {
-                                self.metrics.record(kind, ids, aux_bits);
-                                if let Some(trace) = &mut self.trace {
-                                    trace.push(TraceEvent::Send {
-                                        src: src_node,
-                                        dst,
-                                        kind,
-                                        seq: self.seq,
-                                        step: self.steps,
-                                    });
-                                }
-                                self.seq += 1;
-                                let pending =
-                                    link_pending.entry(link_key(src_node, dst)).or_insert(0);
-                                *pending += 1;
-                                self.metrics.observe_link_queue(*pending);
-                                next_round.push(Ev::Deliver {
-                                    src: src_node,
-                                    dst,
-                                    msg,
-                                    depth: next_depth,
-                                });
-                            }
-                            Emit::Tick => next_round.push(Ev::Tick(src_node)),
-                        }
+                Ev::Tick(node) => {
+                    if let Some(choices) = record.as_deref_mut() {
+                        choices.push(Choice::Tick(node));
                     }
+                    self.metrics.record_tick();
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent::Tick {
+                            node,
+                            step: self.steps,
+                        });
+                    }
+                    shard.dispatch(node, emits, |n, ctx| n.on_tick(ctx));
+                    (node, 1)
                 }
-
-                // Budget leftovers were enqueued before this round's
-                // emissions, so they come first in the next queue.
-                round = leftover;
-                round.append(&mut next_round);
             };
-
-            // Check the per-node state back in (joining surfaces any
-            // worker panic with its original message).
-            drop(to_workers);
-            for handle in handles {
-                match handle.join() {
-                    Ok(shard) => {
-                        for (j, awake) in shard.awake.iter().enumerate() {
-                            self.table.set_awake(shard.base + j, *awake);
+            for emit in emits.drain(..) {
+                match emit.expect("one entry per emission") {
+                    Emit::Send {
+                        dst,
+                        msg,
+                        ids,
+                        aux_bits,
+                        kind,
+                    } => {
+                        self.metrics.record(kind, ids, aux_bits);
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Send {
+                                src: src_node,
+                                dst,
+                                kind,
+                                seq: self.seq,
+                                step: self.steps,
+                            });
                         }
-                        self.nodes.extend(shard.nodes);
-                        self.table.knowledge.extend(shard.knowledge);
+                        self.seq += 1;
+                        self.note_payload_enqueued(msg.payload_heap_bytes());
+                        let slot = self.intern_link_slot(src_node, dst);
+                        if slot as usize >= pending.len() {
+                            pending.resize(slot as usize + 1, 0);
+                        }
+                        pending[slot as usize] += 1;
+                        self.metrics.observe_link_queue(pending[slot as usize] as usize);
+                        next_round.push(Ev::Deliver {
+                            src: src_node,
+                            dst,
+                            msg,
+                            depth: next_depth,
+                            slot,
+                        });
                     }
-                    Err(panic) => std::panic::resume_unwind(panic),
+                    Emit::Tick => next_round.push(Ev::Tick(src_node)),
                 }
             }
-            outcome
-        });
-        debug_assert_eq!(self.nodes.len(), n);
-        result
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge_round(
+        &mut self,
+        metas: &mut Vec<EvMeta>,
+        chunk: usize,
+        slices: &mut [Option<RoundSlice<'_, P::Message>>],
+        pending: &mut Vec<u32>,
+        next_round: &mut Vec<Ev<P::Message>>,
+        record: &mut Option<&mut Vec<Choice>>,
+        executed: &mut u64,
+    ) {
+        for meta in metas.drain(..) {
+            *executed += 1;
+            self.steps += 1;
+            let (shard_of, next_depth) = match meta {
+                EvMeta::Wake(node) | EvMeta::Tick(node) => (node.index() / chunk, 1),
+                EvMeta::Deliver { dst, depth, .. } => (dst.index() / chunk, depth + 1),
+            };
+            let slice = slices[shard_of]
+                .as_mut()
+                .expect("round output from every shard with events");
+            let out = slice.outs[slice.cursor];
+            slice.cursor += 1;
+            let src_node = match meta {
+                EvMeta::Wake(node) => {
+                    if let Some(choices) = record.as_deref_mut() {
+                        choices.push(Choice::Wake(node));
+                    }
+                    if out.woke {
+                        self.metrics.record_wakeup();
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Wake {
+                                node,
+                                step: self.steps,
+                            });
+                        }
+                    }
+                    node
+                }
+                EvMeta::Deliver {
+                    src,
+                    dst,
+                    kind,
+                    depth,
+                    payload_bytes,
+                    slot,
+                } => {
+                    if let Some(choices) = record.as_deref_mut() {
+                        choices.push(Choice::Deliver { src, dst });
+                    }
+                    debug_assert_eq!(self.existing_link_slot(src, dst), Some(slot));
+                    pending[slot as usize] -= 1;
+                    self.payload_inflight -= payload_bytes as u64;
+                    self.metrics.record_delivery(depth);
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent::Deliver {
+                            src,
+                            dst,
+                            kind,
+                            step: self.steps,
+                        });
+                    }
+                    if out.woke {
+                        self.metrics.record_wakeup();
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Wake {
+                                node: dst,
+                                step: self.steps,
+                            });
+                        }
+                    }
+                    dst
+                }
+                EvMeta::Tick(node) => {
+                    if let Some(choices) = record.as_deref_mut() {
+                        choices.push(Choice::Tick(node));
+                    }
+                    self.metrics.record_tick();
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(TraceEvent::Tick {
+                            node,
+                            step: self.steps,
+                        });
+                    }
+                    node
+                }
+            };
+            for e in 0..out.emit_count {
+                let emit = slice.emits[(out.emit_start + e) as usize]
+                    .take()
+                    .expect("one entry per emission");
+                match emit {
+                    Emit::Send {
+                        dst,
+                        msg,
+                        ids,
+                        aux_bits,
+                        kind,
+                    } => {
+                        self.metrics.record(kind, ids, aux_bits);
+                        if let Some(trace) = &mut self.trace {
+                            trace.push(TraceEvent::Send {
+                                src: src_node,
+                                dst,
+                                kind,
+                                seq: self.seq,
+                                step: self.steps,
+                            });
+                        }
+                        self.seq += 1;
+                        self.note_payload_enqueued(msg.payload_heap_bytes());
+                        let slot = self.intern_link_slot(src_node, dst);
+                        if slot as usize >= pending.len() {
+                            pending.resize(slot as usize + 1, 0);
+                        }
+                        pending[slot as usize] += 1;
+                        self.metrics.observe_link_queue(pending[slot as usize] as usize);
+                        next_round.push(Ev::Deliver {
+                            src: src_node,
+                            dst,
+                            msg,
+                            depth: next_depth,
+                            slot,
+                        });
+                    }
+                    Emit::Tick => next_round.push(Ev::Tick(src_node)),
+                }
+            }
+        }
     }
 }
 

@@ -117,25 +117,42 @@ impl RunsKnowledge {
             || u32::try_from(index).is_ok_and(|i| self.pending.contains(&i))
     }
 
-    /// Merges the overflow buffer into the run vector.
+    /// Inserts the whole half-open run `[start, end)`. Tiny runs go
+    /// through the buffered per-id path; longer ones are first checked
+    /// for coverage (one binary search — the common redelivery case) and
+    /// otherwise merged into the run vector directly, so absorbing a
+    /// run-coded payload is O(runs), never O(ids).
+    pub(crate) fn insert_run(&mut self, start: u32, end: u32) {
+        if end.saturating_sub(start) <= 2 {
+            for i in start..end {
+                self.insert(i as usize);
+            }
+        } else if !self.set.covers(start, end) {
+            self.flush();
+            self.set.insert_run(start, end);
+        }
+    }
+
+    /// Merges the overflow buffer into the run vector: sorted, then one
+    /// `insert_run` per maximal consecutive stretch (allocation-free —
+    /// this runs on the delivery hot path).
     fn flush(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         self.pending.sort_unstable();
-        let mut batch = IntervalSet::new();
-        for &i in &self.pending {
-            batch.push(i as usize);
+        let mut i = 0;
+        while i < self.pending.len() {
+            let start = self.pending[i];
+            let mut end = start + 1;
+            i += 1;
+            while i < self.pending.len() && self.pending[i] <= end {
+                end = end.max(self.pending[i] + 1);
+                i += 1;
+            }
+            self.set.insert_run(start, end);
         }
-        self.set.union_with(&batch);
         self.pending.clear();
-    }
-
-    /// Unions a staged batch in one merge (the buffer is flushed first so
-    /// the run vector is rebuilt once, not twice).
-    fn union_with(&mut self, batch: &IntervalSet) {
-        self.flush();
-        self.set.union_with(batch);
     }
 
     /// Heap bytes backing the set.
@@ -212,33 +229,19 @@ impl Knowledge {
         }
     }
 
-    /// Absorbs one delivery's worth of ids — the sender plus every carried
-    /// id, staged in `scratch` by the caller via [`IntervalSet::push`].
-    ///
-    /// Dense sets never take this path (their inserts are O(1) words);
-    /// run-coded sets union large batches in one O(runs) merge instead of
-    /// paying a tail-memmove per newly created run, which is what makes
-    /// absorbing an O(cluster)-id handover linear rather than quadratic.
-    pub(crate) fn absorb_scratch(&mut self, scratch: &IntervalSet) {
-        /// Batches at or below this insert directly (through the overflow
-        /// buffer): a whole-set merge rebuilds the run vector, which only
-        /// pays off once the batch would flush the buffer several times.
-        const DIRECT_INSERT_MAX: usize = 16;
+    /// Inserts the half-open run `[start, end)` — how a delivery absorbs
+    /// a run-coded payload: O(runs per message), never O(ids), with no
+    /// staging set in between (this replaced an `IntervalSet` scratch
+    /// rebuilt per delivery, which dominated large-n absorption cost).
+    #[inline]
+    pub(crate) fn insert_run(&mut self, start: u32, end: u32) {
         match self {
             Knowledge::Dense(s) => {
-                for i in scratch.iter() {
-                    s.insert(i);
+                for i in start..end {
+                    s.insert(i as usize);
                 }
             }
-            Knowledge::Runs(s) => {
-                if scratch.len() <= DIRECT_INSERT_MAX {
-                    for i in scratch.iter() {
-                        s.insert(i);
-                    }
-                } else {
-                    s.union_with(scratch);
-                }
-            }
+            Knowledge::Runs(s) => s.insert_run(start, end),
         }
     }
 }

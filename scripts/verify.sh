@@ -179,21 +179,36 @@ if ! diff -u "$dpor_snapshot" <(printf '%s\n' "$dpor_actual"); then
 fi
 
 # Large-n smoke: a 10⁵-node discovery must complete inside a capped step
-# budget, and the sharded engine must produce byte-identical output.
+# budget, and the sharded round engine must produce byte-identical output
+# at every shard count — shards=1 covers the thread-free inline path, and
+# shards=4 the threaded coordinator/worker path.
 bign=(cargo run --offline --release -p ard-cli --bin ard -- \
     discover --topology random:n=100000,extra=200000,seed=1 \
     --variant oblivious --scheduler fifo --max-steps 4000000)
 big_seq="$("${bign[@]}")"
-big_shd="$("${bign[@]}" --shards 4)"
-if [[ "$big_seq" != "$big_shd" ]]; then
-    echo "verify: discover --shards 4 diverged from the sequential run at n=100000" >&2
-    diff <(printf '%s\n' "$big_seq") <(printf '%s\n' "$big_shd") >&2 || true
-    exit 1
-fi
+for shards in 1 4; do
+    big_shd="$("${bign[@]}" --shards "$shards")"
+    if [[ "$big_seq" != "$big_shd" ]]; then
+        echo "verify: discover --shards $shards diverged from the sequential run at n=100000" >&2
+        diff <(printf '%s\n' "$big_seq") <(printf '%s\n' "$big_shd") >&2 || true
+        exit 1
+    fi
+done
 if ! grep -q "requirements: satisfied" <<<"$big_seq"; then
     echo "verify: large-n smoke run failed:" >&2
     printf '%s\n' "$big_seq" >&2
     exit 1
 fi
 
-echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, byzantine smoke found+shrunk and matches snapshot, dpor smoke reduced=full and matches snapshot, n=100000 sharded smoke byte-identical)"
+# Checked-in bench artifact schema: the throughput JSON must carry the
+# payload metrics and the multicore sharded sweep that scripts/bench.sh
+# writes (a stale artifact means the sweep was not regenerated).
+for key in '"payload_bytes_per_event"' '"payload_peak_bytes"' '"sharded"'; do
+    if ! grep -q "$key" BENCH_throughput.json; then
+        echo "verify: BENCH_throughput.json is missing the $key key" >&2
+        echo "verify: regenerate it with scripts/bench.sh" >&2
+        exit 1
+    fi
+done
+
+echo "verify: OK (tier-1 green, explore smoke deterministic, --jobs 4 byte-identical, snapshots verified, chaos smoke matches snapshot, byzantine smoke found+shrunk and matches snapshot, dpor smoke reduced=full and matches snapshot, n=100000 sharded smoke byte-identical at shards 1 and 4, bench JSON schema ok)"
